@@ -1,0 +1,141 @@
+// Command btclient is the real TCP BitTorrent client built on the same
+// rarest-first and choke implementations the simulator evaluates.
+//
+// Make a torrent file:
+//
+//	btclient -mode make -content data.bin -announce http://127.0.0.1:6969/announce -torrent data.torrent
+//
+// Seed it:
+//
+//	btclient -mode seed -torrent data.torrent -content data.bin [-listen 127.0.0.1:0] [-up 20480]
+//
+// Download it:
+//
+//	btclient -mode get -torrent data.torrent -out copy.bin [-peer host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"rarestfirst/internal/client"
+	"rarestfirst/internal/metainfo"
+)
+
+func main() {
+	mode := flag.String("mode", "", "make | seed | get")
+	torrentPath := flag.String("torrent", "", "path to the .torrent file")
+	contentPath := flag.String("content", "", "content file (make/seed)")
+	outPath := flag.String("out", "", "output file (get)")
+	announce := flag.String("announce", "", "tracker announce URL (make; overrides for seed/get)")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	peer := flag.String("peer", "", "bootstrap peer host:port (optional)")
+	up := flag.Float64("up", 20480, "upload cap in bytes/second (paper default 20 kB/s)")
+	pieceSize := flag.Int("piecesize", metainfo.DefaultPieceSize, "piece size for -mode make")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "make":
+		err = doMake(*contentPath, *announce, *torrentPath, *pieceSize)
+	case "seed":
+		err = doRun(*torrentPath, *contentPath, "", *announce, *listen, *peer, *up)
+	case "get":
+		err = doRun(*torrentPath, "", *outPath, *announce, *listen, *peer, *up)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want make, seed or get)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func doMake(contentPath, announce, torrentPath string, pieceSize int) error {
+	if contentPath == "" || torrentPath == "" {
+		return fmt.Errorf("make: need -content and -torrent")
+	}
+	data, err := os.ReadFile(contentPath)
+	if err != nil {
+		return err
+	}
+	m, err := metainfo.Build(contentPath, announce, data, pieceSize)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(torrentPath, m.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d pieces of %d bytes, infohash %s\n",
+		torrentPath, m.NumPieces(), m.Info.PieceLength, m.InfoHash())
+	return nil
+}
+
+func doRun(torrentPath, contentPath, outPath, announce, listen, peer string, up float64) error {
+	if torrentPath == "" {
+		return fmt.Errorf("need -torrent")
+	}
+	raw, err := os.ReadFile(torrentPath)
+	if err != nil {
+		return err
+	}
+	m, err := metainfo.Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	opts := client.Options{Meta: m, UploadBps: up}
+	seeding := contentPath != ""
+	if seeding {
+		content, err := os.ReadFile(contentPath)
+		if err != nil {
+			return err
+		}
+		opts.Content = content
+	}
+	c, err := client.New(opts)
+	if err != nil {
+		return err
+	}
+	url := announce
+	if url == "" {
+		url = m.Announce
+	}
+	if err := c.Start(listen, url); err != nil {
+		return err
+	}
+	defer c.Stop()
+	if peer != "" {
+		c.AddPeer(peer)
+	}
+	fmt.Printf("listening on %s, infohash %s\n", c.Addr(), m.InfoHash())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\ninterrupted")
+			return nil
+		case <-tick.C:
+			done, total := c.Progress()
+			upB, downB := c.Stats()
+			fmt.Printf("pieces %d/%d  up %d B  down %d B\n", done, total, upB, downB)
+			if !seeding && c.Complete() {
+				if outPath != "" {
+					if err := os.WriteFile(outPath, c.Bytes(), 0o644); err != nil {
+						return err
+					}
+					fmt.Printf("download complete; wrote %s\n", outPath)
+				} else {
+					fmt.Println("download complete")
+				}
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Command bttracker runs the real BEP 3 HTTP tracker.
+//
+// Usage:
+//
+//	bttracker [-listen :6969] [-interval 1800]
+//
+// The announce endpoint is http://<listen>/announce; /stats shows swarm
+// counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"rarestfirst/internal/tracker"
+)
+
+func main() {
+	listen := flag.String("listen", ":6969", "listen address")
+	interval := flag.Int("interval", 1800, "re-announce interval in seconds")
+	flag.Parse()
+
+	srv := tracker.NewServer(*interval)
+	fmt.Printf("tracker listening on %s (announce at http://%s/announce)\n", *listen, *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

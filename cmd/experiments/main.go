@@ -1,0 +1,342 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Table I, Figs 1-11) plus the ablations A1-A5 from
+// DESIGN.md, writing one plain-text artifact per experiment.
+//
+// Usage:
+//
+//	experiments [-scale default|bench] [-torrents all|7,8,10] [-skip-ablations] [-out results]
+//
+// Every run is deterministic given the scale's seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rarestfirst"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "experiment scale: default or bench")
+	torrentList := flag.String("torrents", "all", "comma-separated Table I ids, or 'all'")
+	outDir := flag.String("out", "results", "output directory")
+	skipAblations := flag.Bool("skip-ablations", false, "skip the A1-A5 ablation runs")
+	flag.Parse()
+
+	var scale rarestfirst.Scale
+	switch *scaleName {
+	case "default":
+		scale = rarestfirst.DefaultScale()
+	case "bench":
+		scale = rarestfirst.BenchScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	ids, err := parseTorrents(*torrentList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if err := run(*outDir, scale, ids, !*skipAblations); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseTorrents(s string) ([]int, error) {
+	if s == "all" {
+		ids := make([]int, 26)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+		return ids, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 1 || id > 26 {
+			return nil, fmt.Errorf("bad torrent id %q (want 1..26)", part)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func run(outDir string, scale rarestfirst.Scale, ids []int, ablations bool) error {
+	// Table I: the catalog itself.
+	if err := withFile(outDir, "tableI.txt", writeTableI); err != nil {
+		return err
+	}
+
+	// One full instrumented run per requested torrent.
+	reports := map[int]*rarestfirst.Report{}
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "running torrent %d...\n", id)
+		rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: id, Scale: scale})
+		if err != nil {
+			return err
+		}
+		reports[id] = rep
+		name := fmt.Sprintf("torrent%02d.txt", id)
+		if err := withFile(outDir, name, func(w io.Writer) error {
+			rep.WriteText(w)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Fig 1: entropy summary across torrents.
+	if err := withFile(outDir, "fig1_entropy.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "# Fig 1: entropy characterization (percentiles of interest-time ratios)\n")
+		fmt.Fprintf(w, "# id  state      n   a/b p20  p50  p80 |  c/d p20  p50  p80\n")
+		for _, id := range ids {
+			r := reports[id]
+			fmt.Fprintf(w, "%4d  %-9s %4d  %7.3f %5.3f %5.3f | %8.3f %5.3f %5.3f\n",
+				id, r.State, r.Entropy.AOverB.N,
+				r.Entropy.AOverB.P20, r.Entropy.AOverB.P50, r.Entropy.AOverB.P80,
+				r.Entropy.COverD.P20, r.Entropy.COverD.P50, r.Entropy.COverD.P80)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Figs 2-3 (torrent 8, transient) and 4-6 (torrent 7, steady) series;
+	// Figs 7-8 (torrent 10) CDFs; 9-11 fairness/correlation per torrent.
+	series := func(id int, name, header string) error {
+		r := reports[id]
+		if r == nil {
+			return nil
+		}
+		return withFile(outDir, name, func(w io.Writer) error {
+			fmt.Fprintln(w, header)
+			fmt.Fprintf(w, "# t(s)  min  mean  max  rarest  peerset  globalrare\n")
+			for _, p := range r.Availability {
+				fmt.Fprintf(w, "%8.0f %4d %7.2f %4d %6d %6d %6d\n",
+					p.T, p.Min, p.Mean, p.Max, p.RarestSize, p.PeerSet, p.GlobalRare)
+			}
+			return nil
+		})
+	}
+	if err := series(8, "fig2_fig3_torrent8.txt",
+		"# Figs 2-3: piece replication + rarest-set size, torrent 8 (transient)"); err != nil {
+		return err
+	}
+	if err := series(7, "fig4_fig5_fig6_torrent7.txt",
+		"# Figs 4-6: piece replication, peer set size, rarest-set size, torrent 7 (steady)"); err != nil {
+		return err
+	}
+	if r := reports[10]; r != nil {
+		if err := withFile(outDir, "fig7_fig8_torrent10.txt", func(w io.Writer) error {
+			fmt.Fprintf(w, "# Figs 7-8: interarrival CDF summaries, torrent 10\n")
+			fmt.Fprintf(w, "pieces: n=%d p50(all/first/last)=%.2f/%.2f/%.2f p90=%.2f/%.2f/%.2f first-vs-all(p90)=%.2fx last-vs-all=%.2fx\n",
+				r.PieceCDF.N, r.PieceCDF.AllP50, r.PieceCDF.FirstP50, r.PieceCDF.LastP50,
+				r.PieceCDF.AllP90, r.PieceCDF.FirstP90, r.PieceCDF.LastP90,
+				r.PieceCDF.FirstOverAllP90, r.PieceCDF.LastOverAllP90)
+			fmt.Fprintf(w, "blocks: n=%d p50(all/first/last)=%.2f/%.2f/%.2f p90=%.2f/%.2f/%.2f first-vs-all(p90)=%.2fx last-vs-all=%.2fx\n",
+				r.BlockCDF.N, r.BlockCDF.AllP50, r.BlockCDF.FirstP50, r.BlockCDF.LastP50,
+				r.BlockCDF.AllP90, r.BlockCDF.FirstP90, r.BlockCDF.LastP90,
+				r.BlockCDF.FirstOverAllP90, r.BlockCDF.LastOverAllP90)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if err := withFile(outDir, "fig9_fig11_fairness.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "# Figs 9+11: upload contribution of 5-peer sets (ranked by received bytes)\n")
+		fmt.Fprintf(w, "# id  LS upload shares | LS download shares (same sets) | SS upload shares\n")
+		for _, id := range ids {
+			r := reports[id]
+			fmt.Fprintf(w, "%4d  %s | %s | %s\n", id,
+				sharesStr(r.FairnessUploadLS), sharesStr(r.FairnessRecipLS), sharesStr(r.FairnessUploadSS))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := withFile(outDir, "fig10_unchokes.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "# Fig 10: unchoke count vs interested time (Pearson r), per torrent\n")
+		fmt.Fprintf(w, "# id   LS: n      r   max | SS: n      r   max\n")
+		for _, id := range ids {
+			r := reports[id]
+			fmt.Fprintf(w, "%4d  %6d %6.3f %5d | %6d %6.3f %5d\n", id,
+				r.UnchokeLS.N, r.UnchokeLS.Pearson, r.UnchokeLS.MaxUnch,
+				r.UnchokeSS.N, r.UnchokeSS.Pearson, r.UnchokeSS.MaxUnch)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if !ablations {
+		return nil
+	}
+	return runAblations(outDir, scale)
+}
+
+func sharesStr(shares []float64) string {
+	if len(shares) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(shares))
+	for i, v := range shares {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func writeTableI(w io.Writer) error {
+	fmt.Fprintf(w, "# Table I: torrent characteristics (paper values)\n")
+	fmt.Fprintf(w, "# id  seeds  leechers    ratio  maxPS  sizeMB  state\n")
+	for _, t := range rarestfirst.TableI() {
+		fmt.Fprintf(w, "%4d %6d %9d %8.5f %6d %7d  %s\n",
+			t.ID, t.Seeds, t.Leechers, t.Ratio, t.MaxPS, t.SizeMB, t.State)
+	}
+	return nil
+}
+
+// runAblations executes A1-A5 on representative torrents.
+func runAblations(outDir string, scale rarestfirst.Scale) error {
+	return withFile(outDir, "ablations.txt", func(w io.Writer) error {
+		// A1: rarest first vs random vs sequential piece selection on the
+		// steady single-seed torrent 10.
+		fmt.Fprintf(w, "# A1: piece selection strategies, torrent 10\n")
+		fmt.Fprintf(w, "# picker         entropy-a/b-p50  entropy-c/d-p50  mean-download(s)  local(s)\n")
+		for _, picker := range []string{
+			rarestfirst.PickerRarestFirst, rarestfirst.PickerRandom,
+			rarestfirst.PickerSequential, rarestfirst.PickerGlobalRarest,
+		} {
+			fmt.Fprintf(os.Stderr, "A1: %s...\n", picker)
+			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 10, Scale: scale, Picker: picker})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-16s %15.3f %16.3f %17.0f %9.0f\n", picker,
+				rep.Entropy.AOverB.P50, rep.Entropy.COverD.P50,
+				rep.MeanDownloadContrib, rep.LocalDownloadSeconds)
+		}
+
+		// A1b: the same pickers on a torrent in STARTUP phase, where piece
+		// scarcity is the binding constraint (§IV-A.2.a: rarest first
+		// "minimizes the time spent in transient state").
+		fmt.Fprintf(w, "\n# A1b: piece selection during startup, torrent 8 (transient)\n")
+		fmt.Fprintf(w, "# picker         rare-drained  dup-serve-frac  mean-copies-end\n")
+		for _, picker := range []string{rarestfirst.PickerRarestFirst, rarestfirst.PickerRandom} {
+			fmt.Fprintf(os.Stderr, "A1b: %s...\n", picker)
+			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 8, Scale: scale, Picker: picker})
+			if err != nil {
+				return err
+			}
+			drained, meanEnd := 0, 0.0
+			if av := rep.Availability; len(av) > 1 {
+				drained = av[0].GlobalRare - av[len(av)-1].GlobalRare
+				meanEnd = av[len(av)-1].Mean
+			}
+			frac := 0.0
+			if rep.SeedServes > 0 {
+				frac = float64(rep.DupSeedServes) / float64(rep.SeedServes)
+			}
+			fmt.Fprintf(w, "%-16s %12d %15.2f %16.1f\n", picker, drained, frac, meanEnd)
+		}
+
+		// A2: new vs old seed-state choke algorithm under free riders.
+		fmt.Fprintf(w, "\n# A2: seed-state algorithm, torrent 14, 20%% free riders\n")
+		fmt.Fprintf(w, "# seed-choke  ss-top5-share  free-mean(s)  contrib-mean(s)\n")
+		for _, sk := range []string{rarestfirst.SeedChokeNew, rarestfirst.SeedChokeOld} {
+			fmt.Fprintf(os.Stderr, "A2: %s...\n", sk)
+			rep, err := rarestfirst.Run(rarestfirst.Scenario{
+				TorrentID: 14, Scale: scale, SeedChoke: sk, FreeRiderFraction: 0.2,
+			})
+			if err != nil {
+				return err
+			}
+			top5 := 0.0
+			if len(rep.FairnessUploadSS) > 0 {
+				top5 = rep.FairnessUploadSS[0]
+			}
+			fmt.Fprintf(w, "%-11s %14.2f %13.0f %16.0f\n", sk, top5,
+				rep.MeanDownloadFree, rep.MeanDownloadContrib)
+		}
+
+		// A3: standard choke vs bit-level tit-for-tat. The decisive column
+		// is local(s): the instrumented peer uploads at only 20 kB/s (an
+		// asymmetric-capacity home user), and under tit-for-tat it cannot
+		// use the swarm's excess capacity — the paper's §IV-B.1 argument.
+		fmt.Fprintf(w, "\n# A3: leecher-state algorithm, torrent 14 (local peer = slow 20 kB/s uploader)\n")
+		fmt.Fprintf(w, "# leecher-choke  mean-download(s)  finished  local(s)\n")
+		for _, lk := range []string{rarestfirst.LeecherChokeStandard, rarestfirst.LeecherChokeTitForTat} {
+			fmt.Fprintf(os.Stderr, "A3: %s...\n", lk)
+			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 14, Scale: scale, LeecherChoke: lk})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-15s %17.0f %9d %9.0f\n", lk,
+				rep.MeanDownloadContrib, rep.FinishedContrib, rep.LocalDownloadSeconds)
+		}
+
+		// A4: duplicate pieces served by the initial seed in transient
+		// state, with and without the idealized coding/super-seed policy.
+		fmt.Fprintf(w, "\n# A4: initial-seed duplicate service, torrent 8 (transient)\n")
+		fmt.Fprintf(w, "# policy       serves  duplicates  dup-frac\n")
+		for _, smart := range []bool{false, true} {
+			name := "client-pick"
+			if smart {
+				name = "smart-serve"
+			}
+			fmt.Fprintf(os.Stderr, "A4: %s...\n", name)
+			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 8, Scale: scale, SmartSeedServe: smart})
+			if err != nil {
+				return err
+			}
+			frac := 0.0
+			if rep.SeedServes > 0 {
+				frac = float64(rep.DupSeedServes) / float64(rep.SeedServes)
+			}
+			fmt.Fprintf(w, "%-12s %7d %11d %9.2f\n", name, rep.SeedServes, rep.DupSeedServes, frac)
+		}
+
+		// A5: free-rider penalty under the standard algorithms.
+		fmt.Fprintf(w, "\n# A5: free riders, torrent 14, varying fraction\n")
+		fmt.Fprintf(w, "# frac  contrib-mean(s)  free-mean(s)  penalty\n")
+		for _, frac := range []float64{0.1, 0.3, 0.5} {
+			fmt.Fprintf(os.Stderr, "A5: %.0f%%...\n", frac*100)
+			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 14, Scale: scale, FreeRiderFraction: frac})
+			if err != nil {
+				return err
+			}
+			penalty := 0.0
+			if rep.MeanDownloadContrib > 0 {
+				penalty = rep.MeanDownloadFree / rep.MeanDownloadContrib
+			}
+			fmt.Fprintf(w, "%5.2f %16.0f %13.0f %8.2fx\n", frac,
+				rep.MeanDownloadContrib, rep.MeanDownloadFree, penalty)
+		}
+		return nil
+	})
+}
+
+func withFile(dir, name string, fn func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, name))
+	return f.Close()
+}

@@ -1,0 +1,58 @@
+// Command swarmsim runs one instrumented swarm experiment and prints its
+// report — the interactive front door to the reproduction.
+//
+// Usage:
+//
+//	swarmsim -torrent 7 [-scale bench] [-picker random] [-seedchoke old]
+//	         [-leecherchoke tit-for-tat] [-freeriders 0.2] [-smartseed]
+//	         [-localfreerider] [-seed 1234]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rarestfirst"
+)
+
+func main() {
+	torrentID := flag.Int("torrent", 7, "Table I torrent id (1..26)")
+	scaleName := flag.String("scale", "default", "default or bench")
+	picker := flag.String("picker", "", "rarest-first | random | sequential | global-rarest")
+	seedChoke := flag.String("seedchoke", "", "new | old")
+	leecherChoke := flag.String("leecherchoke", "", "standard | tit-for-tat")
+	freeRiders := flag.Float64("freeriders", 0, "fraction of leechers that never upload")
+	smartSeed := flag.Bool("smartseed", false, "idealized coding/super-seed serve policy")
+	localFreeRider := flag.Bool("localfreerider", false, "instrumented peer never uploads")
+	seed := flag.Int64("seed", 0, "RNG seed override (0 = catalog default)")
+	flag.Parse()
+
+	var scale rarestfirst.Scale
+	switch *scaleName {
+	case "default":
+		scale = rarestfirst.DefaultScale()
+	case "bench":
+		scale = rarestfirst.BenchScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	rep, err := rarestfirst.Run(rarestfirst.Scenario{
+		TorrentID:         *torrentID,
+		Scale:             scale,
+		Picker:            *picker,
+		SeedChoke:         *seedChoke,
+		LeecherChoke:      *leecherChoke,
+		FreeRiderFraction: *freeRiders,
+		SmartSeedServe:    *smartSeed,
+		LocalFreeRider:    *localFreeRider,
+		SeedOverride:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.WriteText(os.Stdout)
+}

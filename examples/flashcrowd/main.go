@@ -1,0 +1,50 @@
+// Flashcrowd: reproduce the paper's transient-state case study (torrent 8:
+// one slow initial seed, a crowd of empty leechers) and watch rare pieces
+// drain at the seed's constant upload rate — Figs 2 and 3.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rarestfirst"
+)
+
+func main() {
+	rep, err := rarestfirst.Run(rarestfirst.Scenario{
+		TorrentID: 8, // 1 seed, 861 leechers, 3000 MB: transient for the whole run
+		Scale:     rarestfirst.BenchScale(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("torrent 8 (startup phase): rare pieces exist only on the initial seed.")
+	fmt.Println("The rarest-pieces count falls LINEARLY at the seed's constant rate,")
+	fmt.Println("while already-available pieces replicate with exponential capacity:")
+	fmt.Println()
+	fmt.Println("  t(s)   min-copies  mean   max   rare-pieces(global)")
+	for i, p := range rep.Availability {
+		if i%4 != 0 {
+			continue
+		}
+		bar := ""
+		for j := 0; j < p.GlobalRare/2; j++ {
+			bar += "#"
+		}
+		fmt.Printf("%6.0f %8d %8.1f %5d   %3d %s\n", p.T, p.Min, p.Mean, p.Max, p.GlobalRare, bar)
+	}
+
+	fmt.Println()
+	fmt.Printf("entropy during startup is LOW (a/b median %.3f, c/d median %.3f):\n",
+		rep.Entropy.AOverB.P50, rep.Entropy.COverD.P50)
+	fmt.Println("that is the seed's limited upload capacity, not a rarest-first deficiency —")
+	fmt.Println("the same observation the paper uses to defend the algorithm (section IV-A.2.a).")
+	if rep.LocalCompleted {
+		fmt.Printf("local peer completed in %.0f s\n", rep.LocalDownloadSeconds)
+	} else {
+		fmt.Println("local peer did NOT complete: rare pieces arrive only at the seed's rate.")
+	}
+}

@@ -1,0 +1,115 @@
+// Livetransfer: a complete BitTorrent session over real TCP sockets on
+// loopback — HTTP tracker, one seed, three leechers — using the very same
+// rarest-first and choke implementations the simulator evaluates. Every
+// piece is SHA-1 verified on arrival.
+//
+//	go run ./examples/livetransfer
+package main
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"rarestfirst/internal/client"
+	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/tracker"
+)
+
+func main() {
+	// 1. Content + .torrent metainfo.
+	content := make([]byte, 2<<20) // 2 MiB
+	rand.New(rand.NewSource(42)).Read(content)
+
+	// 2. Real HTTP tracker on loopback.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trk := tracker.NewServer(2) // fast re-announce so peers find each other quickly
+	go http.Serve(ln, trk.Handler())
+	announce := fmt.Sprintf("http://%s/announce", ln.Addr())
+	fmt.Printf("tracker: %s\n", announce)
+
+	meta, err := metainfo.Build("demo.bin", announce, content, 256<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("torrent: %d pieces x %d kB, infohash %s\n",
+		meta.NumPieces(), meta.Info.PieceLength>>10, meta.InfoHash())
+
+	// 3. Seed.
+	seed, err := client.New(client.Options{
+		Meta: meta, Content: content,
+		UploadBps:     2 << 20,
+		ChokeInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", announce); err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Stop()
+	fmt.Printf("seed:    %s\n", seed.Addr())
+
+	// 4. Three leechers.
+	var leechers []*client.Client
+	for i := 0; i < 3; i++ {
+		l, err := client.New(client.Options{
+			Meta:          meta,
+			UploadBps:     2 << 20,
+			ChokeInterval: 500 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := l.Start("127.0.0.1:0", announce); err != nil {
+			log.Fatal(err)
+		}
+		defer l.Stop()
+		leechers = append(leechers, l)
+		fmt.Printf("leecher %d: %s\n", i+1, l.Addr())
+	}
+
+	// 5. Watch until everyone completes.
+	start := time.Now()
+	for {
+		all := true
+		line := "progress:"
+		for i, l := range leechers {
+			done, total := l.Progress()
+			line += fmt.Sprintf("  L%d %d/%d", i+1, done, total)
+			if !l.Complete() {
+				all = false
+			}
+		}
+		fmt.Println(line)
+		if all {
+			break
+		}
+		if time.Since(start) > 2*time.Minute {
+			log.Fatal("transfer timed out")
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	// 6. Verify byte-for-byte.
+	want := sha1.Sum(content)
+	for i, l := range leechers {
+		got := sha1.Sum(l.Bytes())
+		if got != want || !bytes.Equal(l.Bytes(), content) {
+			log.Fatalf("leecher %d content mismatch", i+1)
+		}
+		up, down := l.Stats()
+		fmt.Printf("leecher %d: verified %x  (up %d kB, down %d kB)\n",
+			i+1, got[:6], up>>10, down>>10)
+	}
+	fmt.Printf("complete in %.1fs — leechers reciprocated among themselves while the seed rotated its unchokes\n",
+		time.Since(start).Seconds())
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one instrumented swarm experiment on a Table I torrent
+// and read off the paper's headline findings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rarestfirst"
+)
+
+func main() {
+	// Torrent 10 is the paper's interarrival case study: 1 seed, 1207
+	// leechers, 348 MB. BenchScale shrinks it so this runs in seconds.
+	rep, err := rarestfirst.Run(rarestfirst.Scenario{
+		TorrentID: 10,
+		Scale:     rarestfirst.BenchScale(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- full report ---")
+	rep.WriteText(os.Stdout)
+
+	fmt.Println("\n--- headline findings (paper section IV) ---")
+	fmt.Printf("close-to-ideal entropy: a/b median %.2f, c/d median %.2f (1.0 = ideal)\n",
+		rep.Entropy.AOverB.P50, rep.Entropy.COverD.P50)
+	fmt.Printf("first-pieces problem:   first/all interarrival p90 = %.2fx\n",
+		rep.PieceCDF.FirstOverAllP90)
+	fmt.Printf("no last-pieces problem: last/all interarrival p90  = %.2fx\n",
+		rep.PieceCDF.LastOverAllP90)
+	if len(rep.FairnessUploadSS) > 0 {
+		fmt.Printf("seed-state equal service: top set share %.2f of uploads (uniform would be %.2f)\n",
+			rep.FairnessUploadSS[0], 1.0/float64(len(rep.FairnessUploadSS)))
+	}
+}

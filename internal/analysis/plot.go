@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of a unicode sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line unicode bar chart of at most
+// width cells (values are bucketed by mean). It returns "" for no data.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	buckets := bucketMeans(values, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range buckets {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// bucketMeans down-samples values into exactly min(width, len) buckets.
+func bucketMeans(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// PlotSeries renders a labelled sparkline with min/max annotations, e.g.
+//
+//	rarest  ▇▆▅▄▃▂▁▁ [0 .. 64]
+func PlotSeries(label string, values []float64, width int) string {
+	if len(values) == 0 {
+		return fmt.Sprintf("%-8s (no data)", label)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return fmt.Sprintf("%-8s %s [%.3g .. %.3g]", label, Sparkline(values, width), lo, hi)
+}

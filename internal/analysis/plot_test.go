@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("zero width should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(s))
+	}
+	// Monotone input renders the lowest rune first and the highest last.
+	first, _ := utf8.DecodeRuneInString(s)
+	last, _ := utf8.DecodeLastRuneInString(s)
+	if first != '▁' || last != '█' {
+		t.Fatalf("ramp = %q", s)
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5, 5}, 4)
+	for _, r := range s {
+		if r != '▁' {
+			t.Fatalf("constant series rendered %q", s)
+		}
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s := Sparkline(values, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("downsampled width = %d", utf8.RuneCountInString(s))
+	}
+}
+
+func TestPlotSeries(t *testing.T) {
+	out := PlotSeries("rarest", []float64{64, 32, 0}, 10)
+	if !strings.HasPrefix(out, "rarest") || !strings.Contains(out, "[0 .. 64]") {
+		t.Fatalf("plot = %q", out)
+	}
+	if !strings.Contains(PlotSeries("x", nil, 10), "no data") {
+		t.Fatal("missing no-data marker")
+	}
+}

@@ -1,0 +1,282 @@
+// Package bencode implements the bencoding serialization format used by
+// BitTorrent for .torrent metainfo files and tracker responses (BEP 3).
+//
+// The four bencode types map to Go as:
+//
+//	integer    -> int64
+//	byte string -> string
+//	list       -> []any
+//	dictionary -> map[string]any (keys emitted in sorted order, as required)
+//
+// Decode produces exactly those dynamic types; Encode additionally accepts
+// int, []byte, and []string for convenience. Dictionaries decode strictly:
+// keys must be sorted and unique, mirroring the reference implementation.
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Maximum nesting depth accepted by the decoder; guards against stack
+// exhaustion from hostile input.
+const maxDepth = 64
+
+var (
+	// ErrSyntax indicates malformed bencode input.
+	ErrSyntax = errors.New("bencode: syntax error")
+	// ErrTrailing indicates valid bencode followed by extra bytes.
+	ErrTrailing = errors.New("bencode: trailing data")
+	// ErrDepth indicates nesting beyond maxDepth.
+	ErrDepth = errors.New("bencode: nesting too deep")
+)
+
+// Encode serializes v to bencode. Supported types: int, int64, string,
+// []byte, []any, []string, and map[string]any (recursively).
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeTo(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MustEncode is Encode for values known to be encodable; it panics on error.
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func encodeTo(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case int:
+		fmt.Fprintf(buf, "i%de", x)
+	case int64:
+		fmt.Fprintf(buf, "i%de", x)
+	case uint32:
+		fmt.Fprintf(buf, "i%de", x)
+	case string:
+		buf.WriteString(strconv.Itoa(len(x)))
+		buf.WriteByte(':')
+		buf.WriteString(x)
+	case []byte:
+		buf.WriteString(strconv.Itoa(len(x)))
+		buf.WriteByte(':')
+		buf.Write(x)
+	case []string:
+		buf.WriteByte('l')
+		for _, e := range x {
+			if err := encodeTo(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	case []any:
+		buf.WriteByte('l')
+		for _, e := range x {
+			if err := encodeTo(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	case map[string]any:
+		buf.WriteByte('d')
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := encodeTo(buf, k); err != nil {
+				return err
+			}
+			if err := encodeTo(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	default:
+		return fmt.Errorf("bencode: cannot encode %T", v)
+	}
+	return nil
+}
+
+// Decode parses a single bencode value from data, requiring that the value
+// spans the whole input.
+func Decode(data []byte) (any, error) {
+	d := decoder{data: data}
+	v, err := d.value(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d bytes left", ErrTrailing, len(data)-d.pos)
+	}
+	return v, nil
+}
+
+// DecodePrefix parses one bencode value from the front of data and returns
+// it with the number of bytes consumed.
+func DecodePrefix(data []byte) (v any, n int, err error) {
+	d := decoder{data: data}
+	v, err = d.value(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, d.pos, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) value(depth int) (any, error) {
+	if depth > maxDepth {
+		return nil, ErrDepth
+	}
+	if d.pos >= len(d.data) {
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrSyntax)
+	}
+	switch c := d.data[d.pos]; {
+	case c == 'i':
+		return d.integer()
+	case c >= '0' && c <= '9':
+		return d.str()
+	case c == 'l':
+		d.pos++
+		var list []any
+		for {
+			if d.pos >= len(d.data) {
+				return nil, fmt.Errorf("%w: unterminated list", ErrSyntax)
+			}
+			if d.data[d.pos] == 'e' {
+				d.pos++
+				if list == nil {
+					list = []any{}
+				}
+				return list, nil
+			}
+			e, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+		}
+	case c == 'd':
+		d.pos++
+		dict := map[string]any{}
+		prev := ""
+		first := true
+		for {
+			if d.pos >= len(d.data) {
+				return nil, fmt.Errorf("%w: unterminated dict", ErrSyntax)
+			}
+			if d.data[d.pos] == 'e' {
+				d.pos++
+				return dict, nil
+			}
+			kRaw, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("%w: dict key must be a string", ErrSyntax)
+			}
+			k := kRaw.(string)
+			if !first && k <= prev {
+				return nil, fmt.Errorf("%w: dict keys not strictly sorted (%q after %q)", ErrSyntax, k, prev)
+			}
+			first, prev = false, k
+			v, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			dict[k] = v
+		}
+	default:
+		return nil, fmt.Errorf("%w: unexpected byte %q at offset %d", ErrSyntax, c, d.pos)
+	}
+}
+
+func (d *decoder) integer() (any, error) {
+	start := d.pos // at 'i'
+	d.pos++
+	end := bytes.IndexByte(d.data[d.pos:], 'e')
+	if end < 0 {
+		return nil, fmt.Errorf("%w: unterminated integer", ErrSyntax)
+	}
+	s := string(d.data[d.pos : d.pos+end])
+	if len(s) == 0 {
+		return nil, fmt.Errorf("%w: empty integer", ErrSyntax)
+	}
+	// Reject leading zeros ("i03e") and negative zero ("i-0e") per spec.
+	if s != "0" && (s[0] == '0' || (len(s) > 1 && s[0] == '-' && s[1] == '0')) {
+		return nil, fmt.Errorf("%w: invalid integer %q at offset %d", ErrSyntax, s, start)
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad integer %q", ErrSyntax, s)
+	}
+	d.pos += end + 1
+	return n, nil
+}
+
+func (d *decoder) str() (any, error) {
+	colon := bytes.IndexByte(d.data[d.pos:], ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("%w: missing ':' in string length", ErrSyntax)
+	}
+	ls := string(d.data[d.pos : d.pos+colon])
+	if ls == "" || (ls != "0" && ls[0] == '0') {
+		return nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, ls)
+	}
+	n, err := strconv.Atoi(ls)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, ls)
+	}
+	d.pos += colon + 1
+	if d.pos+n > len(d.data) {
+		return nil, fmt.Errorf("%w: string of length %d exceeds input", ErrSyntax, n)
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+// Dict is a convenience accessor for decoded dictionaries.
+type Dict map[string]any
+
+// AsDict converts a decoded value to a Dict, reporting whether it was a
+// dictionary.
+func AsDict(v any) (Dict, bool) {
+	m, ok := v.(map[string]any)
+	return Dict(m), ok
+}
+
+// Str returns the string at key, or "" if absent or not a string.
+func (d Dict) Str(key string) string {
+	s, _ := d[key].(string)
+	return s
+}
+
+// Int returns the integer at key, or 0 if absent or not an integer.
+func (d Dict) Int(key string) int64 {
+	n, _ := d[key].(int64)
+	return n
+}
+
+// List returns the list at key, or nil.
+func (d Dict) List(key string) []any {
+	l, _ := d[key].([]any)
+	return l
+}
+
+// Sub returns the sub-dictionary at key, or nil.
+func (d Dict) Sub(key string) Dict {
+	m, _ := d[key].(map[string]any)
+	return Dict(m)
+}

@@ -1,0 +1,290 @@
+package bencode
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{0, "i0e"},
+		{-42, "i-42e"},
+		{int64(1 << 40), "i1099511627776e"},
+		{"spam", "4:spam"},
+		{"", "0:"},
+		{[]byte{0x00, 0xff}, "2:\x00\xff"},
+		{[]any{}, "le"},
+		{[]any{int64(1), "a"}, "li1e1:ae"},
+		{[]string{"a", "bb"}, "l1:a2:bbe"},
+		{map[string]any{}, "de"},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Encode(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDictSortsKeys(t *testing.T) {
+	got := MustEncode(map[string]any{"zebra": 1, "apple": 2, "mango": 3})
+	want := "d5:applei2e5:mangoi3e5:zebrai1ee"
+	if string(got) != want {
+		t.Fatalf("Encode = %q, want %q", got, want)
+	}
+}
+
+func TestEncodeUnsupported(t *testing.T) {
+	if _, err := Encode(3.14); err == nil {
+		t.Fatal("float accepted")
+	}
+	if _, err := Encode(map[string]any{"x": struct{}{}}); err == nil {
+		t.Fatal("nested struct accepted")
+	}
+}
+
+func TestDecodeScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"i0e", int64(0)},
+		{"i-1e", int64(-1)},
+		{"i123456789e", int64(123456789)},
+		{"4:spam", "spam"},
+		{"0:", ""},
+		{"le", []any{}},
+		{"li1ei2ee", []any{int64(1), int64(2)}},
+		{"de", map[string]any{}},
+		{"d3:cow3:moo4:spam4:eggse", map[string]any{"cow": "moo", "spam": "eggs"}},
+		{"d4:listli1eee", map[string]any{"list": []any{int64(1)}}},
+	}
+	for _, c := range cases {
+		got, err := Decode([]byte(c.in))
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",                         // empty
+		"i12",                      // unterminated int
+		"ie",                       // empty int
+		"i03e",                     // leading zero
+		"i-0e",                     // negative zero
+		"i--1e",                    // double sign
+		"iabce",                    // not a number
+		"5:spam",                   // short string
+		"-1:x",                     // negative length
+		"01:x",                     // leading-zero length
+		"9999999999999999999999:x", // overflow length
+		"l",                        // unterminated list
+		"li1e",                     // unterminated list
+		"d",                        // unterminated dict
+		"d3:cow",                   // key without value
+		"di1e3:mooe",               // non-string key
+		"d1:b1:x1:a1:ye",           // unsorted keys
+		"d1:a1:x1:a1:ye",           // duplicate keys
+		"x",                        // junk
+		"i1ei2e",                   // trailing data
+		"4:spamX",                  // trailing data
+	}
+	for _, in := range bad {
+		if v, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) accepted, got %#v", in, v)
+		}
+	}
+}
+
+func TestDecodeDepthLimit(t *testing.T) {
+	in := strings.Repeat("l", maxDepth+2) + strings.Repeat("e", maxDepth+2)
+	if _, err := Decode([]byte(in)); err == nil {
+		t.Fatal("deeply nested input accepted")
+	}
+	ok := strings.Repeat("l", 10) + strings.Repeat("e", 10)
+	if _, err := Decode([]byte(ok)); err != nil {
+		t.Fatalf("10-deep input rejected: %v", err)
+	}
+}
+
+func TestDecodePrefix(t *testing.T) {
+	v, n, err := DecodePrefix([]byte("i7e4:rest"))
+	if err != nil || v != int64(7) || n != 3 {
+		t.Fatalf("DecodePrefix = (%v,%d,%v)", v, n, err)
+	}
+}
+
+func TestDictAccessors(t *testing.T) {
+	v, err := Decode([]byte("d4:infod6:lengthi42e4:name3:abce8:intervali1800e5:peersle5:track4:httpe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := AsDict(v)
+	if !ok {
+		t.Fatal("AsDict failed")
+	}
+	if d.Int("interval") != 1800 {
+		t.Errorf("Int = %d", d.Int("interval"))
+	}
+	if d.Str("track") != "http" {
+		t.Errorf("Str = %q", d.Str("track"))
+	}
+	if d.List("peers") == nil {
+		t.Error("List nil")
+	}
+	info := d.Sub("info")
+	if info == nil || info.Int("length") != 42 || info.Str("name") != "abc" {
+		t.Errorf("Sub = %#v", info)
+	}
+	// Missing / wrong-typed keys degrade to zero values.
+	if d.Str("interval") != "" || d.Int("track") != 0 || d.Sub("peers") != nil || d.List("nope") != nil {
+		t.Error("accessor zero-value behaviour broken")
+	}
+}
+
+// randomValue builds a random encodable value for round-trip testing.
+func randomValue(rng *rand.Rand, depth int) any {
+	kind := rng.Intn(4)
+	if depth > 3 {
+		kind = rng.Intn(2)
+	}
+	switch kind {
+	case 0:
+		return rng.Int63() - rng.Int63()
+	case 1:
+		n := rng.Intn(20)
+		b := make([]byte, n)
+		rng.Read(b)
+		return string(b)
+	case 2:
+		n := rng.Intn(4)
+		l := make([]any, n)
+		for i := range l {
+			l[i] = randomValue(rng, depth+1)
+		}
+		return l
+	default:
+		n := rng.Intn(4)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			m[string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26)))] = randomValue(rng, depth+1)
+		}
+		return m
+	}
+}
+
+// Property: Decode(Encode(v)) == v for arbitrary well-typed values.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		v := randomValue(rng, 0)
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if !reflect.DeepEqual(normalize(v), dec) {
+			t.Fatalf("round trip: %#v -> %#v", v, dec)
+		}
+	}
+}
+
+// normalize maps encoder-convenience types onto decoder output types.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case []byte:
+		return string(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalize(e)
+		}
+		return out
+	case map[string]any:
+		out := map[string]any{}
+		for k, e := range x {
+			out[k] = normalize(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// Property: encoding is canonical — two structurally equal dicts encode to
+// identical bytes regardless of insertion order.
+func TestQuickCanonicalEncoding(t *testing.T) {
+	f := func(keys []string) bool {
+		m1 := map[string]any{}
+		m2 := map[string]any{}
+		for _, k := range keys {
+			m1[k] = int64(len(k)) // value derived from key: insertion-order independent
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			m2[keys[i]] = int64(len(keys[i]))
+		}
+		return bytes.Equal(MustEncode(m1), MustEncode(m2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary input.
+func TestQuickDecodeNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", data, r)
+			}
+		}()
+		Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodeTrackerResponse(b *testing.B) {
+	resp := MustEncode(map[string]any{
+		"interval": 1800,
+		"peers": func() []any {
+			var l []any
+			for i := 0; i < 50; i++ {
+				l = append(l, map[string]any{
+					"peer id": strings.Repeat("x", 20),
+					"ip":      "10.0.0.1",
+					"port":    6881,
+				})
+			}
+			return l
+		}(),
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

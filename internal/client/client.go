@@ -1,0 +1,425 @@
+// Package client is a working BitTorrent client over real TCP sockets. It
+// reuses the exact algorithm implementations the simulator evaluates —
+// core.Requester (rarest first, strict priority, end game) for piece
+// selection and core.LeecherChoker / core.SeedChoker for peer selection —
+// so the loopback integration tests exercise the same code path as the
+// paper's experiments.
+//
+// Scope: single torrent per client, in-memory storage, BEP 3 protocol only
+// (no DHT/PEX/encryption), which matches the mainline 4.0.2 feature set
+// the paper pins down.
+package client
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/core"
+	"rarestfirst/internal/metainfo"
+	mrate "rarestfirst/internal/rate"
+	"rarestfirst/internal/tracker"
+	"rarestfirst/internal/wire"
+)
+
+// PipelineDepth is the number of outstanding block requests kept per peer.
+const PipelineDepth = 8
+
+// Options configures a Client.
+type Options struct {
+	// Meta describes the torrent. Required.
+	Meta *metainfo.MetaInfo
+	// Content, when non-nil, makes the client a seed with this data. Its
+	// length must match the metainfo.
+	Content []byte
+	// ListenAddr is the TCP listen address ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// UploadBps caps the upload rate in bytes/second (0 = the paper's
+	// 20 kB/s mainline default).
+	UploadBps float64
+	// UploadSlots is the choker slot count (0 = 4).
+	UploadSlots int
+	// AnnounceInterval overrides the tracker's interval (seconds) when
+	// positive; useful in tests.
+	AnnounceInterval int
+	// ChokeInterval overrides the 10-second choke round cadence; tests use
+	// short intervals so reciprocation dynamics fit in seconds.
+	ChokeInterval time.Duration
+}
+
+// Client is a single-torrent BitTorrent peer.
+type Client struct {
+	meta   *metainfo.MetaInfo
+	geo    metainfo.Geometry
+	peerID [20]byte
+
+	mu         sync.Mutex
+	content    []byte
+	req        *core.Requester
+	avail      *core.Availability
+	conns      map[core.PeerID]*peerConn
+	connOrder  []*peerConn
+	nextConn   core.PeerID
+	chokerL    core.Choker
+	chokerS    core.Choker
+	seeding    bool
+	closed     bool
+	uploaded   int64
+	downloaded int64
+	rng        *lockedRand
+
+	bucket   *mrate.Bucket
+	bucketMu sync.Mutex
+
+	ln         net.Listener
+	wg         sync.WaitGroup
+	stopCh     chan struct{}
+	start      time.Time
+	chokeEvery time.Duration
+
+	// onComplete, if set, is invoked once when the download finishes.
+	onComplete func()
+}
+
+// New builds a client; call Start to begin listening and announcing.
+func New(opts Options) (*Client, error) {
+	if opts.Meta == nil {
+		return nil, errors.New("client: missing metainfo")
+	}
+	geo := opts.Meta.Geometry()
+	if opts.Content != nil && int64(len(opts.Content)) != geo.TotalLength {
+		return nil, fmt.Errorf("client: content length %d != torrent length %d", len(opts.Content), geo.TotalLength)
+	}
+	up := opts.UploadBps
+	if up <= 0 {
+		up = 20 << 10
+	}
+	slots := opts.UploadSlots
+	chokeEvery := opts.ChokeInterval
+	if chokeEvery <= 0 {
+		chokeEvery = time.Duration(core.ChokeInterval * float64(time.Second))
+	}
+	c := &Client{
+		meta:       opts.Meta,
+		geo:        geo,
+		conns:      map[core.PeerID]*peerConn{},
+		bucket:     mrate.NewBucket(up, up),
+		stopCh:     make(chan struct{}),
+		start:      time.Now(),
+		rng:        newLockedRand(),
+		chokerL:    &core.LeecherChoker{Slots: slots},
+		chokerS:    &core.SeedChoker{Slots: slots},
+		chokeEvery: chokeEvery,
+	}
+	copy(c.peerID[:8], "-RF0100-")
+	if _, err := rand.Read(c.peerID[8:]); err != nil {
+		return nil, fmt.Errorf("client: peer id: %w", err)
+	}
+	c.avail = core.NewAvailability(geo.NumPieces)
+	c.req = core.NewRequester(geo, &core.RarestFirst{Avail: c.avail})
+	if opts.Content != nil {
+		c.content = append([]byte(nil), opts.Content...)
+		for i := 0; i < geo.NumPieces; i++ {
+			if !opts.Meta.VerifyPiece(i, c.pieceData(i)) {
+				return nil, fmt.Errorf("client: seed content fails hash of piece %d", i)
+			}
+			c.req.AddHave(i)
+		}
+		c.seeding = true
+	} else {
+		c.content = make([]byte, geo.TotalLength)
+	}
+	return c, nil
+}
+
+// now returns seconds since client start (estimator clock).
+func (c *Client) now() float64 { return time.Since(c.start).Seconds() }
+
+func (c *Client) pieceData(i int) []byte {
+	start := int64(i) * int64(c.geo.PieceLength)
+	return c.content[start : start+int64(c.geo.PieceSize(i))]
+}
+
+// PeerID returns this client's wire peer ID.
+func (c *Client) PeerID() [20]byte { return c.peerID }
+
+// Port returns the bound listen port (valid after Start).
+func (c *Client) Port() int {
+	if c.ln == nil {
+		return 0
+	}
+	return c.ln.Addr().(*net.TCPAddr).Port
+}
+
+// Complete reports whether every piece has been downloaded and verified.
+func (c *Client) Complete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.req.Complete()
+}
+
+// Progress returns (done pieces, total pieces).
+func (c *Client) Progress() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.req.Downloaded(), c.geo.NumPieces
+}
+
+// Stats returns lifetime uploaded/downloaded byte counters.
+func (c *Client) Stats() (uploaded, downloaded int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.uploaded, c.downloaded
+}
+
+// Bytes returns a copy of the downloaded content; valid once Complete.
+func (c *Client) Bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.content...)
+}
+
+// OnComplete registers fn to run (once, on the handler goroutine) when the
+// download completes. Must be called before Start.
+func (c *Client) OnComplete(fn func()) { c.onComplete = fn }
+
+// Start begins listening, announcing and the choke rotation. announceURL
+// may be empty to run tracker-less (peers added via AddPeer).
+func (c *Client) Start(listenAddr, announceURL string) error {
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("client: listen: %w", err)
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop()
+	c.wg.Add(1)
+	go c.chokeLoop()
+	if announceURL != "" {
+		c.wg.Add(1)
+		go c.announceLoop(announceURL)
+	}
+	return nil
+}
+
+// Stop closes the listener and every connection and waits for goroutines.
+func (c *Client) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := append([]*peerConn(nil), c.connOrder...)
+	c.mu.Unlock()
+	close(c.stopCh)
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	c.wg.Wait()
+}
+
+func (c *Client) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleConn(conn, false)
+		}()
+	}
+}
+
+// AddPeer dials addr and joins the swarm through it.
+func (c *Client) AddPeer(addr string) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return
+		}
+		c.handleConn(conn, true)
+	}()
+}
+
+func (c *Client) announceLoop(announceURL string) {
+	defer c.wg.Done()
+	interval := 30 * time.Second
+	event := "started"
+	for {
+		c.mu.Lock()
+		left := int64(c.geo.NumPieces-c.req.Downloaded()) * int64(c.geo.PieceLength)
+		if left < 0 {
+			left = 0
+		}
+		up, down := c.uploaded, c.downloaded
+		c.mu.Unlock()
+		resp, err := tracker.Announce(tracker.AnnounceRequest{
+			URL:        announceURL,
+			InfoHash:   c.meta.InfoHash(),
+			PeerID:     c.peerID,
+			Port:       c.Port(),
+			Uploaded:   up,
+			Downloaded: down,
+			Left:       left,
+			Event:      event,
+			Compact:    true,
+		})
+		event = ""
+		if err == nil {
+			if resp.Interval > 0 {
+				interval = time.Duration(resp.Interval) * time.Second
+			}
+			for _, p := range resp.Peers {
+				if p.Port == c.Port() && p.IP.IsLoopback() {
+					continue // ourselves
+				}
+				addr := p.Addr()
+				c.mu.Lock()
+				dup := c.hasConnTo(addr)
+				n := len(c.connOrder)
+				c.mu.Unlock()
+				if !dup && n < 80 {
+					c.AddPeer(addr)
+				}
+			}
+		}
+		select {
+		case <-c.stopCh:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+func (c *Client) hasConnTo(addr string) bool {
+	for _, pc := range c.connOrder {
+		if pc.remoteAddr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// chokeLoop runs the 10-second choke rounds.
+func (c *Client) chokeLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.chokeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			c.runChokeRound()
+		}
+	}
+}
+
+func (c *Client) runChokeRound() {
+	now := c.now()
+	c.mu.Lock()
+	peers := make([]core.ChokePeer, 0, len(c.connOrder))
+	for _, pc := range c.connOrder {
+		peers = append(peers, core.ChokePeer{
+			ID:             pc.id,
+			Interested:     pc.peerInterested,
+			Unchoked:       pc.amUnchoking,
+			DownloadRate:   pc.inEst.Rate(now),
+			UploadRate:     pc.outEst.Rate(now),
+			LastUnchoked:   pc.lastUnchokedAt,
+			UploadedTo:     pc.bytesOut,
+			DownloadedFrom: pc.bytesIn,
+		})
+	}
+	choker := c.chokerL
+	if c.seeding {
+		choker = c.chokerS
+	}
+	unchoke := choker.Round(now, peers, c.rng.Rand())
+	want := map[core.PeerID]bool{}
+	for _, id := range unchoke {
+		want[id] = true
+	}
+	type change struct {
+		pc *peerConn
+		un bool
+	}
+	var changes []change
+	for _, pc := range c.connOrder {
+		v := want[pc.id]
+		if pc.amUnchoking != v {
+			pc.amUnchoking = v
+			if v {
+				pc.lastUnchokedAt = now
+			}
+			changes = append(changes, change{pc, v})
+		}
+	}
+	c.mu.Unlock()
+	// Send outside the state lock.
+	for _, ch := range changes {
+		if ch.un {
+			ch.pc.send(func(e *wire.Encoder) error { return e.Simple(wire.MsgUnchoke) })
+		} else {
+			ch.pc.send(func(e *wire.Encoder) error { return e.Simple(wire.MsgChoke) })
+		}
+	}
+}
+
+// dropConn removes a closed connection from client state.
+func (c *Client) dropConn(pc *peerConn) {
+	c.mu.Lock()
+	if _, ok := c.conns[pc.id]; ok {
+		delete(c.conns, pc.id)
+		for i, x := range c.connOrder {
+			if x == pc {
+				c.connOrder = append(c.connOrder[:i], c.connOrder[i+1:]...)
+				break
+			}
+		}
+		if pc.haveBits != nil {
+			c.avail.RemovePeer(pc.haveBits)
+		}
+		c.req.OnPeerGone(pc.id)
+	}
+	c.mu.Unlock()
+}
+
+// broadcastHave announces a completed piece to every peer.
+func (c *Client) broadcastHave(piece int) {
+	c.mu.Lock()
+	conns := append([]*peerConn(nil), c.connOrder...)
+	c.mu.Unlock()
+	for _, pc := range conns {
+		pc.send(func(e *wire.Encoder) error { return e.Have(uint32(piece)) })
+	}
+}
+
+// Addr returns the listen address as host:port.
+func (c *Client) Addr() string {
+	return net.JoinHostPort("127.0.0.1", strconv.Itoa(c.Port()))
+}
+
+// Bitfield returns a copy of the verified-piece bitfield.
+func (c *Client) Bitfield() *bitfield.Bitfield {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.req.Have().Copy()
+}

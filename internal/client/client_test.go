@@ -1,0 +1,242 @@
+package client
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/tracker"
+)
+
+// makeTorrent builds content and its metainfo for loopback tests.
+func makeTorrent(t *testing.T, size int, announce string) (*metainfo.MetaInfo, []byte) {
+	t.Helper()
+	content := make([]byte, size)
+	rand.New(rand.NewSource(7)).Read(content)
+	m, err := metainfo.Build("test.bin", announce, content, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, content
+}
+
+// waitComplete polls until every client is complete or the deadline hits.
+func waitComplete(t *testing.T, deadline time.Duration, clients ...*Client) {
+	t.Helper()
+	timeout := time.After(deadline)
+	for {
+		all := true
+		for _, c := range clients {
+			if !c.Complete() {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		select {
+		case <-timeout:
+			for i, c := range clients {
+				done, total := c.Progress()
+				t.Logf("client %d: %d/%d pieces", i, done, total)
+			}
+			t.Fatal("transfer did not complete in time")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestSeedToSingleLeecher(t *testing.T) {
+	m, content := makeTorrent(t, 512<<10, "")
+	seed, err := New(Options{Meta: m, Content: content, UploadBps: 8 << 20, ChokeInterval: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	leech, err := New(Options{Meta: m, UploadBps: 8 << 20, ChokeInterval: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leech.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer leech.Stop()
+
+	leech.AddPeer(seed.Addr())
+	waitComplete(t, 30*time.Second, leech)
+
+	got := leech.Bytes()
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: sha got %x want %x", sha1.Sum(got), sha1.Sum(content))
+	}
+	up, down := leech.Stats()
+	if down != int64(len(content)) {
+		t.Fatalf("leecher downloaded %d bytes, want %d", down, len(content))
+	}
+	if up != 0 {
+		t.Fatalf("leecher uploaded %d bytes with nobody to serve", up)
+	}
+}
+
+func TestSwarmViaTracker(t *testing.T) {
+	srv := tracker.NewServer(1) // 1-second announce interval for fast joins
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	announce := ts.URL + "/announce"
+
+	m, content := makeTorrent(t, 768<<10, announce)
+
+	seed, err := New(Options{Meta: m, Content: content, UploadBps: 4 << 20, ChokeInterval: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", announce); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	var leeches []*Client
+	for i := 0; i < 3; i++ {
+		l, err := New(Options{Meta: m, UploadBps: 4 << 20, ChokeInterval: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Start("127.0.0.1:0", announce); err != nil {
+			t.Fatal(err)
+		}
+		defer l.Stop()
+		leeches = append(leeches, l)
+	}
+	waitComplete(t, 60*time.Second, leeches...)
+	for i, l := range leeches {
+		if !bytes.Equal(l.Bytes(), content) {
+			t.Fatalf("leecher %d content mismatch", i)
+		}
+	}
+	// The tracker saw everyone finish.
+	deadline := time.After(5 * time.Second)
+	for {
+		c, _ := srv.Count(m.InfoHash())
+		if c >= 4 {
+			break
+		}
+		select {
+		case <-deadline:
+			c, i := srv.Count(m.InfoHash())
+			t.Fatalf("tracker sees %d seeds %d leechers, want 4 seeds", c, i)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func TestLeecherReciprocation(t *testing.T) {
+	// Seed with a tight upload cap + two leechers with generous caps: the
+	// leechers must exchange pieces with each other (reciprocation), so
+	// both finish far faster than the seed alone could serve them, and
+	// both show nonzero upload counters.
+	srv := tracker.NewServer(1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	announce := ts.URL + "/announce"
+
+	m, content := makeTorrent(t, 1<<20, announce)
+	seed, err := New(Options{Meta: m, Content: content, UploadBps: 1 << 20, ChokeInterval: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", announce); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	a, _ := New(Options{Meta: m, UploadBps: 8 << 20, ChokeInterval: 500 * time.Millisecond})
+	b, _ := New(Options{Meta: m, UploadBps: 8 << 20, ChokeInterval: 500 * time.Millisecond})
+	for _, c := range []*Client{a, b} {
+		if err := c.Start("127.0.0.1:0", announce); err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+	}
+	waitComplete(t, 60*time.Second, a, b)
+	upA, _ := a.Stats()
+	upB, _ := b.Stats()
+	if upA+upB == 0 {
+		t.Fatal("leechers never exchanged data with each other")
+	}
+	if !bytes.Equal(a.Bytes(), content) || !bytes.Equal(b.Bytes(), content) {
+		t.Fatal("content mismatch after reciprocal download")
+	}
+}
+
+func TestSeedContentValidation(t *testing.T) {
+	m, content := makeTorrent(t, 128<<10, "")
+	// Corrupt the seed content: New must refuse it.
+	bad := append([]byte(nil), content...)
+	bad[0] ^= 0xff
+	if _, err := New(Options{Meta: m, Content: bad}); err == nil {
+		t.Fatal("corrupted seed content accepted")
+	}
+	// Wrong length refused too.
+	if _, err := New(Options{Meta: m, Content: content[:100]}); err == nil {
+		t.Fatal("truncated seed content accepted")
+	}
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing metainfo accepted")
+	}
+}
+
+func TestForeignInfoHashRejected(t *testing.T) {
+	m1, content := makeTorrent(t, 128<<10, "")
+	m2, _ := metainfo.Build("other.bin", "", append([]byte(nil), append(content, 1)...), 64<<10)
+
+	seed, _ := New(Options{Meta: m1, Content: content})
+	if err := seed.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	stranger, _ := New(Options{Meta: m2})
+	if err := stranger.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Stop()
+	stranger.AddPeer(seed.Addr())
+
+	time.Sleep(300 * time.Millisecond)
+	if done, _ := stranger.Progress(); done != 0 {
+		t.Fatal("cross-torrent transfer happened")
+	}
+}
+
+func TestBitfieldAccessor(t *testing.T) {
+	m, content := makeTorrent(t, 128<<10, "")
+	seed, _ := New(Options{Meta: m, Content: content})
+	bf := seed.Bitfield()
+	if !bf.Complete() {
+		t.Fatalf("seed bitfield %v not complete", bf)
+	}
+	// Accessor returns a copy.
+	bf.Clear(0)
+	if !seed.Bitfield().Complete() {
+		t.Fatal("Bitfield() exposed internal state")
+	}
+}
+
+func TestStopIsIdempotentAndClean(t *testing.T) {
+	m, content := makeTorrent(t, 128<<10, "")
+	c, _ := New(Options{Meta: m, Content: content})
+	if err := c.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // second stop is a no-op
+}

@@ -1,0 +1,381 @@
+package client
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/core"
+	mrate "rarestfirst/internal/rate"
+	"rarestfirst/internal/wire"
+)
+
+// lockedRand is a mutex-guarded rand.Rand: reader goroutines and the choke
+// loop both draw from it.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand() *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+// Rand returns a rand.Rand safe to use while holding the client lock only.
+// Internally each call path uses it under c.mu, so a plain guard suffices.
+func (l *lockedRand) Rand() *rand.Rand { return l.rng }
+
+// peerConn is one live wire connection.
+type peerConn struct {
+	c          *Client
+	id         core.PeerID
+	conn       net.Conn
+	remoteAddr string
+	peerID     [20]byte
+
+	wmu sync.Mutex
+	enc *wire.Encoder
+
+	// Guarded by c.mu.
+	haveBits       *bitfield.Bitfield
+	amInterested   bool
+	peerInterested bool
+	amUnchoking    bool
+	peerUnchoking  bool
+	lastUnchokedAt float64
+	inEst          *mrate.Estimator
+	outEst         *mrate.Estimator
+	bytesIn        int64
+	bytesOut       int64
+}
+
+// send serialises one message to the peer; errors (including a 30-second
+// write stall, which breaks mutual-write deadlocks on full TCP buffers)
+// close the connection and the reader loop cleans up.
+func (pc *peerConn) send(fn func(*wire.Encoder) error) {
+	pc.wmu.Lock()
+	pc.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	err := fn(pc.enc)
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.conn.Close()
+	}
+}
+
+// handleConn performs the handshake and runs the reader loop until the
+// connection dies. outgoing reports whether we dialed.
+func (c *Client) handleConn(conn net.Conn, outgoing bool) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	hs := wire.Handshake{InfoHash: c.meta.InfoHash(), PeerID: c.peerID}
+	if outgoing {
+		if err := wire.WriteHandshake(conn, hs); err != nil {
+			return
+		}
+	}
+	remote, err := wire.ReadHandshake(conn)
+	if err != nil || remote.InfoHash != c.meta.InfoHash() || remote.PeerID == c.peerID {
+		return
+	}
+	if !outgoing {
+		if err := wire.WriteHandshake(conn, hs); err != nil {
+			return
+		}
+	}
+	conn.SetDeadline(time.Time{})
+
+	pc := &peerConn{
+		c:          c,
+		conn:       conn,
+		remoteAddr: conn.RemoteAddr().String(),
+		peerID:     remote.PeerID,
+		enc:        wire.NewEncoder(conn),
+		inEst:      mrate.NewEstimator(0),
+		outEst:     mrate.NewEstimator(0),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	pc.id = c.nextConn
+	c.nextConn++
+	c.conns[pc.id] = pc
+	c.connOrder = append(c.connOrder, pc)
+	myBits := c.req.Have().ToWire()
+	empty := c.req.Have().Empty()
+	c.mu.Unlock()
+	defer c.dropConn(pc)
+
+	// Initial bitfield (skipped when empty, as real clients do).
+	if !empty {
+		pc.send(func(e *wire.Encoder) error { return e.Bitfield(myBits) })
+	}
+
+	dec := wire.NewDecoder(conn)
+	var msg wire.Message
+	for {
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		if !c.handleMessage(pc, &msg) {
+			return
+		}
+	}
+}
+
+// handleMessage dispatches one wire message; it returns false to drop the
+// connection.
+func (c *Client) handleMessage(pc *peerConn, m *wire.Message) bool {
+	switch m.ID {
+	case wire.MsgKeepAlive:
+		return true
+	case wire.MsgBitfield:
+		bf, err := bitfield.FromWire(m.Raw, c.geo.NumPieces)
+		if err != nil {
+			return false
+		}
+		c.mu.Lock()
+		if pc.haveBits != nil {
+			c.mu.Unlock()
+			return false // duplicate bitfield is a protocol error
+		}
+		pc.haveBits = bf
+		c.avail.AddPeer(bf)
+		c.updateInterestLocked(pc)
+		c.mu.Unlock()
+		return true
+	case wire.MsgHave:
+		idx := int(m.Index)
+		if idx < 0 || idx >= c.geo.NumPieces {
+			return false
+		}
+		c.mu.Lock()
+		if pc.haveBits == nil {
+			pc.haveBits = bitfield.New(c.geo.NumPieces)
+			c.avail.AddPeer(pc.haveBits)
+		}
+		if pc.haveBits.Set(idx) {
+			c.avail.Inc(idx)
+		}
+		c.updateInterestLocked(pc)
+		refill := pc.peerUnchoking && pc.amInterested
+		c.mu.Unlock()
+		if refill {
+			c.fillPipeline(pc)
+		}
+		return true
+	case wire.MsgInterested:
+		c.mu.Lock()
+		pc.peerInterested = true
+		c.mu.Unlock()
+		return true
+	case wire.MsgNotInterested:
+		c.mu.Lock()
+		pc.peerInterested = false
+		c.mu.Unlock()
+		return true
+	case wire.MsgUnchoke:
+		c.mu.Lock()
+		pc.peerUnchoking = true
+		c.mu.Unlock()
+		c.fillPipeline(pc)
+		return true
+	case wire.MsgChoke:
+		c.mu.Lock()
+		pc.peerUnchoking = false
+		c.req.OnPeerGone(pc.id) // requeue pending blocks for other peers
+		c.mu.Unlock()
+		return true
+	case wire.MsgRequest:
+		return c.handleRequest(pc, m)
+	case wire.MsgPiece:
+		return c.handlePiece(pc, m)
+	case wire.MsgCancel, wire.MsgPort:
+		// Cancels are advisory — our serve path is synchronous, so there
+		// is no queue to cancel from. Port (DHT) is ignored.
+		return true
+	default:
+		return false
+	}
+}
+
+// updateInterestLocked recomputes our interest in pc and sends the
+// transition message. Caller holds c.mu; the send is deferred to avoid
+// writing while locked.
+func (c *Client) updateInterestLocked(pc *peerConn) {
+	want := pc.haveBits != nil && c.req.Interested(pc.haveBits)
+	if want == pc.amInterested {
+		return
+	}
+	pc.amInterested = want
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		pc.send(func(e *wire.Encoder) error {
+			if want {
+				return e.Simple(wire.MsgInterested)
+			}
+			return e.Simple(wire.MsgNotInterested)
+		})
+	}()
+}
+
+// fillPipeline tops the request pipeline to pc up to PipelineDepth.
+func (c *Client) fillPipeline(pc *peerConn) {
+	for {
+		c.mu.Lock()
+		if !pc.peerUnchoking || !pc.amInterested || pc.haveBits == nil ||
+			c.req.Pending(pc.id) >= PipelineDepth || c.req.Complete() {
+			c.mu.Unlock()
+			return
+		}
+		ref, ok := c.req.Next(c.rng.Rand(), pc.id, pc.haveBits)
+		if !ok {
+			c.mu.Unlock()
+			return
+		}
+		length := c.geo.BlockSize(ref.Piece, ref.Block)
+		c.mu.Unlock()
+		pc.send(func(e *wire.Encoder) error {
+			return e.Request(uint32(ref.Piece), uint32(ref.Block*16<<10), uint32(length))
+		})
+	}
+}
+
+// handleRequest serves one block, honouring the choke state and the global
+// upload rate cap.
+func (c *Client) handleRequest(pc *peerConn, m *wire.Message) bool {
+	idx, begin, length := int(m.Index), int(m.Begin), int(m.Length)
+	if idx < 0 || idx >= c.geo.NumPieces || length <= 0 || length > 128<<10 {
+		return false
+	}
+	if begin < 0 {
+		return false
+	}
+	c.mu.Lock()
+	if !c.req.Have().Has(idx) || !pc.amUnchoking {
+		// Requests for pieces we lack, or sent while choked (a race right
+		// after a choke transition), are silently dropped as in mainline.
+		c.mu.Unlock()
+		return true
+	}
+	if begin+length > c.geo.PieceSize(idx) {
+		c.mu.Unlock()
+		return false
+	}
+	start := int64(idx)*int64(c.geo.PieceLength) + int64(begin)
+	block := append([]byte(nil), c.content[start:start+int64(length)]...)
+	c.mu.Unlock()
+
+	// Global upload cap: one token per byte.
+	c.bucketMu.Lock()
+	wait := c.bucket.Take(c.now(), length)
+	c.bucketMu.Unlock()
+	if wait > 0 {
+		select {
+		case <-c.stopCh:
+			return false
+		case <-time.After(time.Duration(wait * float64(time.Second))):
+		}
+	}
+	pc.send(func(e *wire.Encoder) error { return e.Piece(uint32(idx), uint32(begin), block) })
+	now := c.now()
+	c.mu.Lock()
+	pc.bytesOut += int64(length)
+	pc.outEst.Update(now, int64(length))
+	c.uploaded += int64(length)
+	c.mu.Unlock()
+	return true
+}
+
+// handlePiece ingests one received block.
+func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
+	idx, begin := int(m.Index), int(m.Begin)
+	blockSize := 16 << 10
+	if idx < 0 || idx >= c.geo.NumPieces || begin%blockSize != 0 {
+		return false
+	}
+	blk := begin / blockSize
+	if blk < 0 || blk >= c.geo.BlocksIn(idx) || len(m.Block) != c.geo.BlockSize(idx, blk) {
+		return false
+	}
+	now := c.now()
+	ref := core.BlockRef{Piece: idx, Block: blk}
+
+	c.mu.Lock()
+	if c.req.Have().Has(idx) {
+		c.mu.Unlock()
+		return true // stale end-game duplicate
+	}
+	start := int64(idx)*int64(c.geo.PieceLength) + int64(begin)
+	copy(c.content[start:], m.Block)
+	pc.bytesIn += int64(len(m.Block))
+	pc.inEst.Update(now, int64(len(m.Block)))
+	c.downloaded += int64(len(m.Block))
+	done, cancels := c.req.OnBlock(pc.id, ref)
+	var verifiedPiece = -1
+	var completed bool
+	if done {
+		if c.meta.VerifyPiece(idx, c.pieceData(idx)) {
+			verifiedPiece = idx
+			completed = c.req.Complete()
+			if completed {
+				c.seeding = true
+			}
+		} else {
+			// Hash failure: revert acceptance and re-download the piece.
+			c.req.OnPieceHashFail(idx)
+		}
+	}
+	// Map cancels to conns while locked.
+	type cancelMsg struct {
+		pc                   *peerConn
+		piece, begin, length uint32
+	}
+	var cmsgs []cancelMsg
+	for _, cb := range cancels {
+		if other := c.conns[cb.Peer]; other != nil {
+			cmsgs = append(cmsgs, cancelMsg{
+				pc:     other,
+				piece:  uint32(cb.Ref.Piece),
+				begin:  uint32(cb.Ref.Block * blockSize),
+				length: uint32(c.geo.BlockSize(cb.Ref.Piece, cb.Ref.Block)),
+			})
+		}
+	}
+	interestRefresh := verifiedPiece >= 0
+	c.mu.Unlock()
+
+	for _, cm := range cmsgs {
+		cm.pc.send(func(e *wire.Encoder) error { return e.Cancel(cm.piece, cm.begin, cm.length) })
+	}
+	if verifiedPiece >= 0 {
+		c.broadcastHave(verifiedPiece)
+		if interestRefresh {
+			c.refreshAllInterest()
+		}
+		if completed && c.onComplete != nil {
+			c.onComplete()
+			c.onComplete = nil
+		}
+	}
+	c.fillPipeline(pc)
+	return true
+}
+
+// refreshAllInterest re-evaluates interest in every peer after we gained a
+// piece (interest can only drop) and tops up pipelines.
+func (c *Client) refreshAllInterest() {
+	c.mu.Lock()
+	conns := append([]*peerConn(nil), c.connOrder...)
+	for _, pc := range conns {
+		c.updateInterestLocked(pc)
+	}
+	c.mu.Unlock()
+	for _, pc := range conns {
+		c.fillPipeline(pc)
+	}
+}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"rarestfirst/internal/wire"
+)
+
+// dialHandshake opens a raw TCP connection to c and completes the wire
+// handshake, returning the socket.
+func dialHandshake(t *testing.T, c *Client, infoHash [20]byte) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", c.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pid [20]byte
+	copy(pid[:], "-XX0001-abcdefghijkl")
+	if err := wire.WriteHandshake(conn, wire.Handshake{InfoHash: infoHash, PeerID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadHandshake(conn); err != nil {
+		t.Fatalf("no handshake back: %v", err)
+	}
+	return conn
+}
+
+// expectClosed asserts the peer closes the connection promptly.
+func expectClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // closed or reset: what we wanted
+		}
+	}
+}
+
+func startSeed(t *testing.T) (*Client, [20]byte) {
+	t.Helper()
+	m, content := makeTorrent(t, 128<<10, "")
+	seed, err := New(Options{Meta: m, Content: content})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(seed.Stop)
+	return seed, m.InfoHash()
+}
+
+func TestProtocolRejectsWrongInfoHash(t *testing.T) {
+	seed, _ := startSeed(t)
+	conn, err := net.DialTimeout("tcp", seed.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var wrong [20]byte
+	copy(wrong[:], "not-the-right-hash!!")
+	var pid [20]byte
+	copy(pid[:], "-XX0001-abcdefghijkl")
+	if err := wire.WriteHandshake(conn, wire.Handshake{InfoHash: wrong, PeerID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn)
+}
+
+func TestProtocolRejectsGarbageFrames(t *testing.T) {
+	seed, ih := startSeed(t)
+	conn := dialHandshake(t, seed, ih)
+	defer conn.Close()
+	// Unknown message id 0x2a.
+	conn.Write([]byte{0, 0, 0, 1, 0x2a})
+	expectClosed(t, conn)
+}
+
+func TestProtocolRejectsOversizedFrame(t *testing.T) {
+	seed, ih := startSeed(t)
+	conn := dialHandshake(t, seed, ih)
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 0xffffffff)
+	conn.Write(hdr[:])
+	expectClosed(t, conn)
+}
+
+func TestProtocolRejectsDuplicateBitfield(t *testing.T) {
+	seed, ih := startSeed(t)
+	conn := dialHandshake(t, seed, ih)
+	defer conn.Close()
+	enc := wire.NewEncoder(conn)
+	bits := make([]byte, 1) // 2 pieces -> 1 byte
+	if err := enc.Bitfield(bits); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Bitfield(bits); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn)
+}
+
+func TestProtocolRejectsOutOfRangeHave(t *testing.T) {
+	seed, ih := startSeed(t)
+	conn := dialHandshake(t, seed, ih)
+	defer conn.Close()
+	enc := wire.NewEncoder(conn)
+	if err := enc.Have(9999); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn)
+}
+
+func TestProtocolIgnoresRequestWhileChoked(t *testing.T) {
+	seed, ih := startSeed(t)
+	conn := dialHandshake(t, seed, ih)
+	defer conn.Close()
+	enc := wire.NewEncoder(conn)
+	// No interested/unchoke dance: a request now must be silently dropped,
+	// not answered and not fatal.
+	if err := enc.Request(0, 0, 16384); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.KeepAlive(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(1 * time.Second))
+	dec := wire.NewDecoder(conn)
+	var m wire.Message
+	for {
+		if err := dec.Decode(&m); err != nil {
+			return // timed out with no piece: correct
+		}
+		if m.ID == wire.MsgPiece {
+			t.Fatal("served a block to a choked peer")
+		}
+	}
+}
+
+func TestProtocolKeepAliveIsHarmless(t *testing.T) {
+	seed, ih := startSeed(t)
+	conn := dialHandshake(t, seed, ih)
+	defer conn.Close()
+	enc := wire.NewEncoder(conn)
+	for i := 0; i < 5; i++ {
+		if err := enc.KeepAlive(); err != nil {
+			t.Fatalf("keep-alive %d: %v", i, err)
+		}
+	}
+	// Connection must still be usable: a valid bitfield is accepted.
+	if err := enc.Bitfield(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	seed.mu.Lock()
+	n := len(seed.connOrder)
+	seed.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("connection dropped after keep-alives: %d conns", n)
+	}
+}

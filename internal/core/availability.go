@@ -1,0 +1,176 @@
+// Package core implements the paper's two algorithms — the rarest-first
+// piece selection strategy and the choke peer selection strategy — together
+// with the baseline strategies the paper discusses (random piece selection,
+// the old seed-state choke algorithm, bit-level tit-for-tat).
+//
+// The same implementations drive both the discrete-event swarm simulator
+// (internal/swarm) and the real TCP client (internal/client), so the code
+// under evaluation exists exactly once.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rarestfirst/internal/bitfield"
+)
+
+// Availability tracks, for every piece, the number of copies present in the
+// local peer set ("each peer maintains a list of the number of copies of
+// each piece in its peer set", §II-C.1). Pieces are bucketed by copy count
+// so that rarest-first picking can scan from the lowest count upward; all
+// updates are O(1).
+type Availability struct {
+	counts []int   // copy count per piece
+	bucket [][]int // bucket[c] = piece indices with count c (unordered)
+	pos    []int   // position of piece i inside bucket[counts[i]]
+	peers  int     // number of contributing bitfields
+}
+
+// NewAvailability returns an all-zero availability index over n pieces.
+func NewAvailability(n int) *Availability {
+	a := &Availability{
+		counts: make([]int, n),
+		bucket: make([][]int, 1, 8),
+		pos:    make([]int, n),
+	}
+	a.bucket[0] = make([]int, n)
+	for i := 0; i < n; i++ {
+		a.bucket[0][i] = i
+		a.pos[i] = i
+	}
+	return a
+}
+
+// NumPieces returns the number of pieces indexed.
+func (a *Availability) NumPieces() int { return len(a.counts) }
+
+// Peers returns the number of peer bitfields currently folded in.
+func (a *Availability) Peers() int { return a.peers }
+
+// Count returns the copy count of piece i.
+func (a *Availability) Count(i int) int { return a.counts[i] }
+
+// move shifts piece i from its current bucket to bucket c.
+func (a *Availability) move(i, c int) {
+	old := a.counts[i]
+	b := a.bucket[old]
+	last := len(b) - 1
+	j := a.pos[i]
+	b[j] = b[last]
+	a.pos[b[j]] = j
+	a.bucket[old] = b[:last]
+	for len(a.bucket) <= c {
+		a.bucket = append(a.bucket, nil)
+	}
+	a.bucket[c] = append(a.bucket[c], i)
+	a.pos[i] = len(a.bucket[c]) - 1
+	a.counts[i] = c
+}
+
+// Inc records one more copy of piece i in the peer set (a HAVE message or
+// one bit of a joining peer's bitfield).
+func (a *Availability) Inc(i int) { a.move(i, a.counts[i]+1) }
+
+// Dec records one fewer copy of piece i (a peer with the piece left the
+// peer set). It panics if the count would go negative.
+func (a *Availability) Dec(i int) {
+	if a.counts[i] == 0 {
+		panic(fmt.Sprintf("core: availability of piece %d below zero", i))
+	}
+	a.move(i, a.counts[i]-1)
+}
+
+// AddPeer folds a joining peer's bitfield into the index.
+func (a *Availability) AddPeer(b *bitfield.Bitfield) {
+	a.peers++
+	b.Range(func(i int) bool { a.Inc(i); return true })
+}
+
+// RemovePeer removes a leaving peer's bitfield from the index.
+func (a *Availability) RemovePeer(b *bitfield.Bitfield) {
+	a.peers--
+	b.Range(func(i int) bool { a.Dec(i); return true })
+}
+
+// MinCount returns the minimum copy count over all pieces (m in the paper's
+// definition of the rarest pieces set).
+func (a *Availability) MinCount() int {
+	for c, b := range a.bucket {
+		if len(b) > 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// RarestSetSize returns the number of pieces that are equally rarest —
+// the series plotted in Figs 3 and 6.
+func (a *Availability) RarestSetSize() int {
+	for _, b := range a.bucket {
+		if len(b) > 0 {
+			return len(b)
+		}
+	}
+	return 0
+}
+
+// RarestSet appends the indices of the rarest pieces to dst and returns it.
+func (a *Availability) RarestSet(dst []int) []int {
+	for _, b := range a.bucket {
+		if len(b) > 0 {
+			return append(dst, b...)
+		}
+	}
+	return dst
+}
+
+// Stats returns the (min, mean, max) copy counts across all pieces — the
+// three series plotted in Figs 2 and 4.
+func (a *Availability) Stats() (min int, mean float64, max int) {
+	n := len(a.counts)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	min = a.counts[0]
+	max = a.counts[0]
+	sum := 0
+	for _, c := range a.counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	return min, float64(sum) / float64(n), max
+}
+
+// PickRarest scans buckets from the lowest copy count and returns a piece
+// uniformly random among the lowest-count pieces that satisfy want. It
+// returns -1 if no piece satisfies want. This implements "select the next
+// piece to download at random in the rarest pieces set", restricted — as in
+// the mainline implementation — to pieces the target peer can actually
+// provide.
+func (a *Availability) PickRarest(rng *rand.Rand, want func(i int) bool) int {
+	for _, b := range a.bucket {
+		if len(b) == 0 {
+			continue
+		}
+		// Reservoir-sample uniformly among qualifying pieces in this bucket.
+		chosen, seen := -1, 0
+		for _, i := range b {
+			if want(i) {
+				seen++
+				if rng.Intn(seen) == 0 {
+					chosen = i
+				}
+			}
+		}
+		if chosen >= 0 {
+			return chosen
+		}
+	}
+	return -1
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// ChokeInterval is the length in seconds of one choke round (§II-C.2:
+// "every 10 seconds").
+const ChokeInterval = 10.0
+
+// RoundsPerOptimistic is how many rounds an optimistic unchoke persists
+// ("every 30 seconds, one additional interested remote peer is unchoked at
+// random").
+const RoundsPerOptimistic = 3
+
+// DefaultUploadSlots is the active-peer-set size including the optimistic
+// unchoke (mainline default 4: 3 regular + 1 optimistic).
+const DefaultUploadSlots = 4
+
+// ChokePeer is the per-peer view a Choker consults each round. The
+// embedding layer fills it from live connection state.
+type ChokePeer struct {
+	ID PeerID
+	// Interested reports whether the remote peer is interested in us.
+	Interested bool
+	// Unchoked reports whether we currently unchoke the remote peer.
+	Unchoked bool
+	// DownloadRate is the estimated rate at which the remote uploads to us
+	// (leecher-state ordering criterion).
+	DownloadRate float64
+	// UploadRate is the estimated rate at which we upload to the remote
+	// (the OLD seed-state ordering criterion).
+	UploadRate float64
+	// LastUnchoked is the time this peer last TRANSITIONED from choked to
+	// unchoked (the NEW seed-state ordering criterion); it is not refreshed
+	// while the peer stays unchoked, which is what ages SKU peers so that
+	// each SRU takes the slot of the oldest one. Zero if never unchoked.
+	LastUnchoked float64
+	// UploadedTo / DownloadedFrom are lifetime byte counters (tit-for-tat
+	// baseline criterion).
+	UploadedTo     int64
+	DownloadedFrom int64
+	// RemotePieces is the number of pieces the remote advertises; the
+	// newcomer-boost extension uses it to find peers with nothing yet.
+	RemotePieces int
+}
+
+// pickCandidate selects a random candidate for an optimistic/random
+// unchoke. With boostNewcomers, candidates that have no pieces at all are
+// preferred: this implements the paper's §VI improvement direction ("the
+// time to deliver the first blocks of data should be reduced") by pointing
+// the exploratory slot at peers that cannot yet reciprocate.
+func pickCandidate(rng *rand.Rand, cands []ChokePeer, boostNewcomers bool) (PeerID, bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	if boostNewcomers {
+		var empty []ChokePeer
+		for _, p := range cands {
+			if p.RemotePieces == 0 {
+				empty = append(empty, p)
+			}
+		}
+		if len(empty) > 0 {
+			return empty[rng.Intn(len(empty))].ID, true
+		}
+	}
+	return cands[rng.Intn(len(cands))].ID, true
+}
+
+// Choker decides, once per ChokeInterval, which interested peers to
+// unchoke. Round returns the IDs to unchoke; every other peer is choked.
+// Implementations keep internal state (optimistic slots, round counters)
+// and must be driven at a fixed cadence by the embedding layer.
+type Choker interface {
+	Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID
+	Name() string
+}
+
+// LeecherChoker is the leecher-state choke algorithm (§II-C.2): every round
+// the 3 fastest interested uploaders are unchoked (regular unchoke, RU) and
+// every third round a random choked interested peer becomes the optimistic
+// unchoke (OU) for the next three rounds.
+type LeecherChoker struct {
+	// Slots is the total active peer set size; 0 means DefaultUploadSlots.
+	Slots int
+	// BoostNewcomers points the optimistic unchoke at piece-less peers
+	// when any are present (§VI extension).
+	BoostNewcomers bool
+	round          int
+	// optimistic is the current OU peer, or -1.
+	optimistic PeerID
+	hasOpt     bool
+}
+
+// NewLeecherChoker returns the standard 4-slot leecher choker.
+func NewLeecherChoker() *LeecherChoker { return &LeecherChoker{} }
+
+// Name implements Choker.
+func (c *LeecherChoker) Name() string { return "choke-leecher" }
+
+// Round implements Choker.
+func (c *LeecherChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID {
+	slots := c.Slots
+	if slots <= 0 {
+		slots = DefaultUploadSlots
+	}
+	regular := slots - 1
+
+	interested := filterInterested(peers)
+	// Order by download rate to the local peer, fastest first. Stable
+	// tie-break on ID keeps rounds deterministic.
+	sort.SliceStable(interested, func(i, j int) bool {
+		if interested[i].DownloadRate != interested[j].DownloadRate {
+			return interested[i].DownloadRate > interested[j].DownloadRate
+		}
+		return interested[i].ID < interested[j].ID
+	})
+	unchoke := make([]PeerID, 0, slots)
+	for i := 0; i < len(interested) && i < regular; i++ {
+		unchoke = append(unchoke, interested[i].ID)
+	}
+
+	// Rotate the optimistic unchoke every RoundsPerOptimistic rounds, or
+	// when the current one is gone / no longer interested / promoted to a
+	// regular slot.
+	rotate := c.round%RoundsPerOptimistic == 0
+	if !rotate && c.hasOpt {
+		if !containsPeer(interested, c.optimistic) || containsID(unchoke, c.optimistic) {
+			rotate = true
+		}
+	}
+	if rotate {
+		c.hasOpt = false
+		cands := make([]ChokePeer, 0, len(interested))
+		for _, p := range interested {
+			if !containsID(unchoke, p.ID) {
+				cands = append(cands, p)
+			}
+		}
+		if id, ok := pickCandidate(rng, cands, c.BoostNewcomers); ok {
+			c.optimistic = id
+			c.hasOpt = true
+		}
+	}
+	if c.hasOpt && !containsID(unchoke, c.optimistic) {
+		unchoke = append(unchoke, c.optimistic)
+	}
+	c.round++
+	return unchoke
+}
+
+// SeedChoker is the NEW seed-state algorithm introduced in mainline 4.0.0
+// (§II-C.2). Unchoked-and-interested peers are ordered by the time they
+// were last unchoked, most recent first. For two 10-second periods the
+// first 3 peers are kept and a 4th choked-and-interested peer is unchoked
+// at random (seed random unchoke, SRU); every third period the first 4 are
+// kept (seed kept unchoked, SKU). Peers therefore rotate through the
+// active set and each gets the same expected service time.
+type SeedChoker struct {
+	// Slots is the active set size; 0 means DefaultUploadSlots.
+	Slots int
+	// BoostNewcomers points the seed random unchoke at piece-less peers
+	// when any are present (§VI extension).
+	BoostNewcomers bool
+	round          int
+}
+
+// NewSeedChoker returns the standard 4-slot new-algorithm seed choker.
+func NewSeedChoker() *SeedChoker { return &SeedChoker{} }
+
+// Name implements Choker.
+func (c *SeedChoker) Name() string { return "choke-seed-new" }
+
+// Round implements Choker.
+func (c *SeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID {
+	slots := c.Slots
+	if slots <= 0 {
+		slots = DefaultUploadSlots
+	}
+	defer func() { c.round++ }()
+
+	interested := filterInterested(peers)
+	// Candidates currently unchoked, most recently unchoked first.
+	var kept []ChokePeer
+	for _, p := range interested {
+		if p.Unchoked {
+			kept = append(kept, p)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].LastUnchoked != kept[j].LastUnchoked {
+			return kept[i].LastUnchoked > kept[j].LastUnchoked
+		}
+		return kept[i].ID < kept[j].ID
+	})
+
+	thirdPeriod := c.round%RoundsPerOptimistic == RoundsPerOptimistic-1
+	unchoke := make([]PeerID, 0, slots)
+	keepN := slots - 1
+	if thirdPeriod {
+		keepN = slots
+	}
+	for i := 0; i < len(kept) && i < keepN; i++ {
+		unchoke = append(unchoke, kept[i].ID)
+	}
+	if !thirdPeriod {
+		// SRU: one choked-and-interested peer chosen at random.
+		cands := make([]ChokePeer, 0, len(interested))
+		for _, p := range interested {
+			if !p.Unchoked && !containsID(unchoke, p.ID) {
+				cands = append(cands, p)
+			}
+		}
+		if id, ok := pickCandidate(rng, cands, c.BoostNewcomers); ok {
+			unchoke = append(unchoke, id)
+		}
+	}
+	// Fill spare slots (fewer unchoked peers than keepN) with random
+	// choked interested peers so the seed never idles with demand present.
+	for len(unchoke) < slots {
+		cands := make([]ChokePeer, 0, len(interested))
+		for _, p := range interested {
+			if !containsID(unchoke, p.ID) {
+				cands = append(cands, p)
+			}
+		}
+		id, ok := pickCandidate(rng, cands, c.BoostNewcomers)
+		if !ok {
+			break
+		}
+		unchoke = append(unchoke, id)
+	}
+	return unchoke
+}
+
+// OldSeedChoker is the pre-4.0.0 seed-state algorithm: identical to the
+// leecher algorithm except peers are ordered by our upload rate to them,
+// so fast downloaders (including fast free riders) monopolise the seed.
+// Kept as the baseline for the A2 ablation.
+type OldSeedChoker struct {
+	Slots      int
+	round      int
+	optimistic PeerID
+	hasOpt     bool
+}
+
+// NewOldSeedChoker returns the standard 4-slot old-algorithm seed choker.
+func NewOldSeedChoker() *OldSeedChoker { return &OldSeedChoker{} }
+
+// Name implements Choker.
+func (c *OldSeedChoker) Name() string { return "choke-seed-old" }
+
+// Round implements Choker.
+func (c *OldSeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID {
+	slots := c.Slots
+	if slots <= 0 {
+		slots = DefaultUploadSlots
+	}
+	regular := slots - 1
+	interested := filterInterested(peers)
+	sort.SliceStable(interested, func(i, j int) bool {
+		if interested[i].UploadRate != interested[j].UploadRate {
+			return interested[i].UploadRate > interested[j].UploadRate
+		}
+		return interested[i].ID < interested[j].ID
+	})
+	unchoke := make([]PeerID, 0, slots)
+	for i := 0; i < len(interested) && i < regular; i++ {
+		unchoke = append(unchoke, interested[i].ID)
+	}
+	rotate := c.round%RoundsPerOptimistic == 0
+	if !rotate && c.hasOpt && (!containsPeer(interested, c.optimistic) || containsID(unchoke, c.optimistic)) {
+		rotate = true
+	}
+	if rotate {
+		c.hasOpt = false
+		cands := make([]PeerID, 0, len(interested))
+		for _, p := range interested {
+			if !containsID(unchoke, p.ID) {
+				cands = append(cands, p.ID)
+			}
+		}
+		if len(cands) > 0 {
+			c.optimistic = cands[rng.Intn(len(cands))]
+			c.hasOpt = true
+		}
+	}
+	if c.hasOpt && !containsID(unchoke, c.optimistic) {
+		unchoke = append(unchoke, c.optimistic)
+	}
+	c.round++
+	return unchoke
+}
+
+// TitForTatChoker is the bit-level tit-for-tat baseline from the literature
+// the paper argues against ([5], [10], [15]): a peer refuses to upload to
+// any peer whose byte deficit (uploaded-to minus downloaded-from) exceeds
+// DeficitLimit. Within the allowed set the fastest uploaders win the slots.
+// Excess capacity is therefore stranded — the behaviour the A3 ablation
+// demonstrates.
+type TitForTatChoker struct {
+	Slots int
+	// DeficitLimit is the maximum bytes of unreciprocated upload tolerated
+	// before a peer is refused service.
+	DeficitLimit int64
+}
+
+// NewTitForTatChoker returns a 4-slot tit-for-tat choker with the given
+// deficit threshold in bytes.
+func NewTitForTatChoker(limit int64) *TitForTatChoker {
+	return &TitForTatChoker{DeficitLimit: limit}
+}
+
+// Name implements Choker.
+func (c *TitForTatChoker) Name() string { return "tit-for-tat" }
+
+// Round implements Choker.
+func (c *TitForTatChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID {
+	slots := c.Slots
+	if slots <= 0 {
+		slots = DefaultUploadSlots
+	}
+	allowed := make([]ChokePeer, 0, len(peers))
+	for _, p := range peers {
+		if p.Interested && p.UploadedTo-p.DownloadedFrom <= c.DeficitLimit {
+			allowed = append(allowed, p)
+		}
+	}
+	sort.SliceStable(allowed, func(i, j int) bool {
+		if allowed[i].DownloadRate != allowed[j].DownloadRate {
+			return allowed[i].DownloadRate > allowed[j].DownloadRate
+		}
+		return allowed[i].ID < allowed[j].ID
+	})
+	unchoke := make([]PeerID, 0, slots)
+	for i := 0; i < len(allowed) && i < slots; i++ {
+		unchoke = append(unchoke, allowed[i].ID)
+	}
+	return unchoke
+}
+
+// NeverUnchoke is the free-rider "choker": it uploads to nobody.
+type NeverUnchoke struct{}
+
+// Name implements Choker.
+func (NeverUnchoke) Name() string { return "free-rider" }
+
+// Round implements Choker.
+func (NeverUnchoke) Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID {
+	return nil
+}
+
+func filterInterested(peers []ChokePeer) []ChokePeer {
+	out := make([]ChokePeer, 0, len(peers))
+	for _, p := range peers {
+		if p.Interested {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsID(ids []PeerID, id PeerID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPeer(peers []ChokePeer, id PeerID) bool {
+	for _, p := range peers {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rarestfirst/internal/bitfield"
+)
+
+// pickEnv builds a PickState with the given owned/in-flight/remote pieces.
+func pickEnv(n int, have, inflight, remote []int, downloaded int) *PickState {
+	h, f, r := bitfield.New(n), bitfield.New(n), bitfield.New(n)
+	for _, i := range have {
+		h.Set(i)
+	}
+	for _, i := range inflight {
+		f.Set(i)
+	}
+	for _, i := range remote {
+		r.Set(i)
+	}
+	return &PickState{Have: h, InFlight: f, Remote: r, Downloaded: downloaded}
+}
+
+func TestRandomPickerUniform(t *testing.T) {
+	s := pickEnv(10, []int{0}, []int{1}, []int{0, 1, 2, 3, 4}, 1)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		got := RandomPicker{}.Pick(rng, s)
+		counts[got]++
+	}
+	// Only 2, 3, 4 are eligible (0 owned, 1 in flight).
+	if counts[0] > 0 || counts[1] > 0 {
+		t.Fatalf("picked ineligible pieces: %v", counts)
+	}
+	for _, i := range []int{2, 3, 4} {
+		if counts[i] < 800 || counts[i] > 1200 {
+			t.Fatalf("non-uniform pick distribution: %v", counts)
+		}
+	}
+}
+
+func TestRandomPickerExhausted(t *testing.T) {
+	s := pickEnv(3, []int{0, 1, 2}, nil, []int{0, 1, 2}, 3)
+	if got := (RandomPicker{}).Pick(rand.New(rand.NewSource(1)), s); got != -1 {
+		t.Fatalf("picked %d from nothing", got)
+	}
+}
+
+func TestSequentialPicker(t *testing.T) {
+	s := pickEnv(6, []int{0}, []int{1}, []int{0, 1, 2, 5}, 1)
+	if got := (SequentialPicker{}).Pick(nil, s); got != 2 {
+		t.Fatalf("sequential picked %d, want 2", got)
+	}
+}
+
+func TestRarestFirstUsesRandomFirstPolicy(t *testing.T) {
+	// With fewer than 4 downloaded pieces the pick must be random, i.e. it
+	// must NOT always choose the rarest piece.
+	a := NewAvailability(20)
+	// Piece 0 is the rarest (1 copy); the rest have 5.
+	a.Inc(0)
+	for i := 1; i < 20; i++ {
+		for j := 0; j < 5; j++ {
+			a.Inc(i)
+		}
+	}
+	p := &RarestFirst{Avail: a}
+	all := make([]int, 20)
+	for i := range all {
+		all[i] = i
+	}
+	s := pickEnv(20, nil, nil, all, 0) // 0 pieces downloaded: random-first active
+	rng := rand.New(rand.NewSource(7))
+	nonRarest := 0
+	for i := 0; i < 100; i++ {
+		if p.Pick(rng, s) != 0 {
+			nonRarest++
+		}
+	}
+	if nonRarest == 0 {
+		t.Fatal("random-first policy inactive: always picked the rarest piece")
+	}
+}
+
+func TestRarestFirstSwitchesAfterThreshold(t *testing.T) {
+	a := NewAvailability(20)
+	a.Inc(0)
+	for i := 1; i < 20; i++ {
+		for j := 0; j < 5; j++ {
+			a.Inc(i)
+		}
+	}
+	p := &RarestFirst{Avail: a}
+	all := make([]int, 20)
+	for i := range all {
+		all[i] = i
+	}
+	s := pickEnv(20, nil, nil, all, RandomFirstThreshold) // at threshold: rarest first
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		if got := p.Pick(rng, s); got != 0 {
+			t.Fatalf("picked %d, want rarest piece 0", got)
+		}
+	}
+}
+
+func TestRarestFirstDisableRandomFirst(t *testing.T) {
+	a := NewAvailability(5)
+	a.Inc(3)
+	for i := 0; i < 5; i++ {
+		if i != 3 {
+			for j := 0; j < 4; j++ {
+				a.Inc(i)
+			}
+		}
+	}
+	p := &RarestFirst{Avail: a, DisableRandomFirst: true}
+	s := pickEnv(5, nil, nil, []int{0, 1, 2, 3, 4}, 0)
+	if got := p.Pick(rand.New(rand.NewSource(1)), s); got != 3 {
+		t.Fatalf("picked %d, want 3 despite 0 downloads", got)
+	}
+}
+
+func TestRarestFirstTieBreakIsRandom(t *testing.T) {
+	// Two equally-rarest pieces: both must be picked over many trials
+	// ("selects the next piece at random in its rarest pieces set").
+	a := NewAvailability(4)
+	a.Inc(0)
+	a.Inc(1)
+	a.Inc(2)
+	a.Inc(2)
+	a.Inc(3)
+	a.Inc(3)
+	p := &RarestFirst{Avail: a}
+	s := pickEnv(4, nil, nil, []int{0, 1, 2, 3}, 4)
+	rng := rand.New(rand.NewSource(9))
+	counts := map[int]int{}
+	for i := 0; i < 400; i++ {
+		counts[p.Pick(rng, s)]++
+	}
+	if counts[0] == 0 || counts[1] == 0 || counts[2] > 0 || counts[3] > 0 {
+		t.Fatalf("tie-break wrong: %v", counts)
+	}
+}
+
+func TestRarestFirstRestrictedToRemote(t *testing.T) {
+	// The remote lacks the rarest piece; the pick must be the rarest piece
+	// the remote actually has.
+	a := NewAvailability(3)
+	a.Inc(1)
+	a.Inc(2)
+	a.Inc(2)
+	p := &RarestFirst{Avail: a}
+	s := pickEnv(3, nil, nil, []int{1, 2}, 4) // piece 0 (count 0) not offered
+	for i := 0; i < 20; i++ {
+		if got := p.Pick(rand.New(rand.NewSource(int64(i))), s); got != 1 {
+			t.Fatalf("picked %d, want 1", got)
+		}
+	}
+}
+
+func TestGlobalRarest(t *testing.T) {
+	global := NewAvailability(4)
+	global.Inc(2) // globally rarest available piece is 2 (count 1)
+	global.Inc(0)
+	global.Inc(0)
+	global.Inc(1)
+	global.Inc(1)
+	global.Inc(3)
+	global.Inc(3)
+	p := &GlobalRarest{Global: global}
+	s := pickEnv(4, nil, nil, []int{0, 1, 2, 3}, 10)
+	if got := p.Pick(rand.New(rand.NewSource(1)), s); got != 2 {
+		t.Fatalf("picked %d, want 2", got)
+	}
+}
+
+func TestPickerNames(t *testing.T) {
+	names := map[string]Picker{
+		"rarest-first":  &RarestFirst{},
+		"random":        RandomPicker{},
+		"sequential":    SequentialPicker{},
+		"global-rarest": &GlobalRarest{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}

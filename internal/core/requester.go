@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/metainfo"
+)
+
+// PeerID identifies a remote peer within a Requester or Choker. IDs are
+// assigned by the embedding layer (simulator or real client).
+type PeerID int32
+
+// BlockRef names one block of one piece.
+type BlockRef struct {
+	Piece int
+	Block int
+}
+
+// PeerBlock pairs a pending block with the peer it was requested from; it
+// is the unit of end-game cancel messages.
+type PeerBlock struct {
+	Peer PeerID
+	Ref  BlockRef
+}
+
+// pieceProgress tracks block state for a piece being downloaded.
+type pieceProgress struct {
+	requested []bool
+	received  []bool
+	nReceived int
+	nRequest  int
+}
+
+// Requester turns a piece-level Picker into block-level request decisions,
+// implementing the two block-level policies of §II-C.1:
+//
+//   - strict priority: once a block of a piece is requested, remaining
+//     blocks of that piece are requested before any new piece is started;
+//   - end game mode: once every block is received or requested, missing
+//     blocks are requested from every peer that has them, with cancels sent
+//     when a copy arrives.
+//
+// The Requester owns the local Have/InFlight bitfields and per-peer pending
+// sets. It is not safe for concurrent use; embed it in a single goroutine
+// or lock externally.
+type Requester struct {
+	geo      metainfo.Geometry
+	picker   Picker
+	have     *bitfield.Bitfield
+	inflight *bitfield.Bitfield
+	progress map[int]*pieceProgress
+	// order lists in-flight pieces oldest first so strict-priority scans
+	// are deterministic (map iteration order must not leak into runs).
+	order   []int
+	pending map[PeerID]map[BlockRef]struct{}
+	holders map[BlockRef]map[PeerID]struct{} // end-game duplicate tracking
+	endgame bool
+	// downloaded counts pieces completed; drives random-first.
+	downloaded int
+}
+
+// NewRequester returns a Requester over the given geometry using picker.
+func NewRequester(geo metainfo.Geometry, picker Picker) *Requester {
+	return &Requester{
+		geo:      geo,
+		picker:   picker,
+		have:     bitfield.New(geo.NumPieces),
+		inflight: bitfield.New(geo.NumPieces),
+		progress: map[int]*pieceProgress{},
+		pending:  map[PeerID]map[BlockRef]struct{}{},
+		holders:  map[BlockRef]map[PeerID]struct{}{},
+	}
+}
+
+// Have returns the local completed-piece bitfield (live view; do not mutate).
+func (r *Requester) Have() *bitfield.Bitfield { return r.have }
+
+// Downloaded returns the number of completed pieces.
+func (r *Requester) Downloaded() int { return r.downloaded }
+
+// Complete reports whether every piece is done.
+func (r *Requester) Complete() bool { return r.have.Complete() }
+
+// InEndGame reports whether end game mode has been entered.
+func (r *Requester) InEndGame() bool { return r.endgame }
+
+// Pending returns the number of outstanding requests to peer.
+func (r *Requester) Pending(peer PeerID) int { return len(r.pending[peer]) }
+
+// AddHave marks piece i as already owned without downloading (initial seed
+// bootstrap). It must not be called after requests start for that piece.
+func (r *Requester) AddHave(i int) {
+	if r.have.Set(i) {
+		r.downloaded++
+	}
+}
+
+// Interested reports whether the local peer should be interested in a
+// remote advertising the given bitfield: the remote has a piece we lack.
+func (r *Requester) Interested(remote *bitfield.Bitfield) bool {
+	return r.have.AnyMissingIn(remote)
+}
+
+// Next chooses the next block to request from peer, which advertises
+// remote. It records the request as pending and returns ok=false when there
+// is nothing to ask this peer for.
+func (r *Requester) Next(rng *rand.Rand, peer PeerID, remote *bitfield.Bitfield) (ref BlockRef, ok bool) {
+	if r.have.Complete() {
+		return BlockRef{}, false
+	}
+	if r.endgame {
+		return r.nextEndGame(rng, peer, remote)
+	}
+	// Strict priority: finish partially requested pieces first, oldest
+	// piece first.
+	for _, i := range r.order {
+		if !remote.Has(i) {
+			continue
+		}
+		p := r.progress[i]
+		if b := firstUnrequested(p); b >= 0 {
+			return r.commit(peer, BlockRef{Piece: i, Block: b}), true
+		}
+	}
+	// Start a new piece via the piece selection strategy.
+	st := &PickState{Have: r.have, InFlight: r.inflight, Remote: remote, Downloaded: r.downloaded}
+	piece := r.picker.Pick(rng, st)
+	if piece >= 0 {
+		r.startPiece(piece)
+		return r.commit(peer, BlockRef{Piece: piece, Block: 0}), true
+	}
+	// Nothing unrequested anywhere: if blocks are still missing, enter end
+	// game mode ("this mode starts once a peer has requested all blocks").
+	if r.allBlocksRequested() {
+		r.endgame = true
+		return r.nextEndGame(rng, peer, remote)
+	}
+	return BlockRef{}, false
+}
+
+// nextEndGame picks a missing block the remote has that this peer is not
+// already fetching, uniformly at random. Iteration is in ascending piece
+// order so the reservoir draw is deterministic given the rng.
+func (r *Requester) nextEndGame(rng *rand.Rand, peer PeerID, remote *bitfield.Bitfield) (BlockRef, bool) {
+	chosen, seen := BlockRef{}, 0
+	r.have.Missing(func(i int) bool {
+		if !remote.Has(i) {
+			return true
+		}
+		if p := r.progress[i]; p != nil {
+			for b := range p.received {
+				if p.received[b] {
+					continue
+				}
+				ref := BlockRef{Piece: i, Block: b}
+				if _, dup := r.pending[peer][ref]; dup {
+					continue
+				}
+				seen++
+				if rng.Intn(seen) == 0 {
+					chosen = ref
+				}
+			}
+			return true
+		}
+		// Piece never started (possible after a requeue).
+		ref := BlockRef{Piece: i, Block: 0}
+		if _, dup := r.pending[peer][ref]; !dup {
+			seen++
+			if rng.Intn(seen) == 0 {
+				chosen = ref
+			}
+		}
+		return true
+	})
+	if seen == 0 {
+		return BlockRef{}, false
+	}
+	if r.progress[chosen.Piece] == nil {
+		r.startPiece(chosen.Piece)
+	}
+	return r.commit(peer, chosen), true
+}
+
+// startPiece allocates block state for piece i and marks it in flight.
+func (r *Requester) startPiece(i int) {
+	nb := r.geo.BlocksIn(i)
+	r.progress[i] = &pieceProgress{requested: make([]bool, nb), received: make([]bool, nb)}
+	r.inflight.Set(i)
+	r.order = append(r.order, i)
+}
+
+// dropPiece removes piece i from the in-flight bookkeeping.
+func (r *Requester) dropPiece(i int) {
+	delete(r.progress, i)
+	r.inflight.Clear(i)
+	for k, p := range r.order {
+		if p == i {
+			r.order = append(r.order[:k], r.order[k+1:]...)
+			break
+		}
+	}
+}
+
+func (r *Requester) commit(peer PeerID, ref BlockRef) BlockRef {
+	p := r.progress[ref.Piece]
+	if !p.requested[ref.Block] {
+		p.requested[ref.Block] = true
+		p.nRequest++
+	}
+	if r.pending[peer] == nil {
+		r.pending[peer] = map[BlockRef]struct{}{}
+	}
+	r.pending[peer][ref] = struct{}{}
+	if r.holders[ref] == nil {
+		r.holders[ref] = map[PeerID]struct{}{}
+	}
+	r.holders[ref][peer] = struct{}{}
+	return ref
+}
+
+func firstUnrequested(p *pieceProgress) int {
+	for b, req := range p.requested {
+		if !req {
+			return b
+		}
+	}
+	return -1
+}
+
+func (r *Requester) allBlocksRequested() bool {
+	ok := true
+	r.have.Missing(func(i int) bool {
+		p := r.progress[i]
+		if p == nil || firstUnrequested(p) >= 0 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// OnBlock records receipt of ref from peer. It returns whether the piece
+// completed with this block and, in end game mode, the pending duplicate
+// requests that should now be cancelled.
+func (r *Requester) OnBlock(peer PeerID, ref BlockRef) (pieceDone bool, cancels []PeerBlock) {
+	p := r.progress[ref.Piece]
+	if p == nil || p.received[ref.Block] {
+		// Duplicate or stale delivery (possible in end game); ignore.
+		r.forget(peer, ref)
+		return false, nil
+	}
+	p.received[ref.Block] = true
+	p.nReceived++
+	r.forget(peer, ref)
+	// Cancel every other pending copy of this block, in peer order so the
+	// caller's reaction sequence is deterministic.
+	for other := range r.holders[ref] {
+		cancels = append(cancels, PeerBlock{Peer: other, Ref: ref})
+		delete(r.pending[other], ref)
+	}
+	sort.Slice(cancels, func(i, j int) bool { return cancels[i].Peer < cancels[j].Peer })
+	delete(r.holders, ref)
+	if p.nReceived == len(p.received) {
+		r.dropPiece(ref.Piece)
+		r.have.Set(ref.Piece)
+		r.downloaded++
+		return true, cancels
+	}
+	return false, cancels
+}
+
+// OnPieceHashFail reverts acceptance of piece i after its assembled bytes
+// failed SHA-1 verification: the piece becomes missing and downloadable
+// again (real client path; the simulator transfers symbolically and never
+// corrupts).
+func (r *Requester) OnPieceHashFail(i int) {
+	if !r.have.Has(i) {
+		return
+	}
+	r.have.Clear(i)
+	r.downloaded--
+	r.OnPieceFailed(i)
+}
+
+// OnPieceFailed resets all block state for piece i after a hash failure so
+// it will be downloaded again (real client path).
+func (r *Requester) OnPieceFailed(i int) {
+	if r.have.Has(i) {
+		panic(fmt.Sprintf("core: piece %d failed after acceptance", i))
+	}
+	r.dropPiece(i)
+	for peer, refs := range r.pending {
+		for ref := range refs {
+			if ref.Piece == i {
+				delete(refs, ref)
+				r.dropHolder(peer, ref)
+			}
+		}
+	}
+}
+
+// OnPeerGone requeues every block pending on peer (the peer choked us,
+// disconnected, or left the peer set). Blocks with no other pending copy
+// become requestable again.
+func (r *Requester) OnPeerGone(peer PeerID) {
+	for ref := range r.pending[peer] {
+		r.dropHolder(peer, ref)
+		if len(r.holders[ref]) == 0 {
+			delete(r.holders, ref)
+			if p := r.progress[ref.Piece]; p != nil && !p.received[ref.Block] && p.requested[ref.Block] {
+				p.requested[ref.Block] = false
+				p.nRequest--
+				// Drop empty progress so the picker may choose afresh.
+				if p.nReceived == 0 && p.nRequest == 0 {
+					r.dropPiece(ref.Piece)
+				}
+			}
+		}
+	}
+	delete(r.pending, peer)
+}
+
+// PendingOf returns the blocks currently pending on peer (for tests and
+// instrumentation).
+func (r *Requester) PendingOf(peer PeerID) []BlockRef {
+	refs := make([]BlockRef, 0, len(r.pending[peer]))
+	for ref := range r.pending[peer] {
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
+func (r *Requester) forget(peer PeerID, ref BlockRef) {
+	if refs := r.pending[peer]; refs != nil {
+		delete(refs, ref)
+	}
+	r.dropHolder(peer, ref)
+}
+
+func (r *Requester) dropHolder(peer PeerID, ref BlockRef) {
+	if hs := r.holders[ref]; hs != nil {
+		delete(hs, peer)
+		if len(hs) == 0 {
+			delete(r.holders, ref)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/metainfo"
+)
+
+// fullRemote returns a bitfield with all n pieces set (a seed's view).
+func fullRemote(n int) *bitfield.Bitfield {
+	b := bitfield.New(n)
+	b.SetAll()
+	return b
+}
+
+// newTestRequester builds a requester over p pieces of 4 blocks each using
+// a rarest-first picker fed by a uniform availability (all pieces count 1).
+func newTestRequester(p int) *Requester {
+	geo := metainfo.NewGeometry(int64(p)*4*metainfo.BlockSize, 4*metainfo.BlockSize)
+	a := NewAvailability(p)
+	for i := 0; i < p; i++ {
+		a.Inc(i)
+	}
+	return NewRequester(geo, &RarestFirst{Avail: a, DisableRandomFirst: true})
+}
+
+func TestRequesterDownloadsWholeTorrent(t *testing.T) {
+	r := newTestRequester(10)
+	rng := rand.New(rand.NewSource(1))
+	remote := fullRemote(10)
+	const peer = PeerID(1)
+	steps := 0
+	for !r.Complete() {
+		ref, ok := r.Next(rng, peer, remote)
+		if !ok {
+			t.Fatalf("no block offered with %d/%d pieces done", r.Downloaded(), 10)
+		}
+		r.OnBlock(peer, ref)
+		if steps++; steps > 10*4+5 {
+			t.Fatal("too many steps; duplicate requests outside end game")
+		}
+	}
+	if r.Downloaded() != 10 || !r.Have().Complete() {
+		t.Fatalf("downloaded=%d", r.Downloaded())
+	}
+	if _, ok := r.Next(rng, peer, remote); ok {
+		t.Fatal("offered a block after completion")
+	}
+}
+
+func TestRequesterStrictPriority(t *testing.T) {
+	// After the first block of a piece is requested, the following requests
+	// must complete that piece before starting another (§II-C.1).
+	r := newTestRequester(8)
+	rng := rand.New(rand.NewSource(2))
+	remote := fullRemote(8)
+	const peer = PeerID(1)
+	first, ok := r.Next(rng, peer, remote)
+	if !ok {
+		t.Fatal("no first block")
+	}
+	for b := 1; b < 4; b++ {
+		ref, ok := r.Next(rng, peer, remote)
+		if !ok {
+			t.Fatal("no block")
+		}
+		if ref.Piece != first.Piece {
+			t.Fatalf("strict priority violated: started piece %d with piece %d incomplete", ref.Piece, first.Piece)
+		}
+		if ref.Block != b {
+			t.Fatalf("block order: got %d, want %d", ref.Block, b)
+		}
+	}
+	// Piece fully requested; the next request starts a new piece.
+	ref, ok := r.Next(rng, peer, remote)
+	if !ok || ref.Piece == first.Piece {
+		t.Fatalf("expected a new piece, got %+v ok=%v", ref, ok)
+	}
+}
+
+func TestRequesterStrictPriorityAcrossPeers(t *testing.T) {
+	// A second peer must also be steered to the in-flight piece.
+	r := newTestRequester(8)
+	rng := rand.New(rand.NewSource(3))
+	remote := fullRemote(8)
+	first, _ := r.Next(rng, PeerID(1), remote)
+	ref, ok := r.Next(rng, PeerID(2), remote)
+	if !ok || ref.Piece != first.Piece || ref.Block != 1 {
+		t.Fatalf("peer 2 got %+v, want block 1 of piece %d", ref, first.Piece)
+	}
+}
+
+func TestRequesterInterested(t *testing.T) {
+	r := newTestRequester(4)
+	remote := bitfield.New(4)
+	if r.Interested(remote) {
+		t.Fatal("interested in empty remote")
+	}
+	remote.Set(2)
+	if !r.Interested(remote) {
+		t.Fatal("not interested in remote with a needed piece")
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Download piece 2 only.
+	for !r.Have().Has(2) {
+		ref, ok := r.Next(rng, 1, remote)
+		if !ok {
+			t.Fatal("no block for piece 2")
+		}
+		if ref.Piece != 2 {
+			t.Fatalf("picked piece %d from remote that only has 2", ref.Piece)
+		}
+		r.OnBlock(1, ref)
+	}
+	if r.Interested(remote) {
+		t.Fatal("still interested after owning the only shared piece")
+	}
+}
+
+func TestRequesterPendingAndPeerGone(t *testing.T) {
+	r := newTestRequester(6)
+	rng := rand.New(rand.NewSource(5))
+	remote := fullRemote(6)
+	var refs []BlockRef
+	for i := 0; i < 3; i++ {
+		ref, ok := r.Next(rng, 9, remote)
+		if !ok {
+			t.Fatal("no block")
+		}
+		refs = append(refs, ref)
+	}
+	if r.Pending(9) != 3 || len(r.PendingOf(9)) != 3 {
+		t.Fatalf("pending = %d", r.Pending(9))
+	}
+	r.OnPeerGone(9)
+	if r.Pending(9) != 0 {
+		t.Fatalf("pending after gone = %d", r.Pending(9))
+	}
+	// The abandoned piece must have been fully rolled back (no received
+	// blocks, so its progress is dropped)...
+	if r.inflight.Has(refs[0].Piece) {
+		t.Fatalf("piece %d still in flight after requeue", refs[0].Piece)
+	}
+	// ...and a fresh peer gets blocks 0..2 of a single freshly picked piece
+	// (strict priority from a clean slate).
+	for i := 0; i < 3; i++ {
+		ref, ok := r.Next(rng, 10, remote)
+		if !ok {
+			t.Fatal("no block after requeue")
+		}
+		if ref.Block != i {
+			t.Fatalf("request %d = %+v, want block %d", i, ref, i)
+		}
+	}
+}
+
+func TestRequesterPeerGoneDropsEmptyProgress(t *testing.T) {
+	r := newTestRequester(6)
+	rng := rand.New(rand.NewSource(6))
+	remote := fullRemote(6)
+	ref, _ := r.Next(rng, 1, remote)
+	if !r.inflight.Has(ref.Piece) {
+		t.Fatal("piece not in flight")
+	}
+	r.OnPeerGone(1)
+	if r.inflight.Has(ref.Piece) {
+		t.Fatal("empty piece progress kept after requeue")
+	}
+	// With one received block the progress must survive.
+	ref, _ = r.Next(rng, 2, remote)
+	r.OnBlock(2, ref)
+	ref2, _ := r.Next(rng, 2, remote)
+	r.OnPeerGone(2)
+	if !r.inflight.Has(ref2.Piece) {
+		t.Fatal("partially received piece dropped")
+	}
+}
+
+func TestRequesterEndGame(t *testing.T) {
+	// 2 pieces x 4 blocks. Peer A is asked for everything but delivers
+	// nothing; once all blocks are requested, end game begins and peer B
+	// may request the same blocks. Deliveries by B cancel A's pending.
+	r := newTestRequester(2)
+	rng := rand.New(rand.NewSource(7))
+	remote := fullRemote(2)
+	for i := 0; i < 8; i++ {
+		if _, ok := r.Next(rng, 1, remote); !ok {
+			t.Fatalf("block %d not offered", i)
+		}
+	}
+	if r.InEndGame() {
+		t.Fatal("end game before exhaustion check")
+	}
+	// Peer 1 asks again: everything requested -> end game, duplicates to
+	// the same peer are refused.
+	if _, ok := r.Next(rng, 1, remote); ok {
+		t.Fatal("peer 1 got a duplicate of its own pending block")
+	}
+	if !r.InEndGame() {
+		t.Fatal("end game not entered")
+	}
+	// Peer 2 can duplicate-request all 8 blocks.
+	got := map[BlockRef]bool{}
+	for i := 0; i < 8; i++ {
+		ref, ok := r.Next(rng, 2, remote)
+		if !ok {
+			t.Fatalf("end game refused block %d for peer 2", i)
+		}
+		if got[ref] {
+			t.Fatalf("end game duplicated %+v to the same peer", ref)
+		}
+		got[ref] = true
+	}
+	// Peer 2 delivers one block: peer 1's pending copy must be cancelled.
+	var any BlockRef
+	for ref := range got {
+		any = ref
+		break
+	}
+	_, cancels := r.OnBlock(2, any)
+	if len(cancels) != 1 || cancels[0].Peer != 1 || cancels[0].Ref != any {
+		t.Fatalf("cancels = %+v", cancels)
+	}
+	if r.Pending(1) != 7 {
+		t.Fatalf("peer 1 pending = %d, want 7", r.Pending(1))
+	}
+	// Deliver everything else via peer 1; duplicates from peer 2 ignored.
+	for _, ref := range r.PendingOf(1) {
+		r.OnBlock(1, ref)
+	}
+	if !r.Complete() {
+		t.Fatalf("not complete: %d pieces", r.Downloaded())
+	}
+}
+
+func TestRequesterDuplicateDeliveryIgnored(t *testing.T) {
+	r := newTestRequester(1)
+	rng := rand.New(rand.NewSource(8))
+	remote := fullRemote(1)
+	ref, _ := r.Next(rng, 1, remote)
+	done, _ := r.OnBlock(1, ref)
+	if done {
+		t.Fatal("piece done after 1 of 4 blocks")
+	}
+	done, cancels := r.OnBlock(1, ref) // duplicate
+	if done || cancels != nil {
+		t.Fatal("duplicate delivery had effects")
+	}
+}
+
+func TestRequesterAddHave(t *testing.T) {
+	r := newTestRequester(4)
+	r.AddHave(0)
+	r.AddHave(0)
+	if r.Downloaded() != 1 {
+		t.Fatalf("downloaded = %d", r.Downloaded())
+	}
+	rng := rand.New(rand.NewSource(9))
+	remote := fullRemote(4)
+	for i := 0; i < 12; i++ { // 3 remaining pieces x 4 blocks
+		ref, ok := r.Next(rng, 1, remote)
+		if !ok {
+			t.Fatal("no block")
+		}
+		if ref.Piece == 0 {
+			t.Fatal("requested a piece we already have")
+		}
+		r.OnBlock(1, ref)
+	}
+	if !r.Complete() {
+		t.Fatal("not complete")
+	}
+}
+
+func TestRequesterOnPieceFailed(t *testing.T) {
+	r := newTestRequester(2)
+	rng := rand.New(rand.NewSource(10))
+	remote := fullRemote(2)
+	// Receive 3 of 4 blocks of some piece.
+	var piece int
+	for i := 0; i < 3; i++ {
+		ref, _ := r.Next(rng, 1, remote)
+		piece = ref.Piece
+		r.OnBlock(1, ref)
+	}
+	r.OnPieceFailed(piece)
+	if r.inflight.Has(piece) {
+		t.Fatal("failed piece still in flight")
+	}
+	// The piece must be fully downloadable again.
+	count := 0
+	for !r.Have().Has(piece) {
+		ref, ok := r.Next(rng, 1, remote)
+		if !ok {
+			t.Fatal("no block for failed piece")
+		}
+		r.OnBlock(1, ref)
+		if count++; count > 8 {
+			t.Fatal("failed piece not recoverable")
+		}
+	}
+}
+
+func TestRequesterRaggedLastPiece(t *testing.T) {
+	// 3 pieces of 4 blocks, last piece 1 short block.
+	geo := metainfo.NewGeometry(int64(2*4*metainfo.BlockSize+100), 4*metainfo.BlockSize)
+	a := NewAvailability(geo.NumPieces)
+	for i := 0; i < geo.NumPieces; i++ {
+		a.Inc(i)
+	}
+	r := NewRequester(geo, &RarestFirst{Avail: a, DisableRandomFirst: true})
+	rng := rand.New(rand.NewSource(11))
+	remote := fullRemote(geo.NumPieces)
+	for !r.Complete() {
+		ref, ok := r.Next(rng, 1, remote)
+		if !ok {
+			t.Fatal("stuck")
+		}
+		r.OnBlock(1, ref)
+	}
+	if r.Downloaded() != 3 {
+		t.Fatalf("downloaded = %d", r.Downloaded())
+	}
+}
+
+func TestRequesterPartialRemote(t *testing.T) {
+	// The remote has only piece 1; every request must target piece 1 and
+	// stop once it's complete.
+	r := newTestRequester(4)
+	rng := rand.New(rand.NewSource(12))
+	remote := bitfield.New(4)
+	remote.Set(1)
+	for b := 0; b < 4; b++ {
+		ref, ok := r.Next(rng, 1, remote)
+		if !ok || ref.Piece != 1 {
+			t.Fatalf("got %+v ok=%v", ref, ok)
+		}
+		r.OnBlock(1, ref)
+	}
+	if _, ok := r.Next(rng, 1, remote); ok {
+		t.Fatal("request offered with nothing wanted from this remote")
+	}
+}

@@ -1,0 +1,172 @@
+package fluidmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// base returns a well-behaved parameter set: 1 MB-equivalent units with
+// upload-constrained downloads.
+func base() Params {
+	return Params{
+		Lambda: 0.1, // one leecher every 10 s
+		Theta:  0.001,
+		Gamma:  0.02,  // seeds stay ~50 s
+		Mu:     0.002, // 500 s to upload one copy
+		C:      0.02,  // 50 s to download one copy at line rate
+		Eta:    1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Lambda: -1, Mu: 1},
+		{Mu: 0},
+		{Mu: 1, Eta: 2},
+		{Mu: 1, Theta: -0.1},
+	}
+	for _, p := range bad {
+		if _, err := p.Integrate(0, 1, 10, 1); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := base().Integrate(0, 1, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestIntegrateConservesShape(t *testing.T) {
+	traj, err := base().Integrate(0, 1, 10000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) < 100 {
+		t.Fatalf("trajectory too short: %d", len(traj))
+	}
+	for _, s := range traj {
+		if s.X < 0 || s.Y < 0 || math.IsNaN(s.X) || math.IsNaN(s.Y) {
+			t.Fatalf("invalid state %+v", s)
+		}
+	}
+	if traj[0].X != 0 || traj[0].Y != 1 {
+		t.Fatalf("initial state %+v", traj[0])
+	}
+	if got := traj[len(traj)-1].T; math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("end time %f", got)
+	}
+}
+
+func TestEquilibriumMatchesTheory(t *testing.T) {
+	// With theta=0 and an upload-constrained system (c large), the flow
+	// balance at equilibrium gives completion rate = lambda, so
+	// y* = lambda/gamma, and mu(eta x* + y*) = lambda
+	// => x* = (lambda - mu y*) / (mu eta) = lambda(1 - mu/gamma)/(mu eta).
+	p := base()
+	p.Theta = 0
+	eq, ok, err := p.Equilibrium(1e6, 1e-10)
+	if err != nil || !ok {
+		t.Fatalf("no equilibrium: %v ok=%v", err, ok)
+	}
+	wantY := p.Lambda / p.Gamma
+	wantX := (p.Lambda - p.Mu*wantY) / (p.Mu * p.Eta)
+	if math.Abs(eq.Y-wantY) > 0.05*wantY {
+		t.Fatalf("y* = %f, want %f", eq.Y, wantY)
+	}
+	if math.Abs(eq.X-wantX) > 0.05*wantX {
+		t.Fatalf("x* = %f, want %f", eq.X, wantX)
+	}
+}
+
+func TestMeanDownloadTimeLittle(t *testing.T) {
+	p := base()
+	p.Theta = 0
+	T, err := p.MeanDownloadTime(1e6, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With theta=0, T = x*/lambda. From the theory check above:
+	wantY := p.Lambda / p.Gamma
+	wantX := (p.Lambda - p.Mu*wantY) / (p.Mu * p.Eta)
+	want := wantX / p.Lambda
+	if math.Abs(T-want) > 0.05*want {
+		t.Fatalf("T = %f, want %f", T, want)
+	}
+}
+
+func TestDownloadCapBinds(t *testing.T) {
+	// With a tiny download cap, the download side binds and the mean time
+	// approaches 1/c.
+	p := base()
+	p.Theta = 0
+	p.C = 0.0005 // 2000 s at line rate
+	p.Mu = 1     // effectively infinite upload
+	T, err := p.MeanDownloadTime(1e7, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / p.C
+	if math.Abs(T-want) > 0.05*want {
+		t.Fatalf("T = %f, want %f", T, want)
+	}
+}
+
+func TestEtaReducesCapacity(t *testing.T) {
+	// Lower eta (poorer piece diversity) must not shorten downloads.
+	slow := base()
+	slow.Eta = 0.3
+	fast := base()
+	fast.Eta = 1.0
+	tSlow, err := slow.MeanDownloadTime(1e6, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tFast, err := fast.MeanDownloadTime(1e6, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSlow < tFast {
+		t.Fatalf("eta=0.3 gave faster downloads: %f < %f", tSlow, tFast)
+	}
+}
+
+func TestFromSwarm(t *testing.T) {
+	p := FromSwarm(0.2, 0.001, 0.05, 50<<10, 0, 48<<20, 1)
+	if p.Lambda != 0.2 || p.Eta != 1 {
+		t.Fatalf("params %+v", p)
+	}
+	if p.c() != math.Inf(1) {
+		t.Fatal("uncapped download not Inf")
+	}
+	// Mu: 50 kB/s over 48 MB = one copy per ~983 s.
+	if math.Abs(1/p.Mu-983) > 10 {
+		t.Fatalf("1/mu = %f", 1/p.Mu)
+	}
+}
+
+// Property: populations stay finite and non-negative for arbitrary sane
+// parameters.
+func TestQuickIntegrateStability(t *testing.T) {
+	f := func(l, th, g, mu uint8) bool {
+		p := Params{
+			Lambda: float64(l) / 100,
+			Theta:  float64(th) / 10000,
+			Gamma:  float64(g)/1000 + 0.001,
+			Mu:     float64(mu)/10000 + 0.0001,
+			Eta:    1,
+		}
+		traj, err := p.Integrate(0, 1, 5000, 1)
+		if err != nil {
+			return false
+		}
+		for _, s := range traj {
+			if s.X < 0 || s.Y < 0 || math.IsNaN(s.X) || math.IsInf(s.X, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package metainfo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testContent(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestGeometryExact(t *testing.T) {
+	g := NewGeometry(1<<20, 256<<10) // exactly 4 pieces
+	if g.NumPieces != 4 {
+		t.Fatalf("NumPieces = %d", g.NumPieces)
+	}
+	for i := 0; i < 4; i++ {
+		if g.PieceSize(i) != 256<<10 {
+			t.Fatalf("PieceSize(%d) = %d", i, g.PieceSize(i))
+		}
+		if g.BlocksIn(i) != 16 {
+			t.Fatalf("BlocksIn(%d) = %d", i, g.BlocksIn(i))
+		}
+	}
+	if g.TotalBlocks() != 64 {
+		t.Fatalf("TotalBlocks = %d", g.TotalBlocks())
+	}
+}
+
+func TestGeometryRaggedTail(t *testing.T) {
+	// 1 MiB + 100 bytes: 5 pieces, last piece 100 bytes = 1 block of 100.
+	g := NewGeometry(1<<20+100, 256<<10)
+	if g.NumPieces != 5 {
+		t.Fatalf("NumPieces = %d", g.NumPieces)
+	}
+	if g.PieceSize(4) != 100 {
+		t.Fatalf("last PieceSize = %d", g.PieceSize(4))
+	}
+	if g.BlocksIn(4) != 1 || g.BlockSize(4, 0) != 100 {
+		t.Fatalf("tail blocks wrong: %d blocks, first %d bytes", g.BlocksIn(4), g.BlockSize(4, 0))
+	}
+	// Piece with ragged final block: 20 kB piece = 16 kB + 4 kB.
+	g2 := NewGeometry(20<<10, 20<<10)
+	if g2.BlocksIn(0) != 2 || g2.BlockSize(0, 0) != 16<<10 || g2.BlockSize(0, 1) != 4<<10 {
+		t.Fatalf("ragged block geometry wrong")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	g := NewGeometry(100, 50)
+	for _, fn := range []func(){
+		func() { NewGeometry(0, 10) },
+		func() { NewGeometry(10, 0) },
+		func() { g.PieceSize(2) },
+		func() { g.PieceSize(-1) },
+		func() { g.BlockSize(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBuildAndVerify(t *testing.T) {
+	content := testContent(300000, 1)
+	m, err := Build("demo.bin", "http://tracker.local/announce", content, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPieces() != 5 {
+		t.Fatalf("NumPieces = %d", m.NumPieces())
+	}
+	g := m.Geometry()
+	for i := 0; i < g.NumPieces; i++ {
+		start := i * g.PieceLength
+		piece := content[start : start+g.PieceSize(i)]
+		if !m.VerifyPiece(i, piece) {
+			t.Fatalf("piece %d does not verify", i)
+		}
+		if i > 0 && m.VerifyPiece(i, content[:g.PieceSize(i)]) {
+			t.Fatalf("piece %d verified against wrong data", i)
+		}
+	}
+	if m.VerifyPiece(-1, nil) || m.VerifyPiece(99, nil) {
+		t.Fatal("out-of-range piece verified")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("x", "u", nil, 100); err == nil {
+		t.Fatal("empty content accepted")
+	}
+	if _, err := Build("x", "u", []byte{1}, 0); err == nil {
+		t.Fatal("zero piece length accepted")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	content := testContent(70000, 2)
+	m, err := Build("a b c.iso", "http://127.0.0.1:8080/announce", content, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.Marshal()
+	back, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Announce != m.Announce || back.Info.Name != m.Info.Name ||
+		back.Info.Length != m.Info.Length || back.Info.PieceLength != m.Info.PieceLength {
+		t.Fatalf("fields differ: %+v vs %+v", back, m)
+	}
+	if back.InfoHash() != m.InfoHash() {
+		t.Fatalf("info hash differs: %v vs %v", back.InfoHash(), m.InfoHash())
+	}
+	if len(back.Info.Hashes) != len(m.Info.Hashes) {
+		t.Fatalf("hash count differs")
+	}
+	if !bytes.Equal(back.Marshal(), enc) {
+		t.Fatal("re-marshal not canonical")
+	}
+}
+
+func TestInfoHashSensitivity(t *testing.T) {
+	content := testContent(50000, 3)
+	m1, _ := Build("n", "u", content, 16<<10)
+	content[0] ^= 1
+	m2, _ := Build("n", "u", content, 16<<10)
+	if m1.InfoHash() == m2.InfoHash() {
+		t.Fatal("info hash insensitive to content change")
+	}
+	content[0] ^= 1
+	m3, _ := Build("other-name", "u", content, 16<<10)
+	if m1.InfoHash() == m3.InfoHash() {
+		t.Fatal("info hash insensitive to name change")
+	}
+	m4, _ := Build("n", "elsewhere", content, 16<<10)
+	if m1.InfoHash() != m4.InfoHash() {
+		t.Fatal("info hash must not depend on announce URL")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte("garbage"),
+		[]byte("le"),
+		[]byte("de"),
+		[]byte("d4:infodee"),
+		[]byte("d4:infod6:lengthi100e4:name1:x12:piece lengthi16384e6:pieces3:abcee"), // hashes not 20-aligned
+		[]byte("d4:infod6:lengthi100e4:name1:x12:piece lengthi16384e6:pieces0:ee"),    // no hashes
+	}
+	for _, in := range bad {
+		if _, err := Unmarshal(in); err == nil {
+			t.Errorf("Unmarshal(%q) accepted", in)
+		}
+	}
+	// Wrong hash count for geometry: 2 hashes but length implies 1 piece.
+	m, _ := Build("x", "u", testContent(100, 4), 200)
+	m.Info.Hashes = append(m.Info.Hashes, [20]byte{})
+	if _, err := Unmarshal(m.Marshal()); err == nil {
+		t.Error("hash-count mismatch accepted")
+	}
+}
+
+// Property: piece sizes always sum to the total length, and block sizes sum
+// to each piece's size.
+func TestQuickGeometryConservation(t *testing.T) {
+	f := func(lenSeed, pieceSeed uint32) bool {
+		length := int64(lenSeed)%(64<<20) + 1
+		pieceLen := int(pieceSeed)%(4<<20) + 1
+		g := NewGeometry(length, pieceLen)
+		var sum int64
+		for i := 0; i < g.NumPieces; i++ {
+			ps := g.PieceSize(i)
+			if ps <= 0 || ps > pieceLen {
+				return false
+			}
+			bsum := 0
+			for b := 0; b < g.BlocksIn(i); b++ {
+				bs := g.BlockSize(i, b)
+				if bs <= 0 || bs > BlockSize {
+					return false
+				}
+				bsum += bs
+			}
+			if bsum != ps {
+				return false
+			}
+			sum += int64(ps)
+		}
+		return sum == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperTorrentGeometries(t *testing.T) {
+	// Torrent 8: 3000 MB in 863 pieces -> ~3.5 MB pieces (paper: "size of
+	// each piece in this torrent is 4 MB" after rounding piece length up).
+	g := NewGeometry(3000<<20, 4<<20)
+	if g.NumPieces != 750 { // 3000/4
+		t.Fatalf("torrent-8-like geometry: %d pieces", g.NumPieces)
+	}
+	// Torrent 10: 348 MB in 1393 pieces -> 256 kB pieces.
+	g = NewGeometry(348<<20, 256<<10)
+	if g.NumPieces != 1392 {
+		t.Fatalf("torrent-10-like geometry: %d pieces", g.NumPieces)
+	}
+}

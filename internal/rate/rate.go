@@ -1,0 +1,145 @@
+// Package rate implements the bandwidth measurement used by the choke
+// algorithm and the shaping used by the real client.
+//
+// Estimator reproduces the mainline 4.0.2 "Measure" class: an exponentially
+// ageing average over at most MaxRatePeriod seconds (20 s by default). The
+// paper's choke algorithm orders peers by exactly this estimate, so the
+// simulator and the real client share it.
+//
+// All timestamps are float64 seconds on an arbitrary monotonic clock; the
+// caller supplies "now" explicitly so that simulated and wall-clock time
+// both work.
+package rate
+
+import "fmt"
+
+// DefaultMaxRatePeriod is the mainline client's 20-second estimation window.
+const DefaultMaxRatePeriod = 20.0
+
+// Estimator measures a transfer rate the way mainline 4.0.2 does: each
+// update folds the new byte count into a running average whose memory is
+// capped at MaxRatePeriod seconds. The zero value is not usable; call
+// NewEstimator.
+type Estimator struct {
+	maxRatePeriod float64
+	rateSince     float64
+	last          float64
+	rate          float64
+	total         int64
+	started       bool
+}
+
+// NewEstimator returns an estimator with the given averaging window in
+// seconds. If window <= 0, DefaultMaxRatePeriod is used.
+func NewEstimator(window float64) *Estimator {
+	if window <= 0 {
+		window = DefaultMaxRatePeriod
+	}
+	return &Estimator{maxRatePeriod: window}
+}
+
+// start initializes the window on the first observation, with the mainline
+// fudge of one second so early rates aren't infinite.
+func (e *Estimator) start(now float64) {
+	e.rateSince = now - 1
+	e.last = e.rateSince
+	e.started = true
+}
+
+// Update records amount bytes transferred at time now (seconds).
+func (e *Estimator) Update(now float64, amount int64) {
+	if !e.started {
+		e.start(now)
+	}
+	if now < e.last {
+		now = e.last // clock must not run backwards; clamp
+	}
+	e.total += amount
+	if now > e.rateSince {
+		e.rate = (e.rate*(e.last-e.rateSince) + float64(amount)) / (now - e.rateSince)
+	}
+	e.last = now
+	if e.rateSince < now-e.maxRatePeriod {
+		e.rateSince = now - e.maxRatePeriod
+	}
+}
+
+// Rate returns the estimated rate in bytes/second at time now. As in the
+// mainline client, asking for the rate ages it (an idle peer's estimate
+// decays toward zero).
+func (e *Estimator) Rate(now float64) float64 {
+	if !e.started {
+		return 0
+	}
+	e.Update(now, 0)
+	return e.rate
+}
+
+// Total returns the total bytes observed.
+func (e *Estimator) Total() int64 { return e.total }
+
+// String summarises the estimator for logs.
+func (e *Estimator) String() string {
+	return fmt.Sprintf("rate{%.1fB/s over %.0fs, total %d}", e.rate, e.maxRatePeriod, e.total)
+}
+
+// Bucket is a token bucket used by the real client to cap upload rate (the
+// paper's client uploads at most 20 kB/s). Tokens are bytes.
+type Bucket struct {
+	ratePerSec float64 // fill rate, bytes/second
+	burst      float64 // bucket capacity, bytes
+	tokens     float64
+	lastFill   float64
+	started    bool
+}
+
+// NewBucket returns a token bucket filling at ratePerSec bytes/second with
+// the given burst capacity. A non-positive burst defaults to one second of
+// tokens.
+func NewBucket(ratePerSec, burst float64) *Bucket {
+	if ratePerSec <= 0 {
+		panic("rate: non-positive bucket rate")
+	}
+	if burst <= 0 {
+		burst = ratePerSec
+	}
+	return &Bucket{ratePerSec: ratePerSec, burst: burst}
+}
+
+func (b *Bucket) fill(now float64) {
+	if !b.started {
+		b.started = true
+		b.lastFill = now
+		b.tokens = b.burst
+		return
+	}
+	if now > b.lastFill {
+		b.tokens += (now - b.lastFill) * b.ratePerSec
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.lastFill = now
+	}
+}
+
+// Take attempts to remove n tokens at time now. It returns 0 if the tokens
+// were available, otherwise the number of seconds to wait until they will
+// be.
+func (b *Bucket) Take(now float64, n int) float64 {
+	b.fill(now)
+	if float64(n) <= b.tokens {
+		b.tokens -= float64(n)
+		return 0
+	}
+	deficit := float64(n) - b.tokens
+	wait := deficit / b.ratePerSec
+	// Commit the take; the caller sleeps for the returned duration.
+	b.tokens -= float64(n)
+	return wait
+}
+
+// Available returns the token count at time now without taking any.
+func (b *Bucket) Available(now float64) float64 {
+	b.fill(now)
+	return b.tokens
+}

@@ -1,0 +1,142 @@
+// Package sim provides the deterministic discrete-event engine and the
+// fluid bandwidth model on which the swarm simulator runs.
+//
+// Time is float64 seconds from the start of the experiment. Events firing
+// at the same instant are executed in scheduling order (a strictly
+// increasing sequence number breaks ties), so a run is a pure function of
+// the RNG seed and the initial configuration.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Timer is a handle to a scheduled event; Cancel prevents a pending event
+// from firing.
+type Timer struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the time the timer is scheduled to fire.
+func (t *Timer) At() float64 { return t.at }
+
+// Cancel stops the timer; it is safe to call on an already-fired or
+// already-cancelled timer.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+type Engine struct {
+	now  float64
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+}
+
+// NewEngine returns an engine whose randomness derives entirely from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t (clamped to now if in the
+// past) and returns a cancellable handle.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	timer := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, timer)
+	return timer
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		t := heap.Pop(&e.heap).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		e.now = t.at
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the next event is after
+// `until`; the clock is finally advanced to `until` if it got that far.
+func (e *Engine) Run(until float64) {
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.cancelled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.heap)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunUntilIdle executes events until none remain.
+func (e *Engine) RunUntilIdle() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node (peer) in the fluid network.
+type NodeID int32
+
+// node carries a peer's access-link capacities and its active flows.
+// Flows are kept in insertion-ordered slices (not maps) so that retiming
+// walks them deterministically — event heap tie-breaking depends on
+// scheduling order, and a map walk here would leak randomness into runs.
+type node struct {
+	upCap   float64 // bytes/second; math.Inf(1) = uncapped
+	downCap float64
+	upFlows []*Flow
+	dnFlows []*Flow
+}
+
+func removeFlow(list *[]*Flow, f *Flow) {
+	for i, x := range *list {
+		if x == f {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flow is an in-progress fluid transfer between two nodes. A flow's rate is
+// min(uploader share, downloader share), where a node's capacity is split
+// equally among its active flows in each direction — the standard
+// access-link fluid model for swarms without network bottlenecks (the
+// paper's stated context: "the peers are well connected without severe
+// network bottlenecks").
+type Flow struct {
+	net        *Net
+	from, to   NodeID
+	remaining  float64
+	rate       float64
+	lastUpdate float64
+	timer      *Timer
+	onDone     func()
+	done       bool
+}
+
+// From returns the uploading node.
+func (f *Flow) From() NodeID { return f.from }
+
+// To returns the downloading node.
+func (f *Flow) To() NodeID { return f.to }
+
+// Remaining returns the bytes left to transfer as of the last settlement.
+func (f *Flow) Remaining(now float64) float64 {
+	rem := f.remaining - f.rate*(now-f.lastUpdate)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Rate returns the flow's current fluid rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Net is the fluid bandwidth model. All methods must be called from engine
+// event context (single-threaded).
+type Net struct {
+	eng   *Engine
+	nodes []*node
+}
+
+// NewNet returns an empty network bound to the engine.
+func NewNet(eng *Engine) *Net {
+	return &Net{eng: eng}
+}
+
+// AddNode registers a node with the given up/down capacities in
+// bytes/second; non-positive values mean uncapped.
+func (n *Net) AddNode(upCap, downCap float64) NodeID {
+	if upCap <= 0 {
+		upCap = math.Inf(1)
+	}
+	if downCap <= 0 {
+		downCap = math.Inf(1)
+	}
+	n.nodes = append(n.nodes, &node{upCap: upCap, downCap: downCap})
+	return NodeID(len(n.nodes) - 1)
+}
+
+// UploadCapacity returns the uploader-side capacity of id.
+func (n *Net) UploadCapacity(id NodeID) float64 { return n.nodes[id].upCap }
+
+// ActiveUploads returns the number of flows currently leaving id.
+func (n *Net) ActiveUploads(id NodeID) int { return len(n.nodes[id].upFlows) }
+
+// ActiveDownloads returns the number of flows currently entering id.
+func (n *Net) ActiveDownloads(id NodeID) int { return len(n.nodes[id].dnFlows) }
+
+// StartFlow begins transferring bytes from one node to another, invoking
+// onDone (in event context) when the last byte arrives.
+func (n *Net) StartFlow(from, to NodeID, bytes float64, onDone func()) *Flow {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("sim: non-positive flow size %f", bytes))
+	}
+	if from == to {
+		panic("sim: flow to self")
+	}
+	f := &Flow{
+		net:        n,
+		from:       from,
+		to:         to,
+		remaining:  bytes,
+		lastUpdate: n.eng.Now(),
+		onDone:     onDone,
+	}
+	n.nodes[from].upFlows = append(n.nodes[from].upFlows, f)
+	n.nodes[to].dnFlows = append(n.nodes[to].dnFlows, f)
+	n.retimeNode(from)
+	n.retimeNode(to)
+	return f
+}
+
+// Cancel aborts the flow; onDone is not invoked. Safe on completed flows.
+func (f *Flow) Cancel() {
+	if f.done {
+		return
+	}
+	f.done = true
+	if f.timer != nil {
+		f.timer.Cancel()
+	}
+	n := f.net
+	removeFlow(&n.nodes[f.from].upFlows, f)
+	removeFlow(&n.nodes[f.to].dnFlows, f)
+	n.retimeNode(f.from)
+	n.retimeNode(f.to)
+}
+
+// settle charges elapsed time against remaining bytes.
+func (f *Flow) settle(now float64) {
+	if now > f.lastUpdate {
+		f.remaining -= f.rate * (now - f.lastUpdate)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.lastUpdate = now
+	}
+}
+
+// retimeNode recomputes the rate and completion time of every flow touching
+// id. Counts at the far endpoints are unchanged by definition, so only
+// these flows need work.
+func (n *Net) retimeNode(id NodeID) {
+	nd := n.nodes[id]
+	for _, f := range nd.upFlows {
+		n.retimeFlow(f)
+	}
+	for _, f := range nd.dnFlows {
+		n.retimeFlow(f)
+	}
+}
+
+func (n *Net) retimeFlow(f *Flow) {
+	now := n.eng.Now()
+	f.settle(now)
+	up := n.nodes[f.from]
+	dn := n.nodes[f.to]
+	upShare := up.upCap / float64(len(up.upFlows))
+	dnShare := dn.downCap / float64(len(dn.dnFlows))
+	f.rate = math.Min(upShare, dnShare)
+	if f.timer != nil {
+		f.timer.Cancel()
+	}
+	var eta float64
+	if math.IsInf(f.rate, 1) {
+		eta = 0
+	} else {
+		eta = f.remaining / f.rate
+	}
+	f.timer = n.eng.After(eta, func() { n.finish(f) })
+}
+
+func (n *Net) finish(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.remaining = 0
+	removeFlow(&n.nodes[f.from].upFlows, f)
+	removeFlow(&n.nodes[f.to].dnFlows, f)
+	n.retimeNode(f.from)
+	n.retimeNode(f.to)
+	if f.onDone != nil {
+		f.onDone()
+	}
+}

@@ -1,0 +1,536 @@
+package swarm
+
+import (
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/core"
+	"rarestfirst/internal/rate"
+	"rarestfirst/internal/sim"
+)
+
+// conn is one peer's directed view of a connection: interest and choke
+// state in both directions, rate estimators, byte counters and the active
+// flows. Both endpoints hold their own conn for the pair; state changes are
+// mirrored synchronously (control messages are instantaneous in the model).
+type conn struct {
+	owner  *Peer
+	remote *Peer
+
+	initiatedByOwner bool
+
+	amInterested   bool // owner is interested in remote
+	peerInterested bool // remote is interested in owner
+	amUnchoking    bool // owner unchokes remote
+	peerUnchoking  bool // remote unchokes owner
+
+	// lastUnchokedAt is when the owner last transitioned the remote from
+	// choked to unchoked (new seed algorithm ordering).
+	lastUnchokedAt float64
+
+	inEst  *rate.Estimator // rate owner receives from remote
+	outEst *rate.Estimator // rate owner sends to remote
+
+	bytesIn  int64 // owner received from remote
+	bytesOut int64 // owner sent to remote
+
+	// Active download (owner <- remote).
+	inFlow      *sim.Flow
+	flowBytes   float64
+	flowSettled float64
+	flowPiece   int
+	flowRef     core.BlockRef // local-peer block downloads only
+
+	// Active upload (owner -> remote); bookkeeping lives on the remote's
+	// conn (its inFlow fields); this pointer only marks the slot busy.
+	outFlow *sim.Flow
+}
+
+// Peer is one simulated BitTorrent peer. The instrumented local peer runs
+// the full block-granularity core.Requester; remote peers run piece-level
+// selection through the same core.Picker implementations.
+type Peer struct {
+	s    *Swarm
+	id   core.PeerID
+	node sim.NodeID
+
+	have  *bitfield.Bitfield
+	avail *core.Availability
+
+	picker  core.Picker
+	chokerL core.Choker
+	chokerS core.Choker
+
+	conns    map[core.PeerID]*conn
+	connList []*conn
+
+	initiated int
+	seed      bool
+	freeRider bool
+	departed  bool
+	isLocal   bool
+
+	joinedAt   float64
+	finishedAt float64 // time of leecher->seed transition; -1 if never
+
+	// Remote-peer piece-level download state.
+	inflight       *bitfield.Bitfield
+	pieceRemaining map[int]float64
+	downloaded     int
+
+	// Local-peer block-level state.
+	req           *core.Requester
+	endgameMarked bool
+
+	chokeTimer     *sim.Timer
+	nextAnnounceOK float64
+}
+
+// hasPiece reports whether the peer owns piece i (requester-backed for the
+// local peer; the bitfield is shared so this is a plain lookup).
+func (p *Peer) hasPiece(i int) bool { return p.have.Has(i) }
+
+// interestedIn reports whether p should be interested in remote.
+func (p *Peer) interestedIn(remote *Peer) bool {
+	return !p.seed && p.have.AnyMissingIn(remote.have)
+}
+
+// connectedTo reports whether p has a connection to q.
+func (p *Peer) connectedTo(q *Peer) bool {
+	_, ok := p.conns[q.id]
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Interest management
+
+// setInterest flips the owner's interest on conn c and mirrors it to the
+// remote side, notifying the collector when the local peer is involved.
+func (p *Peer) setInterest(c *conn, v bool) {
+	if c.amInterested == v {
+		return
+	}
+	c.amInterested = v
+	now := p.s.eng.Now()
+	if rc := c.remote.conns[p.id]; rc != nil {
+		rc.peerInterested = v
+	}
+	if p.isLocal {
+		p.s.col.LocalInterest(int(c.remote.id), now, v)
+	}
+	if c.remote.isLocal {
+		p.s.col.RemoteInterest(int(p.id), now, v)
+	}
+	if v {
+		p.maybeRequest(c)
+	}
+}
+
+// refreshInterest recomputes interest from the bitfields (full check).
+func (p *Peer) refreshInterest(c *conn) {
+	p.setInterest(c, p.interestedIn(c.remote))
+}
+
+// ---------------------------------------------------------------------------
+// Requesting and transfers
+
+// retryRequests re-attempts a request on every idle connection. It must be
+// called whenever a previously in-flight piece becomes requestable again
+// (cancelled by a choke or a departure): that is the only transition that
+// adds pick candidates without any other notification reaching this peer.
+func (p *Peer) retryRequests() {
+	if p.departed || p.seed {
+		return
+	}
+	for _, c := range p.connList {
+		p.maybeRequest(c)
+	}
+}
+
+// maybeRequest starts a download on conn c (owner downloading from
+// c.remote) when the remote unchokes us, we are interested, and no transfer
+// is already active on the connection.
+func (p *Peer) maybeRequest(c *conn) {
+	if p.departed || p.seed || c.inFlow != nil || !c.peerUnchoking || !c.amInterested {
+		return
+	}
+	if p.isLocal {
+		p.requestBlock(c)
+		return
+	}
+	p.requestPiece(c)
+}
+
+// requestPiece is the remote-peer piece-granularity request path.
+func (p *Peer) requestPiece(c *conn) {
+	s := p.s
+	u := c.remote
+	piece := -1
+	bytes := 0.0
+	resumed := false
+	// Resume a partially downloaded piece first (blocks already received
+	// are fungible across peers, as in the real protocol): lowest index
+	// for determinism.
+	for q, rem := range p.pieceRemaining {
+		if u.hasPiece(q) && !p.hasPiece(q) && !p.inflight.Has(q) && rem > 0 {
+			if piece == -1 || q < piece {
+				piece = q
+				bytes = rem
+				resumed = true
+			}
+		}
+	}
+	if piece == -1 {
+		st := core.PickState{Have: p.have, InFlight: p.inflight, Remote: u.have, Downloaded: p.downloaded}
+		piece = p.picker.Pick(s.eng.RNG(), &st)
+		if piece >= 0 {
+			bytes = float64(s.geo.PieceSize(piece))
+		}
+	}
+	if piece < 0 {
+		return
+	}
+	// Smart seed-serve (idealized coding / super seeding, A4): the initial
+	// seed substitutes its least-served piece among those we lack — but
+	// never hijacks a resume, or partial pieces would smear forever.
+	if s.cfg.SmartSeedServe && u == s.initialSeed && !resumed {
+		if sub := s.seedServeOverride(p); sub >= 0 && sub != piece {
+			piece = sub
+			bytes = float64(s.geo.PieceSize(piece))
+			if rem, ok := p.pieceRemaining[piece]; ok && rem > 0 {
+				bytes = rem
+			}
+		}
+	}
+	if u == s.initialSeed {
+		s.noteSeedServeStart(piece)
+	}
+	delete(p.pieceRemaining, piece)
+	p.inflight.Set(piece)
+	c.flowPiece = piece
+	c.flowBytes = bytes
+	c.flowSettled = 0
+	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, func() { p.onPieceFlowDone(c) })
+	if uc := u.conns[p.id]; uc != nil {
+		uc.outFlow = c.inFlow
+	}
+}
+
+// requestBlock is the local-peer block-granularity request path through the
+// full Requester (strict priority + end game).
+func (p *Peer) requestBlock(c *conn) {
+	s := p.s
+	u := c.remote
+	ref, ok := p.req.Next(s.eng.RNG(), u.id, u.have)
+	if !ok {
+		return
+	}
+	if p.req.InEndGame() && !p.endgameMarked {
+		p.endgameMarked = true
+		s.col.MarkEvent(s.eng.Now(), "end_game")
+	}
+	if u == s.initialSeed && ref.Block == 0 {
+		s.noteSeedServeStart(ref.Piece)
+	}
+	bytes := float64(s.geo.BlockSize(ref.Piece, ref.Block))
+	c.flowRef = ref
+	c.flowPiece = ref.Piece
+	c.flowBytes = bytes
+	c.flowSettled = 0
+	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, func() { p.onBlockFlowDone(c) })
+	if uc := u.conns[p.id]; uc != nil {
+		uc.outFlow = c.inFlow
+	}
+}
+
+// settleDown credits in-flight download progress on conn c to both ends'
+// estimators, byte counters and (when the local peer is involved) the
+// collector. Called at choke rounds and at flow completion/cancellation so
+// rates are smooth at any granularity.
+func (p *Peer) settleDown(c *conn) {
+	if c.inFlow == nil {
+		return
+	}
+	now := p.s.eng.Now()
+	progress := c.flowBytes - c.inFlow.Remaining(now)
+	delta := int64(progress - c.flowSettled)
+	if delta <= 0 {
+		return
+	}
+	c.flowSettled += float64(delta)
+	c.bytesIn += delta
+	c.inEst.Update(now, delta)
+	if uc := c.remote.conns[p.id]; uc != nil {
+		uc.bytesOut += delta
+		uc.outEst.Update(now, delta)
+	}
+	if p.isLocal {
+		p.s.col.Downloaded(int(c.remote.id), now, delta)
+	}
+	if c.remote.isLocal {
+		p.s.col.Uploaded(int(p.id), now, delta)
+	}
+}
+
+// clearFlow drops the flow pointers on both ends after settle.
+func (p *Peer) clearFlow(c *conn) {
+	if uc := c.remote.conns[p.id]; uc != nil && uc.outFlow == c.inFlow {
+		uc.outFlow = nil
+	}
+	c.inFlow = nil
+}
+
+// onPieceFlowDone completes a remote-peer piece download.
+func (p *Peer) onPieceFlowDone(c *conn) {
+	p.settleDown(c)
+	p.clearFlow(c)
+	piece := c.flowPiece
+	p.inflight.Clear(piece)
+	if c.remote == p.s.initialSeed {
+		p.s.recordSeedServeDone(piece)
+	}
+	p.completePiece(piece)
+	p.maybeRequest(c)
+}
+
+// onBlockFlowDone completes a local-peer block download.
+func (p *Peer) onBlockFlowDone(c *conn) {
+	s := p.s
+	p.settleDown(c)
+	p.clearFlow(c)
+	now := s.eng.Now()
+	s.col.BlockReceived(now)
+	done, cancels := p.req.OnBlock(c.remote.id, c.flowRef)
+	// End-game cancels: abort duplicate in-flight fetches of this block.
+	for _, cb := range cancels {
+		if oc := p.conns[cb.Peer]; oc != nil && oc.inFlow != nil && oc.flowRef == cb.Ref {
+			p.settleDown(oc)
+			f := oc.inFlow
+			p.clearFlow(oc)
+			f.Cancel()
+			p.maybeRequest(oc)
+		}
+	}
+	if done {
+		s.col.PieceCompleted(now, c.flowRef.Piece)
+		if c.remote == s.initialSeed {
+			// Attribute the piece to the initial seed when it delivered
+			// the completing block (local path approximation).
+			s.recordSeedServeDone(c.flowRef.Piece)
+		}
+		p.completePiece(c.flowRef.Piece)
+	}
+	p.maybeRequest(c)
+}
+
+// cancelDownload aborts the active download on c. When requeue is true the
+// partial progress is preserved: remote peers remember the piece remainder
+// (blocks already fetched are fungible), the local peer requeues its
+// pending blocks through the Requester.
+func (p *Peer) cancelDownload(c *conn, requeue bool) {
+	if c.inFlow == nil {
+		if p.isLocal {
+			p.req.OnPeerGone(c.remote.id)
+		}
+		return
+	}
+	p.settleDown(c)
+	f := c.inFlow
+	rem := f.Remaining(p.s.eng.Now())
+	p.clearFlow(c)
+	f.Cancel()
+	if p.isLocal {
+		p.req.OnPeerGone(c.remote.id)
+		return
+	}
+	p.inflight.Clear(c.flowPiece)
+	if requeue && rem > 0 && !p.hasPiece(c.flowPiece) {
+		p.pieceRemaining[c.flowPiece] = rem
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Piece completion and seeding
+
+// completePiece records ownership of piece idx, broadcasts the HAVE to the
+// peer set (instantaneous control plane), updates both directions of
+// interest, and lets neighbours react.
+func (p *Peer) completePiece(idx int) {
+	if !p.isLocal {
+		// The local peer's bitfield is owned by its Requester and is
+		// already updated by OnBlock.
+		p.have.Set(idx)
+	}
+	p.downloaded++
+	p.s.globalAvail.Inc(idx)
+	// Snapshot: interest updates may trigger requests but never
+	// connect/disconnect, so iterating a copy is about robustness only.
+	snapshot := append([]*conn(nil), p.connList...)
+	for _, c := range snapshot {
+		n := c.remote
+		nc := n.conns[p.id]
+		if nc == nil {
+			continue
+		}
+		n.avail.Inc(idx)
+		if n.isLocal {
+			p.s.col.CountMsg("have_received")
+		}
+		// The neighbour may become interested in us (O(1) fast path: it
+		// lacks the new piece).
+		if !nc.amInterested && !n.seed && !n.hasPiece(idx) {
+			n.setInterest(nc, true)
+		}
+		// Our interest in the neighbour can only drop, and only if the
+		// neighbour has the piece we just finished.
+		if c.amInterested && n.hasPiece(idx) {
+			p.refreshInterest(c)
+		}
+		// The neighbour's picker may now find this piece fetchable from us.
+		n.maybeRequest(nc)
+	}
+	if p.have.Complete() {
+		p.becomeSeed()
+	}
+}
+
+// becomeSeed switches the peer to seed state: it stops being interested,
+// closes connections to other seeds (§IV-A.2.b: "when a leecher becomes a
+// seed, it closes its connections to all the seeds"), swaps in the
+// seed-state choke algorithm, and schedules its departure.
+func (p *Peer) becomeSeed() {
+	if p.seed {
+		return
+	}
+	s := p.s
+	now := s.eng.Now()
+	p.seed = true
+	p.finishedAt = now
+	if p.isLocal {
+		s.col.LocalSeed(now)
+	}
+	snapshot := append([]*conn(nil), p.connList...)
+	for _, c := range snapshot {
+		// Abort any leftover end-game downloads.
+		p.cancelDownload(c, false)
+		if c.remote.seed {
+			s.disconnect(p, c.remote)
+			continue
+		}
+		p.setInterest(c, false)
+		if c.remote.isLocal {
+			s.col.RemoteSeedStatus(int(p.id), now, true)
+		}
+	}
+	if !p.isLocal && !(p == s.initialSeed && s.cfg.KeepInitialSeed) && s.cfg.SeedLingerMean > 0 {
+		linger := s.eng.RNG().ExpFloat64() * s.cfg.SeedLingerMean
+		s.eng.After(linger, p.depart)
+	}
+}
+
+// depart removes the peer from the torrent.
+func (p *Peer) depart() {
+	if p.departed || p.isLocal {
+		return
+	}
+	s := p.s
+	p.departed = true
+	if p.chokeTimer != nil {
+		p.chokeTimer.Cancel()
+	}
+	snapshot := append([]*conn(nil), p.connList...)
+	for _, c := range snapshot {
+		s.disconnect(p, c.remote)
+	}
+	s.trk.deregister(p)
+	s.globalAvail.RemovePeer(p.have)
+}
+
+// ---------------------------------------------------------------------------
+// Choke rounds
+
+// chokeRound runs one 10-second round of the appropriate choke algorithm
+// and applies the transitions.
+func (p *Peer) chokeRound() {
+	if p.departed {
+		return
+	}
+	s := p.s
+	now := s.eng.Now()
+	defer func() {
+		p.chokeTimer = s.eng.After(core.ChokeInterval, p.chokeRound)
+	}()
+	if len(p.connList) == 0 {
+		return
+	}
+	// Settle estimators so rate ordering reflects in-flight progress.
+	for _, c := range p.connList {
+		p.settleDown(c)
+		if c.outFlow != nil {
+			if rc := c.remote.conns[p.id]; rc != nil {
+				c.remote.settleDown(rc)
+			}
+		}
+	}
+	peers := make([]core.ChokePeer, len(p.connList))
+	for i, c := range p.connList {
+		peers[i] = core.ChokePeer{
+			ID:             c.remote.id,
+			Interested:     c.peerInterested,
+			Unchoked:       c.amUnchoking,
+			DownloadRate:   c.inEst.Rate(now),
+			UploadRate:     c.outEst.Rate(now),
+			LastUnchoked:   c.lastUnchokedAt,
+			UploadedTo:     c.bytesOut,
+			DownloadedFrom: c.bytesIn,
+			RemotePieces:   c.remote.have.Count(),
+		}
+	}
+	choker := p.chokerL
+	if p.seed {
+		choker = p.chokerS
+	}
+	unchoke := choker.Round(now, peers, s.eng.RNG())
+	want := make(map[core.PeerID]bool, len(unchoke))
+	for _, id := range unchoke {
+		want[id] = true
+	}
+	for _, c := range p.connList {
+		p.applyChoke(c, want[c.remote.id])
+	}
+}
+
+// applyChoke transitions one connection's choke state and mirrors it.
+func (p *Peer) applyChoke(c *conn, unchoke bool) {
+	if c.amUnchoking == unchoke {
+		return
+	}
+	s := p.s
+	now := s.eng.Now()
+	c.amUnchoking = unchoke
+	rc := c.remote.conns[p.id]
+	if rc != nil {
+		rc.peerUnchoking = unchoke
+	}
+	if unchoke {
+		c.lastUnchokedAt = now
+		if p.isLocal {
+			s.col.Unchoke(int(c.remote.id), now)
+		}
+		if rc != nil {
+			c.remote.maybeRequest(rc)
+		}
+		return
+	}
+	if p.isLocal {
+		s.col.Choke(int(c.remote.id), now)
+	}
+	// Choking kills the remote's in-progress download from us; it keeps
+	// its partial piece and re-requests elsewhere.
+	if rc != nil && rc.inFlow != nil {
+		c.remote.cancelDownload(rc, true)
+		c.remote.retryRequests()
+	} else if rc != nil && c.remote.isLocal {
+		// Requeue the local peer's pending requests even without a flow.
+		c.remote.req.OnPeerGone(p.id)
+		c.remote.retryRequests()
+	}
+}

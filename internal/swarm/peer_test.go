@@ -1,0 +1,218 @@
+package swarm
+
+import (
+	"math"
+	"testing"
+
+	"rarestfirst/internal/trace"
+)
+
+// newTestSwarm builds a swarm without running it, with the collector wired
+// so addPeer/connect paths work, and returns it.
+func newTestSwarm(t *testing.T, mut func(*Config)) *Swarm {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumPieces = 16
+	cfg.PieceSize = 64 << 10
+	cfg.InitialLeechers = 0
+	cfg.ArrivalRate = 0
+	if mut != nil {
+		mut(&cfg)
+	}
+	s := New(cfg)
+	s.col = trace.NewCollector(0)
+	return s
+}
+
+func TestConnectMirrorsState(t *testing.T) {
+	s := newTestSwarm(t, nil)
+	seed := s.addPeer(true, false, false, 1e5, 0)
+	leech := s.addPeer(false, false, false, 1e5, 0)
+	// addPeer announces, so they are already connected.
+	ca := leech.conns[seed.id]
+	cb := seed.conns[leech.id]
+	if ca == nil || cb == nil {
+		t.Fatal("announce did not connect the pair")
+	}
+	// The leecher must be interested in the seed, mirrored on both sides.
+	if !ca.amInterested || !cb.peerInterested {
+		t.Fatal("interest not mirrored")
+	}
+	// The seed must not be interested in the empty leecher.
+	if cb.amInterested || ca.peerInterested {
+		t.Fatal("seed interested in empty leecher")
+	}
+	// Availability folded both ways.
+	if leech.avail.Count(0) != 1 || seed.avail.Count(0) != 0 {
+		t.Fatalf("availability wrong: %d/%d", leech.avail.Count(0), seed.avail.Count(0))
+	}
+}
+
+func TestApplyChokeStampsTransitionsOnly(t *testing.T) {
+	s := newTestSwarm(t, nil)
+	// Slow seed so the leecher cannot complete (and disconnect) during the
+	// clock advances below.
+	seed := s.addPeer(true, false, false, 4<<10, 0)
+	leech := s.addPeer(false, false, false, 4<<10, 0)
+	c := seed.conns[leech.id]
+	s.eng.Run(5) // advance the clock a little
+	seed.applyChoke(c, true)
+	stamp := c.lastUnchokedAt
+	if !c.amUnchoking || !leech.conns[seed.id].peerUnchoking {
+		t.Fatal("unchoke not applied/mirrored")
+	}
+	s.eng.Run(20)
+	seed.applyChoke(c, true) // no transition: stamp unchanged
+	if c.lastUnchokedAt != stamp {
+		t.Fatal("re-unchoke refreshed the stamp")
+	}
+	seed.applyChoke(c, false)
+	if c.amUnchoking || leech.conns[seed.id].peerUnchoking {
+		t.Fatal("choke not applied/mirrored")
+	}
+	s.eng.Run(40)
+	seed.applyChoke(c, true)
+	if c.lastUnchokedAt <= stamp {
+		t.Fatal("new transition did not refresh the stamp")
+	}
+}
+
+func TestUnchokeTriggersTransferAndConservesBytes(t *testing.T) {
+	s := newTestSwarm(t, nil)
+	seed := s.addPeer(true, false, false, 64<<10, 0) // 64 kB/s
+	leech := s.addPeer(false, false, false, 64<<10, 0)
+	c := seed.conns[leech.id]
+	seed.applyChoke(c, true)
+	lc := leech.conns[seed.id]
+	if lc.inFlow == nil {
+		t.Fatal("unchoke did not start a transfer")
+	}
+	// One 64 kB piece at 64 kB/s: done at ~1 s.
+	s.eng.Run(300)
+	if leech.downloaded == 0 {
+		t.Fatal("no pieces downloaded")
+	}
+	// Byte accounting symmetric at both endpoints.
+	if lc.bytesIn != c.bytesOut {
+		t.Fatalf("bytesIn %d != bytesOut %d", lc.bytesIn, c.bytesOut)
+	}
+	wantMin := int64(leech.downloaded) * int64(s.cfg.PieceSize)
+	if lc.bytesIn < wantMin {
+		t.Fatalf("accounted %d bytes for %d pieces", lc.bytesIn, leech.downloaded)
+	}
+}
+
+func TestChokeMidPieceKeepsRemainder(t *testing.T) {
+	s := newTestSwarm(t, nil)
+	seed := s.addPeer(true, false, false, 8<<10, 0) // slow: 8 s per 64 kB piece
+	leech := s.addPeer(false, false, false, 8<<10, 0)
+	c := seed.conns[leech.id]
+	seed.applyChoke(c, true)
+	s.eng.Run(s.eng.Now() + 3) // ~3/8 of the piece transferred
+	lc := leech.conns[seed.id]
+	piece := lc.flowPiece
+	seed.applyChoke(c, false)
+	rem, ok := leech.pieceRemaining[piece]
+	if !ok {
+		t.Fatal("partial piece discarded on choke")
+	}
+	full := float64(s.cfg.PieceSize)
+	if rem >= full || rem <= 0 {
+		t.Fatalf("remainder %f out of (0,%f)", rem, full)
+	}
+	if math.Abs(rem-(full-3*8<<10)) > 1024 {
+		t.Fatalf("remainder %f, want ~%f", rem, full-3*8<<10)
+	}
+	// Re-unchoke: the resume transfers only the remainder.
+	seed.applyChoke(c, true)
+	if lc.flowPiece != piece {
+		t.Fatalf("resume picked piece %d, want %d", lc.flowPiece, piece)
+	}
+	if math.Abs(lc.flowBytes-rem) > 1 {
+		t.Fatalf("resume flow is %f bytes, want %f", lc.flowBytes, rem)
+	}
+}
+
+func TestMaybeRequestGuards(t *testing.T) {
+	s := newTestSwarm(t, nil)
+	seed := s.addPeer(true, false, false, 1e5, 0)
+	leech := s.addPeer(false, false, false, 1e5, 0)
+	lc := leech.conns[seed.id]
+	// Not unchoked: no flow.
+	leech.maybeRequest(lc)
+	if lc.inFlow != nil {
+		t.Fatal("requested while choked")
+	}
+	// Seeds never request.
+	sc := seed.conns[leech.id]
+	sc.peerUnchoking = true
+	sc.amInterested = true // forced; a seed is never interested in reality
+	seed.maybeRequest(sc)
+	if sc.inFlow != nil {
+		t.Fatal("seed started a download")
+	}
+}
+
+func TestDepartCleansUpEverything(t *testing.T) {
+	s := newTestSwarm(t, nil)
+	seed := s.addPeer(true, false, false, 1e5, 0)
+	a := s.addPeer(false, false, false, 1e5, 0)
+	b := s.addPeer(false, false, false, 1e5, 0)
+	if s.trk.size() != 3 {
+		t.Fatalf("tracker size %d", s.trk.size())
+	}
+	// Start a transfer seed->a, then kill the seed.
+	c := seed.conns[a.id]
+	seed.applyChoke(c, true)
+	seed.depart()
+	if s.trk.size() != 2 {
+		t.Fatalf("tracker size after depart %d", s.trk.size())
+	}
+	if a.connectedTo(seed) || b.connectedTo(seed) {
+		t.Fatal("departed peer still connected")
+	}
+	if ac := a.conns[seed.id]; ac != nil {
+		t.Fatal("conn map leak")
+	}
+	// Global availability dropped the seed's pieces.
+	if s.globalAvail.Count(0) != 0 {
+		t.Fatalf("global avail %d after seed left", s.globalAvail.Count(0))
+	}
+	// Departing twice is safe.
+	seed.depart()
+}
+
+func TestFreeRiderNeverUnchokes(t *testing.T) {
+	s := newTestSwarm(t, func(cfg *Config) { cfg.NumPieces = 8 })
+	fr := s.addPeer(false, true, false, 1e5, 0)
+	// Give the free rider all pieces so others would want from it.
+	for i := 0; i < s.cfg.NumPieces; i++ {
+		fr.have.Set(i)
+	}
+	leech := s.addPeer(false, false, false, 1e5, 0)
+	_ = leech
+	// Run several choke rounds: the free rider must never unchoke anyone.
+	s.eng.Run(60)
+	for _, c := range fr.connList {
+		if c.amUnchoking {
+			t.Fatal("free rider unchoked a peer")
+		}
+	}
+}
+
+func TestSeedStateSwitchesChoker(t *testing.T) {
+	s := newTestSwarm(t, func(cfg *Config) {
+		cfg.NumPieces = 4
+		cfg.PieceSize = 64 << 10
+	})
+	seed := s.addPeer(true, false, false, 1e6, 0)
+	leech := s.addPeer(false, false, false, 1e6, 0)
+	_ = seed
+	s.eng.Run(120)
+	if !leech.seed {
+		t.Fatalf("leecher did not finish (%d/%d)", leech.downloaded, s.cfg.NumPieces)
+	}
+	if leech.finishedAt <= leech.joinedAt {
+		t.Fatal("finishedAt not stamped")
+	}
+}

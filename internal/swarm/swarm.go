@@ -1,0 +1,542 @@
+package swarm
+
+import (
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/core"
+	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/rate"
+	"rarestfirst/internal/sim"
+	"rarestfirst/internal/trace"
+)
+
+// Swarm is one experiment: a torrent, its peers, its tracker, and the
+// instrumented local peer.
+type Swarm struct {
+	cfg Config
+	geo metainfo.Geometry
+	eng *sim.Engine
+	net *sim.Net
+	trk *tracker
+	col *trace.Collector
+
+	peers  map[core.PeerID]*Peer
+	nextID core.PeerID
+
+	local       *Peer
+	initialSeed *Peer
+
+	// globalAvail tracks copies over all live peers (oracle picker +
+	// steady/transient-state detection).
+	globalAvail *core.Availability
+
+	// availCache memoises availablePieces.
+	availCache []int
+
+	// seedServeCount[i] counts initial-seed serve STARTS of piece i; it
+	// drives the smart-serve policy. seedServeDone[i] counts COMPLETED
+	// deliveries and feeds the A4 duplicate metric (resumed transfers
+	// after a choke are not double-counted).
+	seedServeCount []int
+	seedServeDone  []int
+
+	// Download-time bookkeeping for ablations.
+	finishedContrib, finishedFree   int
+	totalTimeContrib, totalTimeFree float64
+	arrivals                        int
+}
+
+// Result summarises one experiment run.
+type Result struct {
+	// Collector holds all local-peer instrumentation (finalized).
+	Collector *trace.Collector
+	// LocalCompleted reports whether the instrumented peer finished its
+	// download within the experiment.
+	LocalCompleted bool
+	// LocalDownloadTime is seconds from local join to seed state (-1 if
+	// never completed).
+	LocalDownloadTime float64
+	// Arrivals is the total number of leechers that ever joined.
+	Arrivals int
+	// FinishedContrib/FinishedFree count completed downloads by
+	// contributing leechers and free riders.
+	FinishedContrib, FinishedFree int
+	// MeanDownloadContrib/MeanDownloadFree are mean download durations in
+	// seconds (0 when no peer of the class finished).
+	MeanDownloadContrib, MeanDownloadFree float64
+	// SeedServes / DupSeedServes count pieces served by the initial seed
+	// and how many of those were duplicates (already served before).
+	SeedServes, DupSeedServes int
+	// EndTime is the simulated end of the experiment.
+	EndTime float64
+}
+
+// New builds a swarm from cfg; call Run to execute it.
+func New(cfg Config) *Swarm {
+	cfg.validate()
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = metainfo.BlockSize
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	s := &Swarm{
+		cfg:            cfg,
+		geo:            cfg.Geometry(),
+		eng:            eng,
+		net:            sim.NewNet(eng),
+		trk:            newTracker(),
+		peers:          map[core.PeerID]*Peer{},
+		globalAvail:    core.NewAvailability(cfg.NumPieces),
+		seedServeCount: make([]int, cfg.NumPieces),
+		seedServeDone:  make([]int, cfg.NumPieces),
+	}
+	return s
+}
+
+// Engine exposes the simulation engine (read-only use in tests).
+func (s *Swarm) Engine() *sim.Engine { return s.eng }
+
+// Local returns the instrumented peer (nil before setup).
+func (s *Swarm) Local() *Peer { return s.local }
+
+// GlobalMinCopies returns the torrent-wide minimum piece copy count — the
+// transient/steady state criterion (steady state: "there is no rare piece",
+// i.e. every piece has at least one copy among live peers).
+func (s *Swarm) GlobalMinCopies() int { return s.globalAvail.MinCount() }
+
+// newPicker builds the configured piece selection strategy over avail.
+func (s *Swarm) newPicker(avail *core.Availability) core.Picker {
+	switch s.cfg.Picker {
+	case PickRandom:
+		return core.RandomPicker{}
+	case PickSequential:
+		return core.SequentialPicker{}
+	case PickGlobalRarest:
+		return &core.GlobalRarest{Global: s.globalAvail}
+	default:
+		return &core.RarestFirst{Avail: avail, DisableRandomFirst: s.cfg.DisableRandomFirst}
+	}
+}
+
+// newChokers builds the configured leecher/seed chokers for one peer.
+func (s *Swarm) newChokers(freeRider bool) (core.Choker, core.Choker) {
+	if freeRider {
+		return core.NeverUnchoke{}, core.NeverUnchoke{}
+	}
+	var l core.Choker
+	switch s.cfg.LeecherChoker {
+	case LeecherChokeTitForTat:
+		l = &core.TitForTatChoker{Slots: s.cfg.UploadSlots, DeficitLimit: s.cfg.TFTDeficitLimit}
+	default:
+		l = &core.LeecherChoker{Slots: s.cfg.UploadSlots, BoostNewcomers: s.cfg.BoostNewcomers}
+	}
+	var sd core.Choker
+	switch s.cfg.SeedChoker {
+	case SeedChokeOld:
+		sd = &core.OldSeedChoker{Slots: s.cfg.UploadSlots}
+	default:
+		sd = &core.SeedChoker{Slots: s.cfg.UploadSlots, BoostNewcomers: s.cfg.BoostNewcomers}
+	}
+	return l, sd
+}
+
+// availablePieces lazily builds the set of pieces that exist in the torrent
+// at start (AvailableFrac < 1 models torrent 1's dead-torrent scenario).
+func (s *Swarm) availablePieces() []int {
+	if s.availCache != nil {
+		return s.availCache
+	}
+	n := s.cfg.NumPieces
+	frac := s.cfg.AvailableFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 1
+	}
+	idx := s.eng.RNG().Perm(n)
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	s.availCache = idx[:k]
+	return s.availCache
+}
+
+// bootstrapBitfield seeds an initial leecher with a random fraction of the
+// available pieces.
+func (s *Swarm) bootstrapBitfield(p *Peer) {
+	if s.cfg.LeecherBootstrapMax <= 0 {
+		return
+	}
+	avail := s.availablePieces()
+	frac := s.eng.RNG().Float64() * s.cfg.LeecherBootstrapMax
+	for _, i := range avail {
+		if s.eng.RNG().Float64() < frac {
+			p.have.Set(i)
+		}
+	}
+	p.downloaded = p.have.Count()
+}
+
+// addPeer creates a peer, registers it with the tracker and connects it.
+func (s *Swarm) addPeer(isSeed, freeRider, isLocal bool, upBps, downBps float64) *Peer {
+	return s.addPeerOpts(isSeed, freeRider, isLocal, false, upBps, downBps)
+}
+
+// addPeerOpts is addPeer with control over initial-content bootstrapping.
+func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, downBps float64) *Peer {
+	id := s.nextID
+	s.nextID++
+	have := bitfield.New(s.cfg.NumPieces)
+	avail := core.NewAvailability(s.cfg.NumPieces)
+	p := &Peer{
+		s:              s,
+		id:             id,
+		node:           s.net.AddNode(upBps, downBps),
+		have:           have,
+		avail:          avail,
+		conns:          map[core.PeerID]*conn{},
+		inflight:       bitfield.New(s.cfg.NumPieces),
+		pieceRemaining: map[int]float64{},
+		freeRider:      freeRider,
+		isLocal:        isLocal,
+		seed:           isSeed,
+		joinedAt:       s.eng.Now(),
+		finishedAt:     -1,
+	}
+	p.picker = s.newPicker(avail)
+	p.chokerL, p.chokerS = s.newChokers(freeRider)
+	if isLocal {
+		p.req = core.NewRequester(s.geo, p.picker)
+		p.have = p.req.Have() // single source of truth for the local bitfield
+	}
+	if isSeed {
+		if isLocal {
+			for i := 0; i < s.cfg.NumPieces; i++ {
+				p.req.AddHave(i)
+			}
+		} else {
+			p.have.SetAll()
+		}
+		p.downloaded = s.cfg.NumPieces
+		p.finishedAt = s.eng.Now()
+	} else if bootstrap && !isLocal {
+		s.bootstrapBitfield(p)
+	}
+	if !isSeed {
+		s.arrivals++
+	}
+	s.peers[id] = p
+	s.trk.register(p)
+	s.globalAvail.AddPeer(p.have)
+	s.announce(p)
+	// Stagger the first choke round within the interval so rounds don't
+	// all fire in lockstep.
+	p.chokeTimer = s.eng.After(s.eng.RNG().Float64()*core.ChokeInterval, p.chokeRound)
+	// Pre-completion abort process.
+	if !isSeed && s.cfg.AbortRate > 0 && !isLocal {
+		s.scheduleAbortCheck(p)
+	}
+	return p
+}
+
+// scheduleAbortCheck arms an exponential departure hazard for a leecher.
+func (s *Swarm) scheduleAbortCheck(p *Peer) {
+	delay := s.eng.RNG().ExpFloat64() / s.cfg.AbortRate
+	s.eng.After(delay, func() {
+		if !p.departed && !p.seed {
+			p.depart()
+		}
+	})
+}
+
+// announce asks the tracker for peers and initiates connections, honouring
+// the 40-initiated / 80-total caps.
+func (s *Swarm) announce(p *Peer) {
+	if p.departed {
+		return
+	}
+	cand := s.trk.sample(s.eng.RNG(), s.cfg.TrackerResponse, p.id)
+	for _, q := range cand {
+		if p.initiated >= s.cfg.MaxInitiated || len(p.connList) >= s.cfg.MaxPeerSet {
+			break
+		}
+		s.connect(p, q)
+	}
+	p.nextAnnounceOK = s.eng.Now() + 60
+}
+
+// maybeReannounce re-contacts the tracker when the peer set has fallen
+// below the minimum (rate-limited).
+func (s *Swarm) maybeReannounce(p *Peer) {
+	if p.departed || len(p.connList) >= s.cfg.MinPeerSet {
+		return
+	}
+	if s.eng.Now() < p.nextAnnounceOK {
+		return
+	}
+	s.announce(p)
+}
+
+// connect establishes the bidirectional connection a->b (a initiates).
+func (s *Swarm) connect(a, b *Peer) {
+	if a == b || a.departed || b.departed || a.connectedTo(b) {
+		return
+	}
+	// Seeds have nothing to exchange with seeds; real clients drop such
+	// connections right after the bitfield exchange.
+	if a.seed && b.seed {
+		return
+	}
+	if len(a.connList) >= s.cfg.MaxPeerSet || len(b.connList) >= s.cfg.MaxPeerSet {
+		return
+	}
+	now := s.eng.Now()
+	ca := &conn{owner: a, remote: b, initiatedByOwner: true,
+		inEst: rate.NewEstimator(0), outEst: rate.NewEstimator(0)}
+	cb := &conn{owner: b, remote: a,
+		inEst: rate.NewEstimator(0), outEst: rate.NewEstimator(0)}
+	a.conns[b.id] = ca
+	a.connList = append(a.connList, ca)
+	b.conns[a.id] = cb
+	b.connList = append(b.connList, cb)
+	a.initiated++
+	// Bitfield exchange (instantaneous).
+	a.avail.AddPeer(b.have)
+	b.avail.AddPeer(a.have)
+	if a.isLocal {
+		s.col.PeerJoined(int(b.id), now)
+		if b.seed {
+			s.col.RemoteSeedStatus(int(b.id), now, true)
+		}
+	}
+	if b.isLocal {
+		s.col.PeerJoined(int(a.id), now)
+		if a.seed {
+			s.col.RemoteSeedStatus(int(a.id), now, true)
+		}
+	}
+	a.refreshInterest(ca)
+	b.refreshInterest(cb)
+}
+
+// disconnect tears down the connection between a and b, requeueing partial
+// downloads on both sides.
+func (s *Swarm) disconnect(a, b *Peer) {
+	ca := a.conns[b.id]
+	cb := b.conns[a.id]
+	if ca == nil || cb == nil {
+		return
+	}
+	now := s.eng.Now()
+	a.cancelDownload(ca, true)
+	b.cancelDownload(cb, true)
+	a.avail.RemovePeer(b.have)
+	b.avail.RemovePeer(a.have)
+	if ca.initiatedByOwner {
+		a.initiated--
+	}
+	if cb.initiatedByOwner {
+		b.initiated--
+	}
+	delete(a.conns, b.id)
+	delete(b.conns, a.id)
+	removeConn(&a.connList, ca)
+	removeConn(&b.connList, cb)
+	if a.isLocal {
+		s.col.PeerLeft(int(b.id), now)
+	}
+	if b.isLocal {
+		s.col.PeerLeft(int(a.id), now)
+	}
+	s.maybeReannounce(a)
+	s.maybeReannounce(b)
+	// A cancelled in-flight piece is requestable again from other peers.
+	a.retryRequests()
+	b.retryRequests()
+}
+
+func removeConn(list *[]*conn, c *conn) {
+	for i, x := range *list {
+		if x == c {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+}
+
+// noteSeedServeStart marks an initial-seed piece serve start (smart-serve
+// policy input only).
+func (s *Swarm) noteSeedServeStart(piece int) {
+	s.seedServeCount[piece]++
+}
+
+// recordSeedServeDone counts a COMPLETED initial-seed piece delivery for
+// the A4 duplicate metric.
+func (s *Swarm) recordSeedServeDone(piece int) {
+	dup := s.seedServeDone[piece] > 0
+	s.seedServeDone[piece]++
+	s.col.SeedServed(dup)
+}
+
+// seedServeOverride returns the least-served piece (by the initial seed)
+// that leecher p still needs and is not already fetching, or -1. Ties are
+// broken uniformly at random so simultaneous downloaders spread across the
+// unserved pieces instead of converging on one.
+func (s *Swarm) seedServeOverride(p *Peer) int {
+	best, bestCount, ties := -1, 0, 0
+	rng := s.eng.RNG()
+	for i, c := range s.seedServeCount {
+		if p.hasPiece(i) || p.inflight.Has(i) {
+			continue
+		}
+		switch {
+		case best == -1 || c < bestCount:
+			best, bestCount, ties = i, c, 1
+		case c == bestCount:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// sampleCapacityPair draws a remote peer's up/down capacities.
+func (s *Swarm) sampleCapacityPair() (float64, float64) {
+	cls := sampleCapacity(s.eng.RNG(), s.cfg.CapacityMix)
+	return cls.UpBps, cls.DownBps
+}
+
+// Run executes the experiment and returns its result. It is not reusable.
+func (s *Swarm) Run() *Result {
+	cfg := &s.cfg
+	end := cfg.LocalJoinTime + cfg.Duration
+	s.col = trace.NewCollector(cfg.LocalJoinTime)
+
+	// Initial population: seeds first, then leechers, staggered over the
+	// first 30 seconds so the tracker fills gradually.
+	for i := 0; i < cfg.InitialSeeds; i++ {
+		up := cfg.InitialSeedUp
+		if i > 0 {
+			up, _ = s.sampleCapacityPair()
+		}
+		at := float64(i) * 0.01
+		upCap := up
+		s.eng.At(at, func() {
+			p := s.addPeer(true, false, false, upCap, 0)
+			if s.initialSeed == nil {
+				s.initialSeed = p
+				if cfg.InitialSeedLeaveAt > 0 {
+					s.eng.At(cfg.InitialSeedLeaveAt, p.depart)
+				}
+			}
+		})
+	}
+	for i := 0; i < cfg.InitialLeechers; i++ {
+		at := 0.1 + s.eng.RNG().Float64()*30
+		free := s.eng.RNG().Float64() < cfg.FreeRiderFraction
+		s.eng.At(at, func() {
+			up, down := s.sampleCapacityPair()
+			s.addPeerOpts(false, free, false, true, up, down)
+		})
+	}
+	// Poisson arrivals.
+	if cfg.ArrivalRate > 0 {
+		var arrive func()
+		arrive = func() {
+			if s.eng.Now() < end {
+				up, down := s.sampleCapacityPair()
+				free := s.eng.RNG().Float64() < cfg.FreeRiderFraction
+				s.addPeer(false, free, false, up, down)
+				s.eng.After(s.eng.RNG().ExpFloat64()/cfg.ArrivalRate, arrive)
+			}
+		}
+		s.eng.After(s.eng.RNG().ExpFloat64()/cfg.ArrivalRate, arrive)
+	}
+	// The instrumented local peer.
+	s.eng.At(cfg.LocalJoinTime, func() {
+		s.local = s.addPeer(false, cfg.LocalFreeRider, true, cfg.LocalUpBps, cfg.LocalDownBps)
+		s.scheduleSample()
+	})
+
+	s.eng.Run(end)
+	s.col.Finalize(end)
+
+	// Harvest download-time stats.
+	for _, p := range s.peers {
+		if p.isLocal || p.finishedAt < 0 || p.seedAtStart() {
+			continue
+		}
+		d := p.finishedAt - p.joinedAt
+		if p.freeRider {
+			s.finishedFree++
+			s.totalTimeFree += d
+		} else {
+			s.finishedContrib++
+			s.totalTimeContrib += d
+		}
+	}
+	res := &Result{
+		Collector:       s.col,
+		Arrivals:        s.arrivals,
+		FinishedContrib: s.finishedContrib,
+		FinishedFree:    s.finishedFree,
+		SeedServes:      s.col.SeedServes,
+		DupSeedServes:   s.col.DupSeedServes,
+		EndTime:         end,
+	}
+	if s.finishedContrib > 0 {
+		res.MeanDownloadContrib = s.totalTimeContrib / float64(s.finishedContrib)
+	}
+	if s.finishedFree > 0 {
+		res.MeanDownloadFree = s.totalTimeFree / float64(s.finishedFree)
+	}
+	if s.local != nil && s.local.finishedAt >= 0 {
+		res.LocalCompleted = true
+		res.LocalDownloadTime = s.local.finishedAt - s.local.joinedAt
+	} else {
+		res.LocalDownloadTime = -1
+	}
+	return res
+}
+
+// seedAtStart reports whether the peer joined the torrent as a seed.
+func (p *Peer) seedAtStart() bool { return p.finishedAt == p.joinedAt }
+
+// RareCount returns the number of "rare pieces" in the paper's sense:
+// pieces whose only live copy is on the initial seed. A torrent is in
+// transient state exactly while RareCount > 0 (§IV-A.2).
+func (s *Swarm) RareCount() int {
+	if s.initialSeed == nil || s.initialSeed.departed {
+		return 0
+	}
+	n := 0
+	for i := 0; i < s.cfg.NumPieces; i++ {
+		if s.globalAvail.Count(i) == 1 && s.initialSeed.hasPiece(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// scheduleSample records periodic availability snapshots from the local
+// peer's viewpoint (Figs 2–6) plus global transient/steady indicators.
+func (s *Swarm) scheduleSample() {
+	var tick func()
+	tick = func() {
+		if s.local == nil || s.local.departed {
+			return
+		}
+		min, mean, max := s.local.avail.Stats()
+		s.col.Sample(trace.AvailSample{
+			T:          s.eng.Now(),
+			Min:        min,
+			Mean:       mean,
+			Max:        max,
+			RarestSize: s.local.avail.RarestSetSize(),
+			PeerSet:    len(s.local.connList),
+			GlobalMin:  s.globalAvail.MinCount(),
+			GlobalRare: s.RareCount(),
+		})
+		s.eng.After(s.cfg.SampleEvery, tick)
+	}
+	tick()
+}

@@ -1,0 +1,76 @@
+package swarm
+
+import (
+	"math/rand"
+
+	"rarestfirst/internal/core"
+)
+
+// tracker is the in-simulation tracker: it keeps the set of live peers and
+// answers announces with a bounded uniform random sample, exactly the
+// behaviour §II-B describes ("a list of 50 peers chosen at random in the
+// list of peers currently involved in the torrent").
+type tracker struct {
+	alive []*Peer
+	index map[core.PeerID]int
+}
+
+func newTracker() *tracker {
+	return &tracker{index: map[core.PeerID]int{}}
+}
+
+// register adds a peer to the torrent.
+func (t *tracker) register(p *Peer) {
+	if _, ok := t.index[p.id]; ok {
+		return
+	}
+	t.index[p.id] = len(t.alive)
+	t.alive = append(t.alive, p)
+}
+
+// deregister removes a departing peer (swap-remove keeps O(1)).
+func (t *tracker) deregister(p *Peer) {
+	i, ok := t.index[p.id]
+	if !ok {
+		return
+	}
+	last := len(t.alive) - 1
+	t.alive[i] = t.alive[last]
+	t.index[t.alive[i].id] = i
+	t.alive = t.alive[:last]
+	delete(t.index, p.id)
+}
+
+// size returns the number of live peers.
+func (t *tracker) size() int { return len(t.alive) }
+
+// sample returns up to n distinct random peers, excluding the requester.
+func (t *tracker) sample(rng *rand.Rand, n int, exclude core.PeerID) []*Peer {
+	out := make([]*Peer, 0, n)
+	m := len(t.alive)
+	if m == 0 {
+		return out
+	}
+	if m <= n+1 {
+		for _, p := range t.alive {
+			if p.id != exclude {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	// Partial Fisher–Yates over a scratch index slice.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	for k := 0; k < m && len(out) < n; k++ {
+		j := k + rng.Intn(m-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		p := t.alive[idx[k]]
+		if p.id != exclude {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package torrents
+
+import (
+	"testing"
+
+	"rarestfirst/internal/fluidmodel"
+	"rarestfirst/internal/swarm"
+)
+
+// TestSimAgreesWithFluidModel cross-validates the discrete-event simulator
+// against the Qiu-Srikant fluid model (the analytical baseline the paper
+// discusses in §V). The model assumes global knowledge and perfect piece
+// diversity (eta = 1); the paper's point — and ours — is that rarest first
+// with only local knowledge gets close to that optimum, so simulated mean
+// download times should be within a small factor of the model's.
+func TestSimAgreesWithFluidModel(t *testing.T) {
+	sc := BenchScale()
+	sc.Duration = 2400
+	spec, _ := ByID(14) // 20 seeds, 126 leechers: a well-provisioned swarm
+	cfg := spec.Config(sc)
+	sw := swarm.New(cfg)
+	res := sw.Run()
+	if res.FinishedContrib < 20 {
+		t.Fatalf("only %d leechers finished; not enough signal", res.FinishedContrib)
+	}
+
+	bytes := int64(cfg.NumPieces) * int64(cfg.PieceSize)
+	p := fluidmodel.FromSwarm(
+		cfg.ArrivalRate,
+		cfg.AbortRate,
+		1/cfg.SeedLingerMean,
+		meanUploadBps(),
+		0, // downloads effectively uncapped relative to uploads
+		bytes,
+		1, // rarest first: close-to-ideal diversity
+	)
+	modelT, err := p.MeanDownloadTime(1e6, 1e-9)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	simT := res.MeanDownloadContrib
+	t.Logf("mean download: sim %.0f s, fluid model %.0f s", simT, modelT)
+	// The model has no protocol overhead, no choke idling, no peer-set
+	// locality; the sim should be slower but within a small factor.
+	if simT < 0.5*modelT || simT > 4*modelT {
+		t.Fatalf("sim %.0f s vs model %.0f s: outside [0.5x, 4x]", simT, modelT)
+	}
+}

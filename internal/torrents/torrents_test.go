@@ -1,0 +1,170 @@
+package torrents
+
+import (
+	"math"
+	"testing"
+
+	"rarestfirst/internal/swarm"
+)
+
+func TestTableIIsComplete(t *testing.T) {
+	if len(TableI) != 26 {
+		t.Fatalf("Table I has %d rows, want 26", len(TableI))
+	}
+	for i, s := range TableI {
+		if s.ID != i+1 {
+			t.Fatalf("row %d has ID %d", i, s.ID)
+		}
+		if s.Seeds < 0 || s.Leechers < 0 || s.MaxPS <= 0 || s.SizeMB <= 0 {
+			t.Fatalf("row %d has invalid fields: %+v", i, s)
+		}
+	}
+}
+
+func TestTableIValuesMatchPaper(t *testing.T) {
+	// Spot-check the rows the paper's case studies use.
+	checks := []struct {
+		id, seeds, leechers, maxPS, sizeMB int
+	}{
+		{1, 0, 66, 60, 700},
+		{7, 1, 713, 80, 700},
+		{8, 1, 861, 80, 3000},
+		{10, 1, 1207, 80, 348},
+		{11, 1, 1411, 80, 710},
+		{19, 160, 5, 17, 6},
+		{26, 12612, 7052, 80, 140},
+	}
+	for _, c := range checks {
+		s, ok := ByID(c.id)
+		if !ok {
+			t.Fatalf("torrent %d missing", c.id)
+		}
+		if s.Seeds != c.seeds || s.Leechers != c.leechers || s.MaxPS != c.maxPS || s.SizeMB != c.sizeMB {
+			t.Fatalf("torrent %d = %+v, want %+v", c.id, s, c)
+		}
+	}
+	if _, ok := ByID(27); ok {
+		t.Fatal("ByID(27) found a ghost torrent")
+	}
+}
+
+func TestRatiosMatchPaperColumn(t *testing.T) {
+	// Column 4 of Table I: ratio seeds/leechers.
+	cases := []struct {
+		id    int
+		ratio float64
+	}{
+		{2, 0.5}, {3, 0.034}, {10, 0.00083}, {18, 6}, {25, 2.1},
+	}
+	for _, c := range cases {
+		s, _ := ByID(c.id)
+		if got := s.Ratio(); math.Abs(got-c.ratio)/c.ratio > 0.05 {
+			t.Errorf("torrent %d ratio = %f, want ~%f", c.id, got, c.ratio)
+		}
+	}
+	if s, _ := ByID(1); s.Ratio() != 0 {
+		t.Errorf("torrent 1 ratio = %f, want 0", s.Ratio())
+	}
+}
+
+func TestConfigScalingPreservesRatio(t *testing.T) {
+	sc := DefaultScale()
+	for _, s := range TableI {
+		cfg := s.Config(sc)
+		total := cfg.InitialSeeds + cfg.InitialLeechers
+		if total > sc.MaxPeers+2 {
+			t.Fatalf("torrent %d scaled to %d peers > cap %d", s.ID, total, sc.MaxPeers)
+		}
+		if s.Seeds > 0 && cfg.InitialSeeds == 0 {
+			t.Fatalf("torrent %d lost its seeds in scaling", s.ID)
+		}
+		if s.Seeds == 0 && cfg.InitialSeeds != 0 {
+			t.Fatalf("torrent %d gained seeds in scaling", s.ID)
+		}
+		// Ratio preserved within a factor of ~2 for populations that were
+		// actually scaled (small populations round coarsely).
+		if s.Seeds+s.Leechers > sc.MaxPeers && s.Seeds > 0 && cfg.InitialSeeds > 1 {
+			orig := s.Ratio()
+			scaled := float64(cfg.InitialSeeds) / float64(cfg.InitialLeechers)
+			if scaled > orig*2.5 || scaled < orig/2.5 {
+				t.Fatalf("torrent %d ratio drifted: %f -> %f", s.ID, orig, scaled)
+			}
+		}
+	}
+}
+
+func TestConfigGeometryBounds(t *testing.T) {
+	sc := DefaultScale()
+	for _, s := range TableI {
+		cfg := s.Config(sc)
+		if cfg.NumPieces > sc.MaxPieces {
+			t.Fatalf("torrent %d has %d pieces > cap %d", s.ID, cfg.NumPieces, sc.MaxPieces)
+		}
+		if cfg.NumPieces < 8 {
+			t.Fatalf("torrent %d has too few pieces: %d", s.ID, cfg.NumPieces)
+		}
+		if cfg.PieceSize%(16<<10) != 0 {
+			t.Fatalf("torrent %d piece size %d not a 16 kB multiple", s.ID, cfg.PieceSize)
+		}
+	}
+}
+
+func TestConfigStates(t *testing.T) {
+	sc := DefaultScale()
+	// Transient torrents: seed too slow to push one copy within the run.
+	for _, id := range []int{2, 4, 5, 6, 8, 9} {
+		s, _ := ByID(id)
+		if s.State != Transient {
+			t.Fatalf("torrent %d should be transient", id)
+		}
+		cfg := s.Config(sc)
+		bytes := float64(cfg.NumPieces) * float64(cfg.PieceSize)
+		if cfg.InitialSeedUp*(sc.Warmup+sc.Duration) >= bytes {
+			t.Fatalf("torrent %d: seed pushes a full copy within the run (not transient)", id)
+		}
+	}
+	// Steady single-seed torrents: one copy fits within the warmup.
+	for _, id := range []int{7, 10, 11} {
+		s, _ := ByID(id)
+		cfg := s.Config(sc)
+		bytes := float64(cfg.NumPieces) * float64(cfg.PieceSize)
+		if cfg.InitialSeedUp*sc.Warmup < bytes {
+			t.Fatalf("torrent %d: seed cannot push one copy within warmup", id)
+		}
+	}
+	// Torrent 1: no seed, partial availability.
+	s, _ := ByID(1)
+	cfg := s.Config(sc)
+	if cfg.InitialSeeds != 0 || cfg.AvailableFrac >= 1 || cfg.AvailableFrac <= 0 {
+		t.Fatalf("torrent 1 config: seeds=%d availFrac=%f", cfg.InitialSeeds, cfg.AvailableFrac)
+	}
+	if cfg.LeecherBootstrapMax <= 0 {
+		t.Fatal("torrent 1 leechers must bootstrap with content")
+	}
+}
+
+func TestConfigIsRunnable(t *testing.T) {
+	// Every scaled config must pass swarm validation (New panics on bad
+	// configs) and run a short slice without panicking.
+	sc := BenchScale()
+	sc.Duration = 120
+	sc.Warmup = 60
+	for _, s := range TableI {
+		cfg := s.Config(sc)
+		sw := swarm.New(cfg)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("torrent %d panicked: %v", s.ID, r)
+				}
+			}()
+			sw.Run()
+		}()
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Steady.String() != "steady" || Transient.String() != "transient" || NoSeed.String() != "no-seed" {
+		t.Fatal("State strings wrong")
+	}
+}

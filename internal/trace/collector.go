@@ -1,0 +1,399 @@
+// Package trace is the instrumentation layer: it records, for the local
+// (instrumented) peer, the same observables the paper's modified mainline
+// 4.0.2 client logged — peer-set membership, interest state in both
+// directions, choke transitions, byte counters, piece/block arrivals and
+// periodic availability snapshots — and exposes the per-figure series.
+//
+// All methods take the current time explicitly (simulated or wall-clock
+// seconds) and must be called from a single goroutine.
+package trace
+
+import "sort"
+
+// MinResidency is the minimum peer-set residency, in seconds, for a peer to
+// be included in entropy statistics; the paper filters peers that stayed
+// under 10 seconds because churn noise "adversely bias[es] our entropy
+// characterization".
+const MinResidency = 10.0
+
+// PeerRecord accumulates everything the collector knows about one remote
+// peer. Exported fields are the finalized totals; during collection the
+// unexported "since" fields hold open intervals.
+type PeerRecord struct {
+	ID int
+
+	// Residency.
+	JoinedAt  float64
+	LeftAt    float64
+	inSet     bool
+	Residency float64 // total time in the peer set
+
+	// ResidencyLSLocal is the time in the peer set while the LOCAL peer was
+	// a leecher (denominator b and d of the Fig 1 ratios), restricted to
+	// spans where the remote was a leecher too (seeds are excluded from
+	// entropy per the paper's footnote 4).
+	ResidencyLSLocal float64
+
+	// LocalInterestedTime is the time the local peer (leecher state) was
+	// interested in this remote peer while the remote was a leecher
+	// (numerator a of ratio a/b; seeds are excluded from entropy, paper
+	// footnote 4, so numerator and denominator cover the same spans).
+	LocalInterestedTime float64
+
+	// RemoteInterestedTime is the time this remote peer (as a leecher) was
+	// interested in the local peer while the local peer was a leecher
+	// (numerator c of ratio c/d).
+	RemoteInterestedTime float64
+
+	// InterestedInLocalLS / InterestedInLocalSS is the total time the
+	// remote was interested in the local peer split by the LOCAL peer's
+	// state — the x axis of Fig 10 top/bottom.
+	InterestedInLocalLS float64
+	InterestedInLocalSS float64
+
+	// Unchoke counters (Fig 10): transitions from choked to unchoked
+	// performed by the local peer, split by the local peer's state.
+	UnchokesLS int
+	UnchokesSS int
+
+	// Byte counters split by the local peer's state (Figs 9 and 11).
+	UploadedLS   int64
+	UploadedSS   int64
+	DownloadedLS int64
+	DownloadedSS int64
+
+	// RemoteWasSeed reports whether the remote ever presented a complete
+	// bitfield while resident (such peers are excluded from reciprocation
+	// denominators: "all seeds are removed ... as it is not possible to
+	// reciprocate data to seeds").
+	RemoteWasSeed bool
+
+	residencyOpen         float64
+	localInterestedSince  float64
+	localInterested       bool
+	remoteInterestedSince float64
+	remoteInterested      bool
+	unchoked              bool
+	remoteIsSeed          bool
+}
+
+// AvailSample is one periodic snapshot of the local peer's availability
+// view (Figs 2–6) plus the torrent-global state the simulator can see
+// (used to classify runs as transient or steady).
+type AvailSample struct {
+	T          float64
+	Min        int     // min copies in the LOCAL peer set
+	Mean       float64 // mean copies in the local peer set
+	Max        int     // max copies in the local peer set
+	RarestSize int     // size of the local rarest-pieces set
+	PeerSet    int     // local peer set size
+	GlobalMin  int     // min copies over all live peers
+	GlobalRare int     // pieces held ONLY by the initial seed ("rare pieces")
+}
+
+// Collector gathers a single experiment's instrumentation.
+type Collector struct {
+	peers map[int]*PeerRecord
+	// localSeed is whether the local peer is currently in seed state.
+	localSeed     bool
+	seedAt        float64 // time the local peer became a seed (-1 if never)
+	startAt       float64
+	PieceTimes    []float64 // completion time of each piece, in arrival order
+	BlockTimes    []float64 // arrival time of each block, in arrival order
+	Samples       []AvailSample
+	Events        []Event
+	finalized     bool
+	DupSeedServes int // pieces served by the initial seed that were already served (A4)
+	SeedServes    int // total pieces served by the initial seed
+
+	// MsgCounts tallies control-plane events at the local peer, the
+	// equivalent of the paper's "log of each BitTorrent message sent or
+	// received": interest transitions in both directions, choke/unchoke
+	// transitions performed by the local peer, and HAVE updates observed
+	// from the peer set.
+	MsgCounts map[string]int
+}
+
+// Event is a notable protocol event (end game entered, seed state, ...).
+type Event struct {
+	T    float64
+	Name string
+}
+
+// NewCollector returns an empty collector; start is the experiment start
+// time (usually the moment the local peer joins).
+func NewCollector(start float64) *Collector {
+	return &Collector{
+		peers:     map[int]*PeerRecord{},
+		startAt:   start,
+		seedAt:    -1,
+		MsgCounts: map[string]int{},
+	}
+}
+
+// CountMsg tallies one control-plane event by name.
+func (c *Collector) CountMsg(name string) { c.MsgCounts[name]++ }
+
+func (c *Collector) rec(id int) *PeerRecord {
+	r := c.peers[id]
+	if r == nil {
+		r = &PeerRecord{ID: id, JoinedAt: -1, LeftAt: -1}
+		c.peers[id] = r
+	}
+	return r
+}
+
+// PeerJoined records a remote peer entering the local peer set.
+func (c *Collector) PeerJoined(id int, now float64) {
+	r := c.rec(id)
+	if r.inSet {
+		return
+	}
+	r.inSet = true
+	if r.JoinedAt < 0 {
+		r.JoinedAt = now
+	}
+	r.residencyOpen = now
+}
+
+// PeerLeft records a remote peer leaving the local peer set, closing all
+// open intervals.
+func (c *Collector) PeerLeft(id int, now float64) {
+	r := c.rec(id)
+	if !r.inSet {
+		return
+	}
+	c.closeIntervals(r, now)
+	r.inSet = false
+	r.LeftAt = now
+}
+
+// closeIntervals settles every open interval for r at time now. Intervals
+// are homogeneous in local/remote seed status because every status flip
+// calls this first, so plain subtraction is exact.
+func (c *Collector) closeIntervals(r *PeerRecord, now float64) {
+	r.Residency += now - r.residencyOpen
+	if !c.localSeed && !r.remoteIsSeed {
+		r.ResidencyLSLocal += now - r.residencyOpen
+	}
+	if r.localInterested {
+		if !c.localSeed && !r.remoteIsSeed {
+			r.LocalInterestedTime += now - r.localInterestedSince
+		}
+		r.localInterestedSince = now
+	}
+	if r.remoteInterested {
+		span := now - r.remoteInterestedSince
+		if c.localSeed {
+			r.InterestedInLocalSS += span
+		} else {
+			if !r.remoteIsSeed {
+				r.RemoteInterestedTime += span
+			}
+			r.InterestedInLocalLS += span
+		}
+		r.remoteInterestedSince = now
+	}
+	r.residencyOpen = now
+}
+
+// LocalInterest records the local peer's interest in remote id changing.
+func (c *Collector) LocalInterest(id int, now float64, interested bool) {
+	r := c.rec(id)
+	if r.localInterested == interested {
+		return
+	}
+	if r.localInterested && !c.localSeed && !r.remoteIsSeed {
+		r.LocalInterestedTime += now - r.localInterestedSince
+	}
+	r.localInterested = interested
+	r.localInterestedSince = now
+	if interested {
+		c.CountMsg("local_interested")
+	} else {
+		c.CountMsg("local_not_interested")
+	}
+}
+
+// RemoteInterest records remote id's interest in the local peer changing.
+func (c *Collector) RemoteInterest(id int, now float64, interested bool) {
+	r := c.rec(id)
+	if r.remoteInterested == interested {
+		return
+	}
+	if r.remoteInterested {
+		span := now - r.remoteInterestedSince
+		if c.localSeed {
+			r.InterestedInLocalSS += span
+		} else {
+			if !r.remoteIsSeed {
+				r.RemoteInterestedTime += span
+			}
+			r.InterestedInLocalLS += span
+		}
+	}
+	r.remoteInterested = interested
+	r.remoteInterestedSince = now
+	if interested {
+		c.CountMsg("remote_interested")
+	} else {
+		c.CountMsg("remote_not_interested")
+	}
+}
+
+// RemoteSeedStatus records whether remote id is (now) a seed.
+func (c *Collector) RemoteSeedStatus(id int, now float64, seed bool) {
+	r := c.rec(id)
+	if seed == r.remoteIsSeed {
+		return
+	}
+	// Settle the leecher-state residency span under the old status.
+	if r.inSet {
+		c.closeIntervals(r, now)
+	}
+	r.remoteIsSeed = seed
+	if seed {
+		r.RemoteWasSeed = true
+	}
+}
+
+// Unchoke records the local peer unchoking remote id (a choked->unchoked
+// transition only; repeated unchokes while already unchoked are ignored,
+// matching the paper's "number of times a peer is unchoked").
+func (c *Collector) Unchoke(id int, now float64) {
+	r := c.rec(id)
+	if r.unchoked {
+		return
+	}
+	r.unchoked = true
+	c.CountMsg("unchoke")
+	if c.localSeed {
+		r.UnchokesSS++
+	} else {
+		r.UnchokesLS++
+	}
+}
+
+// Choke records the local peer choking remote id.
+func (c *Collector) Choke(id int, now float64) {
+	if r := c.rec(id); r.unchoked {
+		r.unchoked = false
+		c.CountMsg("choke")
+	}
+}
+
+// Uploaded credits n bytes uploaded from the local peer to remote id.
+func (c *Collector) Uploaded(id int, now float64, n int64) {
+	r := c.rec(id)
+	if c.localSeed {
+		r.UploadedSS += n
+	} else {
+		r.UploadedLS += n
+	}
+}
+
+// Downloaded credits n bytes downloaded by the local peer from remote id.
+func (c *Collector) Downloaded(id int, now float64, n int64) {
+	r := c.rec(id)
+	if c.localSeed {
+		r.DownloadedSS += n
+	} else {
+		r.DownloadedLS += n
+	}
+}
+
+// LocalSeed records the local peer's leecher->seed transition: every open
+// leecher-state interval is settled under leecher accounting first.
+func (c *Collector) LocalSeed(now float64) {
+	if c.localSeed {
+		return
+	}
+	for _, r := range c.peers {
+		if r.inSet {
+			c.closeIntervals(r, now)
+		}
+	}
+	c.localSeed = true
+	c.seedAt = now
+	c.Events = append(c.Events, Event{T: now, Name: "seed_state"})
+}
+
+// SeededAt returns the time the local peer completed its download, or -1.
+func (c *Collector) SeededAt() float64 { return c.seedAt }
+
+// StartAt returns the experiment start time (local peer join).
+func (c *Collector) StartAt() float64 { return c.startAt }
+
+// PieceCompleted records a verified piece arrival at the local peer.
+func (c *Collector) PieceCompleted(now float64, piece int) {
+	c.PieceTimes = append(c.PieceTimes, now)
+}
+
+// BlockReceived records a block arrival at the local peer.
+func (c *Collector) BlockReceived(now float64) {
+	c.BlockTimes = append(c.BlockTimes, now)
+}
+
+// Sample records a periodic availability snapshot.
+func (c *Collector) Sample(s AvailSample) {
+	c.Samples = append(c.Samples, s)
+}
+
+// MarkEvent records a named protocol event (e.g. "end_game").
+func (c *Collector) MarkEvent(now float64, name string) {
+	c.Events = append(c.Events, Event{T: now, Name: name})
+}
+
+// SeedServed records the initial seed serving a piece; dup reports whether
+// that piece had been served before (A4 ablation metric).
+func (c *Collector) SeedServed(dup bool) {
+	c.SeedServes++
+	if dup {
+		c.DupSeedServes++
+	}
+}
+
+// Finalize closes all open intervals at time end. Must be called exactly
+// once, before reading records.
+func (c *Collector) Finalize(end float64) {
+	if c.finalized {
+		return
+	}
+	for _, r := range c.peers {
+		if r.inSet {
+			c.closeIntervals(r, end)
+			r.inSet = false
+			r.LeftAt = end
+		}
+	}
+	c.finalized = true
+}
+
+// Records returns all peer records with residency of at least MinResidency,
+// sorted by ID. Finalize must have been called.
+func (c *Collector) Records() []*PeerRecord {
+	if !c.finalized {
+		panic("trace: Records before Finalize")
+	}
+	out := make([]*PeerRecord, 0, len(c.peers))
+	for _, r := range c.peers {
+		if r.Residency >= MinResidency {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllRecords returns every peer record regardless of residency.
+func (c *Collector) AllRecords() []*PeerRecord {
+	if !c.finalized {
+		panic("trace: AllRecords before Finalize")
+	}
+	out := make([]*PeerRecord, 0, len(c.peers))
+	for _, r := range c.peers {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

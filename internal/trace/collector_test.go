@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestResidencyAndFilter(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.PeerLeft(1, 5) // under MinResidency: filtered
+	c.PeerJoined(2, 0)
+	c.PeerLeft(2, 100)
+	c.PeerJoined(3, 10) // open at finalize
+	c.Finalize(200)
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (short peer filtered)", len(recs))
+	}
+	approx(t, "peer2 residency", recs[0].Residency, 100)
+	approx(t, "peer3 residency", recs[1].Residency, 190)
+	if all := c.AllRecords(); len(all) != 3 {
+		t.Fatalf("AllRecords = %d", len(all))
+	}
+}
+
+func TestRejoinAccumulates(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.PeerLeft(1, 30)
+	c.PeerJoined(1, 50)
+	c.PeerLeft(1, 70)
+	c.Finalize(100)
+	r := c.Records()[0]
+	approx(t, "residency", r.Residency, 50)
+	approx(t, "joined", r.JoinedAt, 0)
+	approx(t, "left", r.LeftAt, 70)
+}
+
+func TestEntropyRatios(t *testing.T) {
+	// Peer resident [0,100], local interested [10,40], remote interested
+	// [0, 80]; local becomes seed at 60.
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.LocalInterest(1, 10, true)
+	c.LocalInterest(1, 40, false)
+	c.RemoteInterest(1, 0, true)
+	c.LocalSeed(60)
+	c.RemoteInterest(1, 80, false)
+	c.PeerLeft(1, 100)
+	c.Finalize(100)
+	r := c.Records()[0]
+	// a = 30 (local interested while leecher), b = 60 (residency while
+	// local leecher), c = 60 (remote interested while local leecher).
+	approx(t, "a", r.LocalInterestedTime, 30)
+	approx(t, "b/d", r.ResidencyLSLocal, 60)
+	approx(t, "c", r.RemoteInterestedTime, 60)
+	// Fig 10 split: interested-in-local 60 s LS + 20 s SS.
+	approx(t, "int LS", r.InterestedInLocalLS, 60)
+	approx(t, "int SS", r.InterestedInLocalSS, 20)
+}
+
+func TestRemoteSeedExcludedFromEntropyDenominator(t *testing.T) {
+	// Remote is a seed from t=50; leecher-state residency only counts
+	// [0,50).
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.RemoteSeedStatus(1, 50, true)
+	c.PeerLeft(1, 100)
+	c.Finalize(100)
+	r := c.Records()[0]
+	approx(t, "b excludes seed span", r.ResidencyLSLocal, 50)
+	if !r.RemoteWasSeed {
+		t.Fatal("RemoteWasSeed not set")
+	}
+}
+
+func TestUnchokeCountingSplitsByState(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.Unchoke(1, 10)
+	c.Unchoke(1, 11) // still unchoked: not a transition
+	c.Choke(1, 20)
+	c.Unchoke(1, 30)
+	c.LocalSeed(40)
+	c.Choke(1, 40)
+	c.Unchoke(1, 50)
+	c.Finalize(100)
+	r := c.Records()[0]
+	if r.UnchokesLS != 2 || r.UnchokesSS != 1 {
+		t.Fatalf("unchokes = %d/%d, want 2/1", r.UnchokesLS, r.UnchokesSS)
+	}
+}
+
+func TestByteCountersSplitByState(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.Uploaded(1, 5, 100)
+	c.Downloaded(1, 6, 200)
+	c.LocalSeed(10)
+	c.Uploaded(1, 15, 1000)
+	c.Downloaded(1, 16, 1) // stray block after seeding
+	c.Finalize(20)
+	r := c.Records()[0]
+	if r.UploadedLS != 100 || r.UploadedSS != 1000 || r.DownloadedLS != 200 || r.DownloadedSS != 1 {
+		t.Fatalf("counters: %+v", r)
+	}
+}
+
+func TestPieceAndBlockTimes(t *testing.T) {
+	c := NewCollector(0)
+	c.PieceCompleted(1.5, 7)
+	c.PieceCompleted(3.0, 2)
+	c.BlockReceived(0.5)
+	c.BlockReceived(0.7)
+	c.BlockReceived(1.5)
+	if len(c.PieceTimes) != 2 || c.PieceTimes[1] != 3.0 {
+		t.Fatalf("piece times %v", c.PieceTimes)
+	}
+	if len(c.BlockTimes) != 3 {
+		t.Fatalf("block times %v", c.BlockTimes)
+	}
+}
+
+func TestSamplesAndEvents(t *testing.T) {
+	c := NewCollector(0)
+	c.Sample(AvailSample{T: 10, Min: 0, Mean: 3.5, Max: 60, RarestSize: 200, PeerSet: 45})
+	c.MarkEvent(50, "end_game")
+	c.LocalSeed(60)
+	if len(c.Samples) != 1 || c.Samples[0].Max != 60 {
+		t.Fatalf("samples %v", c.Samples)
+	}
+	if len(c.Events) != 2 || c.Events[0].Name != "end_game" || c.Events[1].Name != "seed_state" {
+		t.Fatalf("events %v", c.Events)
+	}
+	if c.SeededAt() != 60 {
+		t.Fatalf("SeededAt = %f", c.SeededAt())
+	}
+}
+
+func TestSeedServeCounters(t *testing.T) {
+	c := NewCollector(0)
+	c.SeedServed(false)
+	c.SeedServed(false)
+	c.SeedServed(true)
+	if c.SeedServes != 3 || c.DupSeedServes != 1 {
+		t.Fatalf("serves=%d dup=%d", c.SeedServes, c.DupSeedServes)
+	}
+}
+
+func TestRecordsBeforeFinalizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCollector(0).Records()
+}
+
+func TestDoubleFinalizeIsSafe(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.Finalize(100)
+	c.Finalize(200) // no-op
+	approx(t, "residency", c.Records()[0].Residency, 100)
+}
+
+func TestInterestIdempotence(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.LocalInterest(1, 10, true)
+	c.LocalInterest(1, 20, true) // repeated: ignored
+	c.LocalInterest(1, 30, false)
+	c.LocalInterest(1, 40, false)
+	c.Finalize(100)
+	approx(t, "a", c.Records()[0].LocalInterestedTime, 20)
+}
+
+func TestLocalSeedStopsLocalInterestAccrual(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.LocalInterest(1, 0, true)
+	c.LocalSeed(25)
+	c.LocalInterest(1, 60, false)
+	c.Finalize(100)
+	approx(t, "a capped at seed transition", c.Records()[0].LocalInterestedTime, 25)
+}

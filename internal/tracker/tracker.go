@@ -1,0 +1,238 @@
+// Package tracker implements a real BEP 3 HTTP tracker: the /announce
+// endpoint speaking bencode over net/http, with both the dictionary peer
+// list and the BEP 23 compact format. It is the only centralized component
+// of BitTorrent and is "not involved in the actual distribution of the
+// file" (§II-B); the real client in internal/client announces to it.
+package tracker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rarestfirst/internal/bencode"
+)
+
+// DefaultNumWant is the number of peers returned when the client does not
+// ask for a specific amount (the mainline default of 50, §II-B).
+const DefaultNumWant = 50
+
+// DefaultInterval is the re-announce interval returned to clients, in
+// seconds. The paper reports 30 minutes; tests override this.
+const DefaultInterval = 1800
+
+// peerEntry is one registered peer of one torrent.
+type peerEntry struct {
+	peerID   [20]byte
+	ip       net.IP
+	port     int
+	left     int64
+	lastSeen time.Time
+}
+
+func (p *peerEntry) key() string { return p.ip.String() + ":" + strconv.Itoa(p.port) }
+
+// Server is an HTTP tracker. Create with NewServer, mount Handler on an
+// http.Server, or use Serve for a self-managed listener.
+type Server struct {
+	mu       sync.Mutex
+	torrents map[[20]byte]map[string]*peerEntry
+	interval int
+	now      func() time.Time
+}
+
+// NewServer returns a tracker that advertises the given re-announce
+// interval in seconds (0 means DefaultInterval).
+func NewServer(interval int) *Server {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Server{
+		torrents: map[[20]byte]map[string]*peerEntry{},
+		interval: interval,
+		now:      time.Now,
+	}
+}
+
+// Handler returns the tracker's HTTP handler (routes: /announce, /stats).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/announce", s.handleAnnounce)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// failure writes a bencoded tracker failure, as real trackers do.
+func failure(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "text/plain")
+	w.Write(bencode.MustEncode(map[string]any{"failure reason": msg}))
+}
+
+func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+
+	rawHash := q.Get("info_hash")
+	if len(rawHash) != 20 {
+		failure(w, "invalid info_hash")
+		return
+	}
+	var ih [20]byte
+	copy(ih[:], rawHash)
+
+	rawID := q.Get("peer_id")
+	if len(rawID) != 20 {
+		failure(w, "invalid peer_id")
+		return
+	}
+	var pid [20]byte
+	copy(pid[:], rawID)
+
+	port, err := strconv.Atoi(q.Get("port"))
+	if err != nil || port <= 0 || port > 65535 {
+		failure(w, "invalid port")
+		return
+	}
+	left, _ := strconv.ParseInt(q.Get("left"), 10, 64)
+
+	// Peer address: explicit ip param or the connection's source address.
+	ipStr := q.Get("ip")
+	if ipStr == "" {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			failure(w, "cannot determine peer address")
+			return
+		}
+		ipStr = host
+	}
+	ip := net.ParseIP(ipStr)
+	if ip == nil {
+		failure(w, "invalid ip")
+		return
+	}
+
+	numWant := DefaultNumWant
+	if nw := q.Get("numwant"); nw != "" {
+		if n, err := strconv.Atoi(nw); err == nil && n >= 0 {
+			numWant = n
+		}
+	}
+
+	event := q.Get("event")
+
+	s.mu.Lock()
+	peers := s.torrents[ih]
+	if peers == nil {
+		peers = map[string]*peerEntry{}
+		s.torrents[ih] = peers
+	}
+	entry := &peerEntry{peerID: pid, ip: ip, port: port, left: left, lastSeen: s.now()}
+	if event == "stopped" {
+		delete(peers, entry.key())
+	} else {
+		peers[entry.key()] = entry
+	}
+	s.prune(ih)
+	sample := s.samplePeers(ih, numWant, entry.key())
+	complete, incomplete := s.countLocked(ih)
+	s.mu.Unlock()
+
+	resp := map[string]any{
+		"interval":   s.interval,
+		"complete":   complete,
+		"incomplete": incomplete,
+	}
+	if q.Get("compact") == "1" {
+		buf := make([]byte, 0, 6*len(sample))
+		for _, p := range sample {
+			ip4 := p.ip.To4()
+			if ip4 == nil {
+				continue // compact format is IPv4 only
+			}
+			var e [6]byte
+			copy(e[:4], ip4)
+			binary.BigEndian.PutUint16(e[4:], uint16(p.port))
+			buf = append(buf, e[:]...)
+		}
+		resp["peers"] = buf
+	} else {
+		list := make([]any, 0, len(sample))
+		for _, p := range sample {
+			list = append(list, map[string]any{
+				"peer id": string(p.peerID[:]),
+				"ip":      p.ip.String(),
+				"port":    p.port,
+			})
+		}
+		resp["peers"] = list
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	w.Write(bencode.MustEncode(resp))
+}
+
+// samplePeers returns up to n peers of torrent ih, excluding the requester.
+// Callers must hold mu. Selection is by recency of announce, which biases
+// toward live peers (adequate for a reference tracker; the simulator's
+// tracker does uniform sampling).
+func (s *Server) samplePeers(ih [20]byte, n int, excludeKey string) []*peerEntry {
+	peers := s.torrents[ih]
+	out := make([]*peerEntry, 0, len(peers))
+	for k, p := range peers {
+		if k != excludeKey {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].lastSeen.Equal(out[j].lastSeen) {
+			return out[i].lastSeen.After(out[j].lastSeen)
+		}
+		return out[i].key() < out[j].key()
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// prune drops peers that have not announced within two intervals. Callers
+// must hold mu.
+func (s *Server) prune(ih [20]byte) {
+	cutoff := s.now().Add(-2 * time.Duration(s.interval) * time.Second)
+	for k, p := range s.torrents[ih] {
+		if p.lastSeen.Before(cutoff) {
+			delete(s.torrents[ih], k)
+		}
+	}
+}
+
+func (s *Server) countLocked(ih [20]byte) (complete, incomplete int) {
+	for _, p := range s.torrents[ih] {
+		if p.left == 0 {
+			complete++
+		} else {
+			incomplete++
+		}
+	}
+	return complete, incomplete
+}
+
+// Count returns (seeds, leechers) currently registered for the torrent.
+func (s *Server) Count(ih [20]byte) (complete, incomplete int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countLocked(ih)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "torrents: %d\n", len(s.torrents))
+	for ih, peers := range s.torrents {
+		c, i := s.countLocked(ih)
+		fmt.Fprintf(w, "%x: %d peers (%d seeds, %d leechers)\n", ih[:4], len(peers), c, i)
+	}
+}

@@ -1,0 +1,162 @@
+package tracker
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func announceVia(t *testing.T, url string, ih, pid [20]byte, port int, left int64, extra func(*AnnounceRequest)) *AnnounceResponse {
+	t.Helper()
+	req := AnnounceRequest{URL: url, InfoHash: ih, PeerID: pid, Port: port, Left: left}
+	if extra != nil {
+		extra(&req)
+	}
+	resp, err := Announce(req)
+	if err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	return resp
+}
+
+func pid(b byte) [20]byte {
+	var p [20]byte
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestAnnounceRegistersAndReturnsPeers(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "demo-infohash-12345_")
+
+	// First peer sees an empty swarm.
+	r1 := announceVia(t, url, ih, pid(1), 7001, 1000, nil)
+	if len(r1.Peers) != 0 {
+		t.Fatalf("first peer saw %d peers", len(r1.Peers))
+	}
+	if r1.Interval != 900 {
+		t.Fatalf("interval = %d", r1.Interval)
+	}
+	// Second peer sees the first.
+	r2 := announceVia(t, url, ih, pid(2), 7002, 0, nil)
+	if len(r2.Peers) != 1 || r2.Peers[0].Port != 7001 {
+		t.Fatalf("second peer saw %+v", r2.Peers)
+	}
+	// Seed/leecher counts include the requester (it registered first).
+	if r2.Complete != 1 || r2.Incomplete != 1 {
+		t.Fatalf("counts: %d/%d, want 1/1", r2.Complete, r2.Incomplete)
+	}
+	c, i := srv.Count(ih)
+	if c != 1 || i != 1 {
+		t.Fatalf("server counts: %d seeds %d leechers", c, i)
+	}
+}
+
+func TestAnnounceCompactFormat(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "compact-hash-543210_")
+	announceVia(t, url, ih, pid(1), 7001, 10, nil)
+	r := announceVia(t, url, ih, pid(2), 7002, 10, func(a *AnnounceRequest) { a.Compact = true })
+	if len(r.Peers) != 1 {
+		t.Fatalf("compact peers: %+v", r.Peers)
+	}
+	if r.Peers[0].Port != 7001 || r.Peers[0].IP.To4() == nil {
+		t.Fatalf("compact peer decoded wrong: %+v", r.Peers[0])
+	}
+}
+
+func TestAnnounceStoppedRemoves(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "stopped-hash-12345__")
+	announceVia(t, url, ih, pid(1), 7001, 10, nil)
+	announceVia(t, url, ih, pid(1), 7001, 10, func(a *AnnounceRequest) { a.Event = "stopped" })
+	r := announceVia(t, url, ih, pid(2), 7002, 10, nil)
+	if len(r.Peers) != 0 {
+		t.Fatalf("stopped peer still returned: %+v", r.Peers)
+	}
+}
+
+func TestAnnounceNumWantLimits(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "numwant-hash-12345__")
+	for i := 0; i < 10; i++ {
+		announceVia(t, url, ih, pid(byte(i)), 7100+i, 10, nil)
+	}
+	r := announceVia(t, url, ih, pid(99), 7999, 10, func(a *AnnounceRequest) { a.NumWant = 3 })
+	if len(r.Peers) != 3 {
+		t.Fatalf("numwant=3 returned %d peers", len(r.Peers))
+	}
+}
+
+func TestAnnounceRejectsGarbage(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, q := range []string{
+		"",                 // no info_hash
+		"?info_hash=short", // bad hash
+		"?info_hash=01234567890123456789&peer_id=short",                           // bad peer id
+		"?info_hash=01234567890123456789&peer_id=01234567890123456789&port=0",     // bad port
+		"?info_hash=01234567890123456789&peer_id=01234567890123456789&port=99999", // bad port
+	} {
+		_, err := Announce(AnnounceRequest{URL: ts.URL + "/announce" + q})
+		if err == nil {
+			t.Errorf("announce %q accepted", q)
+		}
+	}
+}
+
+func TestPruneDropsStalePeers(t *testing.T) {
+	srv := NewServer(1)
+	clock := time.Now()
+	srv.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "prune-hash-123456___")
+	announceVia(t, url, ih, pid(1), 7001, 10, nil)
+	clock = clock.Add(10 * time.Second) // > 2 * interval
+	r := announceVia(t, url, ih, pid(2), 7002, 10, nil)
+	if len(r.Peers) != 0 {
+		t.Fatalf("stale peer survived prune: %+v", r.Peers)
+	}
+}
+
+func TestParseAnnounceResponseErrors(t *testing.T) {
+	cases := [][]byte{
+		[]byte("not bencode"),
+		[]byte("le"),
+		[]byte("d14:failure reason4:nopee"),
+		[]byte("d5:peers7:1234567e"),              // compact not multiple of 6
+		[]byte("d5:peersli1eee"),                  // peer entry not a dict
+		[]byte("d5:peersld2:ip3:bad4:porti1eeee"), // unparseable ip
+	}
+	for _, b := range cases {
+		if _, err := ParseAnnounceResponse(b); err == nil {
+			t.Errorf("ParseAnnounceResponse(%q) accepted", b)
+		}
+	}
+	// Missing peers key is fine.
+	if r, err := ParseAnnounceResponse([]byte("d8:intervali60ee")); err != nil || r.Interval != 60 {
+		t.Fatalf("minimal response: %v %+v", err, r)
+	}
+}

@@ -1,0 +1,219 @@
+// Package rarestfirst reproduces Legout, Urvoy-Keller & Michiardi, "Rarest
+// First and Choke Algorithms Are Enough" (ACM SIGCOMM/USENIX IMC 2006).
+//
+// The package is the public face of the repository: it configures and runs
+// instrumented swarm experiments over the paper's 26-torrent catalog
+// (Table I) and derives the exact statistics the paper plots — entropy
+// characterization (Fig 1), piece replication dynamics (Figs 2–6),
+// piece/block interarrival CDFs (Figs 7–8), choke fairness (Figs 9 and 11)
+// and unchoke/interest correlation (Fig 10) — plus the ablations DESIGN.md
+// catalogs (A1–A5).
+//
+// The algorithms under evaluation live in internal/core and are shared,
+// unchanged, between the discrete-event simulator (internal/swarm) and a
+// real TCP BitTorrent client (internal/client).
+//
+// Quick start:
+//
+//	rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 7, Scale: rarestfirst.BenchScale()})
+//	if err != nil { ... }
+//	rep.WriteText(os.Stdout)
+package rarestfirst
+
+import (
+	"fmt"
+
+	"rarestfirst/internal/swarm"
+	"rarestfirst/internal/torrents"
+)
+
+// Scale bounds an experiment's size. Populations and content above the
+// caps are scaled down preserving the seed:leecher ratio (see DESIGN.md).
+type Scale struct {
+	MaxPeers     int     // cap on seeds+leechers
+	MaxContentMB int     // cap on content size
+	MaxPieces    int     // cap on piece count (piece size grows instead)
+	Duration     float64 // local peer observation window, seconds
+	Warmup       float64 // pre-join simulation, seconds
+	Seed         int64   // RNG seed; runs are reproducible bit-for-bit
+}
+
+// DefaultScale is the scale cmd/experiments uses: every Table I torrent
+// runs in seconds to a few tens of seconds of wall-clock time.
+func DefaultScale() Scale { return fromInternalScale(torrents.DefaultScale()) }
+
+// BenchScale is the reduced scale bench_test.go uses.
+func BenchScale() Scale { return fromInternalScale(torrents.BenchScale()) }
+
+func fromInternalScale(s torrents.Scale) Scale {
+	return Scale{
+		MaxPeers:     s.MaxPeers,
+		MaxContentMB: s.MaxContentMB,
+		MaxPieces:    s.MaxPieces,
+		Duration:     s.Duration,
+		Warmup:       s.Warmup,
+		Seed:         s.Seed,
+	}
+}
+
+func (s Scale) toInternal() torrents.Scale {
+	return torrents.Scale{
+		MaxPeers:     s.MaxPeers,
+		MaxContentMB: s.MaxContentMB,
+		MaxPieces:    s.MaxPieces,
+		Duration:     s.Duration,
+		Warmup:       s.Warmup,
+		Seed:         s.Seed,
+	}
+}
+
+// Piece selection strategies accepted by Scenario.Picker.
+const (
+	PickerRarestFirst  = "rarest-first"  // the paper's algorithm (default)
+	PickerRandom       = "random"        // baseline the paper cites as inferior
+	PickerSequential   = "sequential"    // in-order worst case
+	PickerGlobalRarest = "global-rarest" // oracle with global knowledge
+)
+
+// Seed-state choke algorithms accepted by Scenario.SeedChoke.
+const (
+	SeedChokeNew = "new" // mainline >= 4.0.0, the paper's subject (default)
+	SeedChokeOld = "old" // pre-4.0.0 upload-rate algorithm (baseline)
+)
+
+// Leecher-state choke algorithms accepted by Scenario.LeecherChoke.
+const (
+	LeecherChokeStandard  = "standard"    // 3 RU / 10 s + 1 OU / 30 s (default)
+	LeecherChokeTitForTat = "tit-for-tat" // bit-level TFT baseline
+)
+
+// Scenario describes one experiment.
+type Scenario struct {
+	// TorrentID selects a Table I torrent (1..26).
+	TorrentID int
+	// Scale bounds the simulation; zero value means DefaultScale.
+	Scale Scale
+	// Picker selects the swarm-wide piece selection strategy ("" =
+	// rarest-first).
+	Picker string
+	// SeedChoke selects the seed-state algorithm ("" = new).
+	SeedChoke string
+	// LeecherChoke selects the leecher-state algorithm ("" = standard).
+	LeecherChoke string
+	// TFTDeficitBytes is the tit-for-tat deficit threshold (default 2 MiB).
+	TFTDeficitBytes int64
+	// FreeRiderFraction of leechers never upload.
+	FreeRiderFraction float64
+	// LocalFreeRider makes the instrumented peer itself a free rider.
+	LocalFreeRider bool
+	// SmartSeedServe enables the idealized coding / super-seeding serve
+	// policy on the initial seed (ablation A4).
+	SmartSeedServe bool
+	// DisableRandomFirst turns the random-first policy off swarm-wide.
+	DisableRandomFirst bool
+	// BoostNewcomers enables the §VI extension: exploratory unchoke slots
+	// prefer peers that have no pieces yet, attacking the first-blocks
+	// problem the paper identifies.
+	BoostNewcomers bool
+	// InitialSeedLeavesAt injects a failure: the initial seed departs at
+	// this simulated time (0 = never). With rare pieces still out, the
+	// torrent dies — "a torrent is alive as long as there is at least one
+	// copy of each piece".
+	InitialSeedLeavesAt float64
+	// SeedOverride replaces the RNG seed when nonzero (for repeat runs).
+	SeedOverride int64
+}
+
+// Torrent is one row of the paper's Table I.
+type Torrent struct {
+	ID       int
+	Seeds    int
+	Leechers int
+	Ratio    float64 // seeds/leechers
+	MaxPS    int
+	SizeMB   int
+	State    string // "steady", "transient" or "no-seed"
+}
+
+// TableI returns the paper's torrent catalog.
+func TableI() []Torrent {
+	out := make([]Torrent, 0, len(torrents.TableI))
+	for _, s := range torrents.TableI {
+		out = append(out, Torrent{
+			ID:       s.ID,
+			Seeds:    s.Seeds,
+			Leechers: s.Leechers,
+			Ratio:    s.Ratio(),
+			MaxPS:    s.MaxPS,
+			SizeMB:   s.SizeMB,
+			State:    s.State.String(),
+		})
+	}
+	return out
+}
+
+// buildConfig maps a Scenario onto the internal swarm configuration.
+func buildConfig(sc Scenario) (swarm.Config, torrents.Spec, error) {
+	spec, ok := torrents.ByID(sc.TorrentID)
+	if !ok {
+		return swarm.Config{}, torrents.Spec{}, fmt.Errorf("rarestfirst: no torrent %d in Table I", sc.TorrentID)
+	}
+	scale := sc.Scale
+	if scale == (Scale{}) {
+		scale = DefaultScale()
+	}
+	cfg := spec.Config(scale.toInternal())
+	if sc.SeedOverride != 0 {
+		cfg.Seed = sc.SeedOverride
+	}
+	switch sc.Picker {
+	case "", PickerRarestFirst:
+		cfg.Picker = swarm.PickRarestFirst
+	case PickerRandom:
+		cfg.Picker = swarm.PickRandom
+	case PickerSequential:
+		cfg.Picker = swarm.PickSequential
+	case PickerGlobalRarest:
+		cfg.Picker = swarm.PickGlobalRarest
+	default:
+		return swarm.Config{}, spec, fmt.Errorf("rarestfirst: unknown picker %q", sc.Picker)
+	}
+	switch sc.SeedChoke {
+	case "", SeedChokeNew:
+		cfg.SeedChoker = swarm.SeedChokeNew
+	case SeedChokeOld:
+		cfg.SeedChoker = swarm.SeedChokeOld
+	default:
+		return swarm.Config{}, spec, fmt.Errorf("rarestfirst: unknown seed choker %q", sc.SeedChoke)
+	}
+	switch sc.LeecherChoke {
+	case "", LeecherChokeStandard:
+		cfg.LeecherChoker = swarm.LeecherChokeStandard
+	case LeecherChokeTitForTat:
+		cfg.LeecherChoker = swarm.LeecherChokeTitForTat
+		cfg.TFTDeficitLimit = sc.TFTDeficitBytes
+		if cfg.TFTDeficitLimit == 0 {
+			cfg.TFTDeficitLimit = 2 << 20
+		}
+	default:
+		return swarm.Config{}, spec, fmt.Errorf("rarestfirst: unknown leecher choker %q", sc.LeecherChoke)
+	}
+	cfg.FreeRiderFraction = sc.FreeRiderFraction
+	cfg.LocalFreeRider = sc.LocalFreeRider
+	cfg.SmartSeedServe = sc.SmartSeedServe
+	cfg.DisableRandomFirst = sc.DisableRandomFirst
+	cfg.BoostNewcomers = sc.BoostNewcomers
+	cfg.InitialSeedLeaveAt = sc.InitialSeedLeavesAt
+	return cfg, spec, nil
+}
+
+// Run executes the scenario and derives its report.
+func Run(sc Scenario) (*Report, error) {
+	cfg, spec, err := buildConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	sw := swarm.New(cfg)
+	res := sw.Run()
+	return buildReport(sc, spec, cfg, res), nil
+}

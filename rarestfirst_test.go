@@ -1,0 +1,216 @@
+package rarestfirst
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickScale is the smallest sensible experiment, for unit tests.
+func quickScale() Scale {
+	s := BenchScale()
+	s.MaxPeers = 40
+	s.MaxContentMB = 8
+	s.MaxPieces = 32
+	s.Duration = 900
+	s.Warmup = 300
+	return s
+}
+
+func TestTableIFacade(t *testing.T) {
+	tab := TableI()
+	if len(tab) != 26 {
+		t.Fatalf("TableI has %d rows", len(tab))
+	}
+	if tab[6].ID != 7 || tab[6].Leechers != 713 || tab[6].State != "steady" {
+		t.Fatalf("torrent 7 row wrong: %+v", tab[6])
+	}
+	if tab[0].State != "no-seed" {
+		t.Fatalf("torrent 1 state: %+v", tab[0])
+	}
+}
+
+func TestRunRejectsBadScenarios(t *testing.T) {
+	cases := []Scenario{
+		{TorrentID: 0},
+		{TorrentID: 27},
+		{TorrentID: 7, Picker: "frobnicate"},
+		{TorrentID: 7, SeedChoke: "medium"},
+		{TorrentID: 7, LeecherChoke: "nice"},
+	}
+	for _, sc := range cases {
+		if _, err := Run(sc); err == nil {
+			t.Errorf("scenario %+v accepted", sc)
+		}
+	}
+}
+
+func TestRunSteadyTorrentReport(t *testing.T) {
+	rep, err := Run(Scenario{TorrentID: 3, Scale: quickScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TorrentID != 3 || rep.State != "steady" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if !rep.LocalCompleted {
+		t.Fatal("local peer did not complete on a steady torrent")
+	}
+	if rep.Entropy.AOverB.N == 0 || rep.Entropy.COverD.N == 0 {
+		t.Fatal("no entropy ratios collected")
+	}
+	// Steady state: close-to-ideal entropy (medians materially above the
+	// transient regime's near-zero values).
+	if rep.Entropy.AOverB.P50 < 0.3 {
+		t.Fatalf("steady a/b median %.3f suspiciously low", rep.Entropy.AOverB.P50)
+	}
+	if len(rep.Availability) == 0 {
+		t.Fatal("no availability samples")
+	}
+	if rep.PieceCDF.N == 0 || rep.BlockCDF.N == 0 {
+		t.Fatal("no interarrival data")
+	}
+}
+
+func TestRunTransientTorrentReport(t *testing.T) {
+	rep, err := Run(Scenario{TorrentID: 8, Scale: quickScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State != "transient" {
+		t.Fatalf("state = %s", rep.State)
+	}
+	// Transient: rare pieces persist in the availability series.
+	rare := 0
+	for _, p := range rep.Availability {
+		if p.GlobalRare > 0 {
+			rare++
+		}
+	}
+	if rare < len(rep.Availability)/2 {
+		t.Fatalf("transient torrent had rare pieces in only %d/%d samples",
+			rare, len(rep.Availability))
+	}
+	// Transient entropy is much lower than steady entropy.
+	if rep.Entropy.AOverB.P50 > 0.5 {
+		t.Fatalf("transient a/b median %.3f suspiciously high", rep.Entropy.AOverB.P50)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	sc := Scenario{TorrentID: 3, Scale: quickScale()}
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LocalDownloadSeconds != r2.LocalDownloadSeconds ||
+		r1.Entropy.AOverB.P50 != r2.Entropy.AOverB.P50 ||
+		r1.SeedServes != r2.SeedServes {
+		t.Fatalf("runs diverge: %+v vs %+v", r1.Entropy, r2.Entropy)
+	}
+	// Different seed changes the outcome.
+	sc.SeedOverride = 777
+	r3, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.LocalDownloadSeconds == r1.LocalDownloadSeconds {
+		t.Fatal("seed override had no effect")
+	}
+}
+
+func TestPickerScenarios(t *testing.T) {
+	for _, p := range []string{PickerRandom, PickerSequential, PickerGlobalRarest} {
+		rep, err := Run(Scenario{TorrentID: 3, Scale: quickScale(), Picker: p})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if rep.Scenario.Picker != p {
+			t.Fatalf("scenario not echoed: %+v", rep.Scenario)
+		}
+	}
+}
+
+func TestChokerScenarios(t *testing.T) {
+	if _, err := Run(Scenario{TorrentID: 3, Scale: quickScale(), SeedChoke: SeedChokeOld}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Scenario{TorrentID: 3, Scale: quickScale(), LeecherChoke: LeecherChokeTitForTat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Spec, "torrent 3") {
+		t.Fatalf("spec: %s", rep.Spec)
+	}
+}
+
+func TestSmartSeedServeReducesDuplicates(t *testing.T) {
+	base, err := Run(Scenario{TorrentID: 8, Scale: quickScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := Run(Scenario{TorrentID: 8, Scale: quickScale(), SmartSeedServe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SeedServes == 0 || smart.SeedServes == 0 {
+		t.Fatal("initial seed idle")
+	}
+	fracBase := float64(base.DupSeedServes) / float64(base.SeedServes)
+	fracSmart := float64(smart.DupSeedServes) / float64(smart.SeedServes)
+	if fracSmart > fracBase {
+		t.Fatalf("smart serve increased duplicate fraction: %.2f -> %.2f", fracBase, fracSmart)
+	}
+}
+
+func TestWriteTextContainsAllFigures(t *testing.T) {
+	rep, err := Run(Scenario{TorrentID: 3, Scale: quickScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	for _, tag := range []string{"[fig1]", "[fig2-6]", "[fig7-pieces]", "[fig8-blocks]",
+		"[fig9]", "[fig10]", "[fig11]", "[a4]"} {
+		if !strings.Contains(out, tag) {
+			t.Errorf("report text missing %s", tag)
+		}
+	}
+}
+
+func TestFreeRiderScenario(t *testing.T) {
+	rep, err := Run(Scenario{TorrentID: 3, Scale: quickScale(), FreeRiderFraction: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinishedFree > 0 && rep.MeanDownloadFree < rep.MeanDownloadContrib {
+		t.Fatalf("free riders beat contributors: %.0f < %.0f",
+			rep.MeanDownloadFree, rep.MeanDownloadContrib)
+	}
+}
+
+func TestDetectedStateMatchesCatalog(t *testing.T) {
+	// The run must exhibit the state the catalog promises — the paper's
+	// transient/steady criterion made into a self-check.
+	cases := []struct {
+		torrent int
+		want    string
+	}{
+		{3, "steady"},
+		{8, "transient"},
+	}
+	for _, c := range cases {
+		rep, err := Run(Scenario{TorrentID: c.torrent, Scale: quickScale()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DetectedState != c.want {
+			t.Errorf("torrent %d: detected %q, catalog %q", c.torrent, rep.DetectedState, c.want)
+		}
+	}
+}

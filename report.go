@@ -1,0 +1,347 @@
+package rarestfirst
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"rarestfirst/internal/analysis"
+	"rarestfirst/internal/swarm"
+	"rarestfirst/internal/torrents"
+	"rarestfirst/internal/trace"
+)
+
+// EntropySummary is one torrent's Fig 1 row: the 20th/50th/80th percentiles
+// of the two interest-time ratio populations.
+type EntropySummary struct {
+	// AOverB summarizes a/b: local interest in remote leechers.
+	AOverB analysis.Summary
+	// COverD summarizes c/d: remote leechers' interest in the local peer.
+	COverD analysis.Summary
+}
+
+// AvailPoint is one sample of Figs 2–6: piece replication in the local
+// peer set over time.
+type AvailPoint struct {
+	T          float64
+	Min        int
+	Mean       float64
+	Max        int
+	RarestSize int
+	PeerSet    int
+	GlobalMin  int
+	GlobalRare int
+}
+
+// InterarrivalCDF summarizes Fig 7/8: quantiles of the interarrival-time
+// distribution for all events, the first 100 and the last 100.
+type InterarrivalCDF struct {
+	N                  int
+	AllP50, AllP90     float64
+	FirstP50, FirstP90 float64
+	LastP50, LastP90   float64
+	// FirstOverAllP90 > 1 signals the "first pieces/blocks problem"; the
+	// paper finds it large while LastOverAllP90 stays near 1.
+	FirstOverAllP90 float64
+	LastOverAllP90  float64
+}
+
+// CorrelationReport is one Fig 10 panel: unchoke counts vs interested time.
+type CorrelationReport struct {
+	N        int
+	Pearson  float64
+	MaxUnch  int
+	MeanUnch float64
+}
+
+// Report is everything one experiment produces.
+type Report struct {
+	TorrentID int
+	Spec      string
+	// State is the catalog's expected state; DetectedState is what the
+	// run actually exhibited (§IV-A.2's criterion: transient while rare
+	// pieces exist). Disagreement flags a scaling problem.
+	State         string
+	DetectedState string
+	Scenario      Scenario
+
+	LocalCompleted       bool
+	LocalDownloadSeconds float64
+	EndGameEntered       bool
+	// FirstBlockSeconds / FirstPieceSeconds measure the startup delay of
+	// the local peer (§VI: "the time to deliver the first blocks of data
+	// should be reduced"); -1 when nothing arrived.
+	FirstBlockSeconds float64
+	FirstPieceSeconds float64
+
+	Entropy      EntropySummary
+	Availability []AvailPoint
+	PieceCDF     InterarrivalCDF
+	BlockCDF     InterarrivalCDF
+
+	// FairnessLS: Fig 9. Share of leecher-state upload received by each
+	// 5-peer set (ranked by received bytes), and the same sets' share of
+	// the local peer's downloads (reciprocation).
+	FairnessUploadLS []float64
+	FairnessRecipLS  []float64
+	// FairnessSS: Fig 11. Share of seed-state upload per 5-peer set.
+	FairnessUploadSS []float64
+
+	UnchokeLS CorrelationReport
+	UnchokeSS CorrelationReport
+
+	// Initial-seed service (A4): total pieces served and duplicates.
+	SeedServes    int
+	DupSeedServes int
+
+	// Swarm-level download times (ablations).
+	MeanDownloadContrib float64
+	MeanDownloadFree    float64
+	FinishedContrib     int
+	FinishedFree        int
+
+	// MsgCounts tallies the local peer's control-plane events (interest
+	// transitions, choke transitions, HAVEs observed) — the message-log
+	// summary of the paper's instrumentation.
+	MsgCounts map[string]int
+}
+
+// buildReport derives every figure's statistics from the run result.
+func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.Result) *Report {
+	col := res.Collector
+	recs := col.Records()
+
+	rep := &Report{
+		TorrentID:            spec.ID,
+		Spec:                 spec.String(),
+		State:                spec.State.String(),
+		Scenario:             sc,
+		LocalCompleted:       res.LocalCompleted,
+		LocalDownloadSeconds: res.LocalDownloadTime,
+		SeedServes:           res.SeedServes,
+		DupSeedServes:        res.DupSeedServes,
+		MeanDownloadContrib:  res.MeanDownloadContrib,
+		MeanDownloadFree:     res.MeanDownloadFree,
+		FinishedContrib:      res.FinishedContrib,
+		FinishedFree:         res.FinishedFree,
+		MsgCounts:            col.MsgCounts,
+	}
+	for _, e := range col.Events {
+		if e.Name == "end_game" {
+			rep.EndGameEntered = true
+		}
+	}
+	rep.FirstBlockSeconds, rep.FirstPieceSeconds = -1, -1
+	if len(col.BlockTimes) > 0 {
+		rep.FirstBlockSeconds = col.BlockTimes[0] - col.StartAt()
+	}
+	if len(col.PieceTimes) > 0 {
+		rep.FirstPieceSeconds = col.PieceTimes[0] - col.StartAt()
+	}
+
+	a, c := analysis.EntropyRatios(recs)
+	rep.Entropy = EntropySummary{AOverB: analysis.Summarize(a), COverD: analysis.Summarize(c)}
+
+	for _, s := range col.Samples {
+		rep.Availability = append(rep.Availability, AvailPoint{
+			T: s.T, Min: s.Min, Mean: s.Mean, Max: s.Max,
+			RarestSize: s.RarestSize, PeerSet: s.PeerSet,
+			GlobalMin: s.GlobalMin, GlobalRare: s.GlobalRare,
+		})
+	}
+
+	// The paper uses the first/last 100 of ~900–1400 pieces; at reduced
+	// scale the window is the same fraction (~10%) of the arrival series.
+	pieceWin := maxInt(8, cfg.NumPieces/10)
+	blockWin := maxInt(32, cfg.Geometry().TotalBlocks()/10)
+	rep.PieceCDF = interarrivalCDF(col.PieceTimes, pieceWin)
+	rep.BlockCDF = interarrivalCDF(col.BlockTimes, blockWin)
+
+	rep.FairnessUploadLS = analysis.UploadFairness(recs, false, 6)
+	rep.FairnessRecipLS = analysis.ReciprocationFairness(recs, 6)
+	rep.FairnessUploadSS = analysis.UploadFairness(recs, true, 6)
+
+	rep.UnchokeLS = correlation(recs, false)
+	rep.UnchokeSS = correlation(recs, true)
+	rep.DetectedState = detectState(rep.Availability)
+	return rep
+}
+
+// detectState classifies the run by the paper's criterion: a torrent is in
+// transient state exactly while rare pieces (pieces held only by the
+// initial seed) exist. A run that spends more than half its samples with
+// rare pieces out is transient; with none, steady.
+func detectState(av []AvailPoint) string {
+	if len(av) == 0 {
+		return "unknown"
+	}
+	rare := 0
+	for _, p := range av {
+		if p.GlobalRare > 0 {
+			rare++
+		}
+	}
+	switch {
+	case rare > len(av)/2:
+		return "transient"
+	case rare == 0:
+		return "steady"
+	default:
+		return "mixed"
+	}
+}
+
+func interarrivalCDF(times []float64, n int) InterarrivalCDF {
+	all := analysis.Interarrivals(times)
+	first, last := analysis.HeadTail(times, n)
+	ac, fc, lc := analysis.NewCDF(all), analysis.NewCDF(first), analysis.NewCDF(last)
+	out := InterarrivalCDF{
+		N:        len(times),
+		AllP50:   ac.Quantile(0.5),
+		AllP90:   ac.Quantile(0.9),
+		FirstP50: fc.Quantile(0.5),
+		FirstP90: fc.Quantile(0.9),
+		LastP50:  lc.Quantile(0.5),
+		LastP90:  lc.Quantile(0.9),
+	}
+	if out.AllP90 > 0 {
+		out.FirstOverAllP90 = out.FirstP90 / out.AllP90
+		out.LastOverAllP90 = out.LastP90 / out.AllP90
+	}
+	return out
+}
+
+func correlation(recs []*trace.PeerRecord, ss bool) CorrelationReport {
+	x, y := analysis.UnchokePoints(recs, ss)
+	rep := CorrelationReport{N: len(x), Pearson: analysis.Pearson(x, y)}
+	var sum float64
+	for _, v := range y {
+		if int(v) > rep.MaxUnch {
+			rep.MaxUnch = int(v)
+		}
+		sum += v
+	}
+	if len(y) > 0 {
+		rep.MeanUnch = sum / float64(len(y))
+	}
+	return rep
+}
+
+// WriteText renders the report as the plain-text rows/series the paper's
+// figures plot.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s\n", r.Spec)
+	fmt.Fprintf(w, "state=%s (detected: %s) picker=%s seed-choke=%s leecher-choke=%s\n",
+		r.State, r.DetectedState, orDefault(r.Scenario.Picker, PickerRarestFirst),
+		orDefault(r.Scenario.SeedChoke, SeedChokeNew),
+		orDefault(r.Scenario.LeecherChoke, LeecherChokeStandard))
+	if r.LocalCompleted {
+		fmt.Fprintf(w, "local peer: completed in %.0f s (end game: %v)\n",
+			r.LocalDownloadSeconds, r.EndGameEntered)
+	} else {
+		fmt.Fprintf(w, "local peer: NOT completed (end game: %v)\n", r.EndGameEntered)
+	}
+
+	fmt.Fprintf(w, "[fig1] entropy a/b: n=%d p20=%.3f p50=%.3f p80=%.3f\n",
+		r.Entropy.AOverB.N, r.Entropy.AOverB.P20, r.Entropy.AOverB.P50, r.Entropy.AOverB.P80)
+	fmt.Fprintf(w, "[fig1] entropy c/d: n=%d p20=%.3f p50=%.3f p80=%.3f\n",
+		r.Entropy.COverD.N, r.Entropy.COverD.P20, r.Entropy.COverD.P50, r.Entropy.COverD.P80)
+
+	if len(r.Availability) > 0 {
+		fmt.Fprintf(w, "[fig2-6] t(s)  min  mean  max  rarest  peerset  globalrare\n")
+		step := len(r.Availability) / 12
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(r.Availability); i += step {
+			p := r.Availability[i]
+			fmt.Fprintf(w, "[fig2-6] %7.0f  %3d  %6.1f  %3d  %5d  %5d  %5d\n",
+				p.T, p.Min, p.Mean, p.Max, p.RarestSize, p.PeerSet, p.GlobalRare)
+		}
+	}
+
+	if len(r.Availability) > 0 {
+		n := len(r.Availability)
+		series := func(get func(AvailPoint) float64) []float64 {
+			out := make([]float64, n)
+			for i, p := range r.Availability {
+				out[i] = get(p)
+			}
+			return out
+		}
+		fmt.Fprintf(w, "[plot] %s\n", analysis.PlotSeries("min", series(func(p AvailPoint) float64 { return float64(p.Min) }), 48))
+		fmt.Fprintf(w, "[plot] %s\n", analysis.PlotSeries("mean", series(func(p AvailPoint) float64 { return p.Mean }), 48))
+		fmt.Fprintf(w, "[plot] %s\n", analysis.PlotSeries("max", series(func(p AvailPoint) float64 { return float64(p.Max) }), 48))
+		fmt.Fprintf(w, "[plot] %s\n", analysis.PlotSeries("rarest", series(func(p AvailPoint) float64 { return float64(p.RarestSize) }), 48))
+		fmt.Fprintf(w, "[plot] %s\n", analysis.PlotSeries("peerset", series(func(p AvailPoint) float64 { return float64(p.PeerSet) }), 48))
+		fmt.Fprintf(w, "[plot] %s\n", analysis.PlotSeries("rare", series(func(p AvailPoint) float64 { return float64(p.GlobalRare) }), 48))
+	}
+
+	writeCDF := func(tag string, c InterarrivalCDF) {
+		fmt.Fprintf(w, "[%s] n=%d p50 all/first/last = %.2f/%.2f/%.2f s; p90 = %.2f/%.2f/%.2f s; first/all p90 = %.2fx, last/all p90 = %.2fx\n",
+			tag, c.N, c.AllP50, c.FirstP50, c.LastP50, c.AllP90, c.FirstP90, c.LastP90,
+			c.FirstOverAllP90, c.LastOverAllP90)
+	}
+	writeCDF("fig7-pieces", r.PieceCDF)
+	writeCDF("fig8-blocks", r.BlockCDF)
+
+	fmt.Fprintf(w, "[fig9] upload share by 5-peer set (LS):   %s\n", fmtShares(r.FairnessUploadLS))
+	fmt.Fprintf(w, "[fig9] download share, same ranking (LS): %s\n", fmtShares(r.FairnessRecipLS))
+	fmt.Fprintf(w, "[fig11] upload share by 5-peer set (SS):  %s\n", fmtShares(r.FairnessUploadSS))
+
+	fmt.Fprintf(w, "[fig10] unchokes~interested LS: n=%d pearson=%.3f max=%d mean=%.1f\n",
+		r.UnchokeLS.N, r.UnchokeLS.Pearson, r.UnchokeLS.MaxUnch, r.UnchokeLS.MeanUnch)
+	fmt.Fprintf(w, "[fig10] unchokes~interested SS: n=%d pearson=%.3f max=%d mean=%.1f\n",
+		r.UnchokeSS.N, r.UnchokeSS.Pearson, r.UnchokeSS.MaxUnch, r.UnchokeSS.MeanUnch)
+
+	if len(r.MsgCounts) > 0 {
+		keys := make([]string, 0, len(r.MsgCounts))
+		for k := range r.MsgCounts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "[msgs]")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, r.MsgCounts[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "[a4] initial seed served %d pieces, %d duplicates\n", r.SeedServes, r.DupSeedServes)
+	if r.FinishedContrib > 0 || r.FinishedFree > 0 {
+		fmt.Fprintf(w, "[swarm] mean download: contributors %.0f s (n=%d), free riders %.0f s (n=%d)\n",
+			r.MeanDownloadContrib, r.FinishedContrib, r.MeanDownloadFree, r.FinishedFree)
+	}
+}
+
+func fmtShares(shares []float64) string {
+	if len(shares) == 0 {
+		return "(no data)"
+	}
+	s := ""
+	for i, v := range shares {
+		if i > 0 {
+			s += " "
+		}
+		if math.IsNaN(v) {
+			v = 0
+		}
+		s += fmt.Sprintf("%.2f", v)
+	}
+	return s
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
