@@ -1,12 +1,19 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (Table I, Figs 1-11) plus the ablations A1-A5 from
-// DESIGN.md, writing one plain-text artifact per experiment.
+// DESIGN.md, writing one plain-text artifact per experiment. All sweeps
+// fan out across a core-bounded worker pool (the runs are independent
+// deterministic simulations), so wall-clock time is bound by cores, not by
+// a single goroutine; results are identical to serial execution.
 //
 // Usage:
 //
-//	experiments [-scale default|bench] [-torrents all|7,8,10] [-skip-ablations] [-out results]
+//	experiments [-scale default|bench] [-torrents all|7,8,10] [-seeds 1,2,3]
+//	            [-workers N] [-suite name] [-list] [-skip-ablations] [-out results]
 //
-// Every run is deterministic given the scale's seed.
+// With -seeds, every configuration repeats once per RNG seed and
+// aggregates.txt reports mean/stddev over the repeats. With -suite, only
+// the named scenario suite runs (-list shows the catalog). Every run is
+// deterministic given its seed.
 package main
 
 import (
@@ -15,10 +22,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
 	"rarestfirst"
+	"rarestfirst/internal/cliutil"
 )
 
 func main() {
@@ -26,20 +33,32 @@ func main() {
 	torrentList := flag.String("torrents", "all", "comma-separated Table I ids, or 'all'")
 	outDir := flag.String("out", "results", "output directory")
 	skipAblations := flag.Bool("skip-ablations", false, "skip the A1-A5 ablation runs")
+	seedList := flag.String("seeds", "", "comma-separated RNG seeds for multi-seed repeats (empty = catalog seed)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
+	suiteName := flag.String("suite", "", "run only this scenario suite (see -list)")
+	list := flag.Bool("list", false, "list the registered scenario suites and exit")
 	flag.Parse()
 
-	var scale rarestfirst.Scale
-	switch *scaleName {
-	case "default":
-		scale = rarestfirst.DefaultScale()
-	case "bench":
-		scale = rarestfirst.BenchScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+	if *list {
+		cliutil.PrintSuites(os.Stdout)
+		return
+	}
+
+	scale, err := cliutil.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	ids, err := parseTorrents(*torrentList)
+	// ids == nil means "all": the catalog default. Keeping the sentinel
+	// (instead of expanding to 1..26 here) lets -suite runs distinguish
+	// an explicit selection from the default.
+	ids, err := cliutil.ParseTorrents(*torrentList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	seeds, err := cliutil.ParseSeeds(*seedList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -49,49 +68,91 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*outDir, scale, ids, !*skipAblations); err != nil {
+	runner := rarestfirst.Runner{Workers: *workers}
+	if *suiteName != "" {
+		err = runSuite(*outDir, runner, *suiteName, rarestfirst.SuiteOptions{
+			Scale: scale, Seeds: seeds, Torrents: ids,
+		})
+	} else {
+		err = run(*outDir, runner, scale, ids, seeds, !*skipAblations)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func parseTorrents(s string) ([]int, error) {
-	if s == "all" {
-		ids := make([]int, 26)
+// runSuite runs one named scenario suite and writes its aggregate table
+// plus every per-run report. A nil o.Torrents (the -torrents default)
+// leaves the suite's own torrent selection in place.
+func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions) error {
+	suite, err := rarestfirst.NewSuite(name, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "suite %s: %d scenarios...\n", suite.Name, len(suite.Scenarios))
+	sr, err := runner.RunSuite(suite)
+	if err != nil {
+		return err
+	}
+	return withFile(outDir, "suite_"+name+".txt", func(w io.Writer) error {
+		sr.WriteText(w)
+		for _, rep := range sr.Reports {
+			fmt.Fprintln(w)
+			rep.WriteText(w)
+		}
+		return nil
+	})
+}
+
+func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids []int, seeds []int64, ablations bool) error {
+	if ids == nil {
+		ids = make([]int, 26)
 		for i := range ids {
 			ids[i] = i + 1
 		}
-		return ids, nil
 	}
-	var ids []int
-	for _, part := range strings.Split(s, ",") {
-		id, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || id < 1 || id > 26 {
-			return nil, fmt.Errorf("bad torrent id %q (want 1..26)", part)
-		}
-		ids = append(ids, id)
-	}
-	return ids, nil
-}
-
-func run(outDir string, scale rarestfirst.Scale, ids []int, ablations bool) error {
 	// Table I: the catalog itself.
 	if err := withFile(outDir, "tableI.txt", writeTableI); err != nil {
 		return err
 	}
 
-	// One full instrumented run per requested torrent.
+	// One full instrumented run per requested torrent (times the seed
+	// repeats), fanned across the worker pool.
+	catalog, err := rarestfirst.NewSuite("catalog", rarestfirst.SuiteOptions{
+		Scale: scale, Seeds: seeds, Torrents: ids,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "catalog sweep: %d torrents x %d seeds...\n", len(ids), max(1, len(seeds)))
+	sr, err := runner.RunSuite(catalog)
+	if err != nil {
+		return err
+	}
+
+	// The figure files use the first seed's run of each torrent — the
+	// same artifacts a serial single-seed sweep produces.
+	repeats := max(1, len(seeds))
 	reports := map[int]*rarestfirst.Report{}
+	for i, id := range ids {
+		reports[id] = sr.Reports[i*repeats]
+	}
 	for _, id := range ids {
-		fmt.Fprintf(os.Stderr, "running torrent %d...\n", id)
-		rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: id, Scale: scale})
-		if err != nil {
-			return err
-		}
-		reports[id] = rep
+		rep := reports[id]
 		name := fmt.Sprintf("torrent%02d.txt", id)
 		if err := withFile(outDir, name, func(w io.Writer) error {
 			rep.WriteText(w)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Cross-seed aggregates (mean/stddev over repeats).
+	if repeats > 1 {
+		if err := withFile(outDir, "aggregates.txt", func(w io.Writer) error {
+			sr.WriteText(w)
 			return nil
 		}); err != nil {
 			return err
@@ -184,7 +245,7 @@ func run(outDir string, scale rarestfirst.Scale, ids []int, ablations bool) erro
 	if !ablations {
 		return nil
 	}
-	return runAblations(outDir, scale)
+	return runAblations(outDir, runner, scale)
 }
 
 func sharesStr(shares []float64) string {
@@ -208,23 +269,39 @@ func writeTableI(w io.Writer) error {
 	return nil
 }
 
-// runAblations executes A1-A5 on representative torrents.
-func runAblations(outDir string, scale rarestfirst.Scale) error {
+// runAblations executes A1-A5 on representative torrents. Every grid is a
+// registered scenario suite; all grids run through ONE worker-pool batch,
+// then each section is formatted from its slice of the ordered results.
+func runAblations(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale) error {
+	names := []string{"pickers", "pickers-startup", "seed-choke", "leecher-choke", "smart-seed", "freerider-sweep"}
+	var all []rarestfirst.Scenario
+	offsets := map[string][2]int{} // name -> [start, end) in all
+	for _, name := range names {
+		s, err := rarestfirst.NewSuite(name, rarestfirst.SuiteOptions{Scale: scale})
+		if err != nil {
+			return err
+		}
+		offsets[name] = [2]int{len(all), len(all) + len(s.Scenarios)}
+		all = append(all, s.Scenarios...)
+	}
+	fmt.Fprintf(os.Stderr, "ablations: %d scenarios across %d suites...\n", len(all), len(names))
+	reports, err := runner.Run(all)
+	if err != nil {
+		return err
+	}
+	section := func(name string) []*rarestfirst.Report {
+		off := offsets[name]
+		return reports[off[0]:off[1]]
+	}
+
 	return withFile(outDir, "ablations.txt", func(w io.Writer) error {
 		// A1: rarest first vs random vs sequential piece selection on the
 		// steady single-seed torrent 10.
 		fmt.Fprintf(w, "# A1: piece selection strategies, torrent 10\n")
 		fmt.Fprintf(w, "# picker         entropy-a/b-p50  entropy-c/d-p50  mean-download(s)  local(s)\n")
-		for _, picker := range []string{
-			rarestfirst.PickerRarestFirst, rarestfirst.PickerRandom,
-			rarestfirst.PickerSequential, rarestfirst.PickerGlobalRarest,
-		} {
-			fmt.Fprintf(os.Stderr, "A1: %s...\n", picker)
-			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 10, Scale: scale, Picker: picker})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-16s %15.3f %16.3f %17.0f %9.0f\n", picker,
+		for _, rep := range section("pickers") {
+			fmt.Fprintf(w, "%-16s %15.3f %16.3f %17.0f %9.0f\n",
+				orDefault(rep.Scenario.Picker, rarestfirst.PickerRarestFirst),
 				rep.Entropy.AOverB.P50, rep.Entropy.COverD.P50,
 				rep.MeanDownloadContrib, rep.LocalDownloadSeconds)
 		}
@@ -234,12 +311,7 @@ func runAblations(outDir string, scale rarestfirst.Scale) error {
 		// "minimizes the time spent in transient state").
 		fmt.Fprintf(w, "\n# A1b: piece selection during startup, torrent 8 (transient)\n")
 		fmt.Fprintf(w, "# picker         rare-drained  dup-serve-frac  mean-copies-end\n")
-		for _, picker := range []string{rarestfirst.PickerRarestFirst, rarestfirst.PickerRandom} {
-			fmt.Fprintf(os.Stderr, "A1b: %s...\n", picker)
-			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 8, Scale: scale, Picker: picker})
-			if err != nil {
-				return err
-			}
+		for _, rep := range section("pickers-startup") {
 			drained, meanEnd := 0, 0.0
 			if av := rep.Availability; len(av) > 1 {
 				drained = av[0].GlobalRare - av[len(av)-1].GlobalRare
@@ -249,25 +321,20 @@ func runAblations(outDir string, scale rarestfirst.Scale) error {
 			if rep.SeedServes > 0 {
 				frac = float64(rep.DupSeedServes) / float64(rep.SeedServes)
 			}
-			fmt.Fprintf(w, "%-16s %12d %15.2f %16.1f\n", picker, drained, frac, meanEnd)
+			fmt.Fprintf(w, "%-16s %12d %15.2f %16.1f\n",
+				orDefault(rep.Scenario.Picker, rarestfirst.PickerRarestFirst), drained, frac, meanEnd)
 		}
 
 		// A2: new vs old seed-state choke algorithm under free riders.
 		fmt.Fprintf(w, "\n# A2: seed-state algorithm, torrent 14, 20%% free riders\n")
 		fmt.Fprintf(w, "# seed-choke  ss-top5-share  free-mean(s)  contrib-mean(s)\n")
-		for _, sk := range []string{rarestfirst.SeedChokeNew, rarestfirst.SeedChokeOld} {
-			fmt.Fprintf(os.Stderr, "A2: %s...\n", sk)
-			rep, err := rarestfirst.Run(rarestfirst.Scenario{
-				TorrentID: 14, Scale: scale, SeedChoke: sk, FreeRiderFraction: 0.2,
-			})
-			if err != nil {
-				return err
-			}
+		for _, rep := range section("seed-choke") {
 			top5 := 0.0
 			if len(rep.FairnessUploadSS) > 0 {
 				top5 = rep.FairnessUploadSS[0]
 			}
-			fmt.Fprintf(w, "%-11s %14.2f %13.0f %16.0f\n", sk, top5,
+			fmt.Fprintf(w, "%-11s %14.2f %13.0f %16.0f\n",
+				orDefault(rep.Scenario.SeedChoke, rarestfirst.SeedChokeNew), top5,
 				rep.MeanDownloadFree, rep.MeanDownloadContrib)
 		}
 
@@ -277,13 +344,9 @@ func runAblations(outDir string, scale rarestfirst.Scale) error {
 		// use the swarm's excess capacity — the paper's §IV-B.1 argument.
 		fmt.Fprintf(w, "\n# A3: leecher-state algorithm, torrent 14 (local peer = slow 20 kB/s uploader)\n")
 		fmt.Fprintf(w, "# leecher-choke  mean-download(s)  finished  local(s)\n")
-		for _, lk := range []string{rarestfirst.LeecherChokeStandard, rarestfirst.LeecherChokeTitForTat} {
-			fmt.Fprintf(os.Stderr, "A3: %s...\n", lk)
-			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 14, Scale: scale, LeecherChoke: lk})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-15s %17.0f %9d %9.0f\n", lk,
+		for _, rep := range section("leecher-choke") {
+			fmt.Fprintf(w, "%-15s %17.0f %9d %9.0f\n",
+				orDefault(rep.Scenario.LeecherChoke, rarestfirst.LeecherChokeStandard),
 				rep.MeanDownloadContrib, rep.FinishedContrib, rep.LocalDownloadSeconds)
 		}
 
@@ -291,15 +354,10 @@ func runAblations(outDir string, scale rarestfirst.Scale) error {
 		// state, with and without the idealized coding/super-seed policy.
 		fmt.Fprintf(w, "\n# A4: initial-seed duplicate service, torrent 8 (transient)\n")
 		fmt.Fprintf(w, "# policy       serves  duplicates  dup-frac\n")
-		for _, smart := range []bool{false, true} {
+		for _, rep := range section("smart-seed") {
 			name := "client-pick"
-			if smart {
+			if rep.Scenario.SmartSeedServe {
 				name = "smart-serve"
-			}
-			fmt.Fprintf(os.Stderr, "A4: %s...\n", name)
-			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 8, Scale: scale, SmartSeedServe: smart})
-			if err != nil {
-				return err
 			}
 			frac := 0.0
 			if rep.SeedServes > 0 {
@@ -311,21 +369,23 @@ func runAblations(outDir string, scale rarestfirst.Scale) error {
 		// A5: free-rider penalty under the standard algorithms.
 		fmt.Fprintf(w, "\n# A5: free riders, torrent 14, varying fraction\n")
 		fmt.Fprintf(w, "# frac  contrib-mean(s)  free-mean(s)  penalty\n")
-		for _, frac := range []float64{0.1, 0.3, 0.5} {
-			fmt.Fprintf(os.Stderr, "A5: %.0f%%...\n", frac*100)
-			rep, err := rarestfirst.Run(rarestfirst.Scenario{TorrentID: 14, Scale: scale, FreeRiderFraction: frac})
-			if err != nil {
-				return err
-			}
+		for _, rep := range section("freerider-sweep") {
 			penalty := 0.0
 			if rep.MeanDownloadContrib > 0 {
 				penalty = rep.MeanDownloadFree / rep.MeanDownloadContrib
 			}
-			fmt.Fprintf(w, "%5.2f %16.0f %13.0f %8.2fx\n", frac,
+			fmt.Fprintf(w, "%5.2f %16.0f %13.0f %8.2fx\n", rep.Scenario.FreeRiderFraction,
 				rep.MeanDownloadContrib, rep.MeanDownloadFree, penalty)
 		}
 		return nil
 	})
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
 }
 
 func withFile(dir, name string, fn func(io.Writer) error) error {

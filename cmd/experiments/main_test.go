@@ -2,28 +2,6 @@ package main
 
 import "testing"
 
-func TestParseTorrentsAll(t *testing.T) {
-	ids, err := parseTorrents("all")
-	if err != nil || len(ids) != 26 || ids[0] != 1 || ids[25] != 26 {
-		t.Fatalf("parseTorrents(all) = %v, %v", ids, err)
-	}
-}
-
-func TestParseTorrentsList(t *testing.T) {
-	ids, err := parseTorrents("7, 8,10")
-	if err != nil || len(ids) != 3 || ids[0] != 7 || ids[2] != 10 {
-		t.Fatalf("parseTorrents = %v, %v", ids, err)
-	}
-}
-
-func TestParseTorrentsErrors(t *testing.T) {
-	for _, in := range []string{"", "0", "27", "x", "7,,8"} {
-		if _, err := parseTorrents(in); err == nil {
-			t.Errorf("parseTorrents(%q) accepted", in)
-		}
-	}
-}
-
 func TestSharesStr(t *testing.T) {
 	if got := sharesStr(nil); got != "-" {
 		t.Fatalf("empty = %q", got)

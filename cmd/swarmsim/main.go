@@ -1,11 +1,16 @@
-// Command swarmsim runs one instrumented swarm experiment and prints its
-// report — the interactive front door to the reproduction.
+// Command swarmsim runs instrumented swarm experiments and prints their
+// reports — the interactive front door to the reproduction.
 //
-// Usage:
+// Single run:
 //
 //	swarmsim -torrent 7 [-scale bench] [-picker random] [-seedchoke old]
 //	         [-leecherchoke tit-for-tat] [-freeriders 0.2] [-smartseed]
-//	         [-localfreerider] [-seed 1234]
+//	         [-localfreerider] [-seed 1234] [-churn 2] [-seedup 0.5]
+//
+// Named scenario suites (see -list), fanned across a worker pool with
+// multi-seed repeats and mean/stddev aggregation:
+//
+//	swarmsim -suite churn -seeds 1,2,3 [-workers 8] [-v]
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 
 	"rarestfirst"
+	"rarestfirst/internal/cliutil"
 )
 
 func main() {
@@ -25,18 +31,51 @@ func main() {
 	freeRiders := flag.Float64("freeriders", 0, "fraction of leechers that never upload")
 	smartSeed := flag.Bool("smartseed", false, "idealized coding/super-seed serve policy")
 	localFreeRider := flag.Bool("localfreerider", false, "instrumented peer never uploads")
-	seed := flag.Int64("seed", 0, "RNG seed override (0 = catalog default)")
+	seed := flag.Int64("seed", 0, "repeat seed, mixed with the torrent id (0 = catalog default)")
+	churn := flag.Float64("churn", 0, "leecher arrival rate multiplier (0 = unchanged)")
+	seedUp := flag.Float64("seedup", 0, "initial seed capacity multiplier (0 = unchanged)")
+	list := flag.Bool("list", false, "list the registered scenario suites and exit")
+	suiteName := flag.String("suite", "", "run a named scenario suite instead of a single torrent")
+	seedList := flag.String("seeds", "", "comma-separated RNG seeds for suite repeats")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
+	verbose := flag.Bool("v", false, "with -suite: print every per-run report, not just aggregates")
 	flag.Parse()
 
-	var scale rarestfirst.Scale
-	switch *scaleName {
-	case "default":
-		scale = rarestfirst.DefaultScale()
-	case "bench":
-		scale = rarestfirst.BenchScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+	if *list {
+		cliutil.PrintSuites(os.Stdout)
+		return
+	}
+
+	scale, err := cliutil.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *suiteName != "" {
+		seeds, err := cliutil.ParseSeeds(*seedList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		suite, err := rarestfirst.NewSuite(*suiteName, rarestfirst.SuiteOptions{Scale: scale, Seeds: seeds})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sr, err := rarestfirst.Runner{Workers: *workers}.RunSuite(suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sr.WriteText(os.Stdout)
+		if *verbose {
+			for _, rep := range sr.Reports {
+				fmt.Println()
+				rep.WriteText(os.Stdout)
+			}
+		}
+		return
 	}
 
 	rep, err := rarestfirst.Run(rarestfirst.Scenario{
@@ -49,6 +88,8 @@ func main() {
 		SmartSeedServe:    *smartSeed,
 		LocalFreeRider:    *localFreeRider,
 		SeedOverride:      *seed,
+		ChurnScale:        *churn,
+		SeedUpScale:       *seedUp,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

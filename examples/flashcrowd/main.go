@@ -1,5 +1,5 @@
-// Flashcrowd: reproduce the paper's transient-state case study (torrent 8:
-// one slow initial seed, a crowd of empty leechers) and watch rare pieces
+// Flashcrowd: run the registered "flashcrowd" scenario (torrent 8: one
+// slow initial seed, a crowd of empty leechers) and watch rare pieces
 // drain at the seed's constant upload rate — Figs 2 and 3.
 //
 //	go run ./examples/flashcrowd
@@ -13,13 +13,19 @@ import (
 )
 
 func main() {
-	rep, err := rarestfirst.Run(rarestfirst.Scenario{
-		TorrentID: 8, // 1 seed, 861 leechers, 3000 MB: transient for the whole run
-		Scale:     rarestfirst.BenchScale(),
+	suite, err := rarestfirst.NewSuite("flashcrowd", rarestfirst.SuiteOptions{
+		Scale: rarestfirst.BenchScale(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("suite %q: %s\n\n", suite.Name, suite.Description)
+
+	sr, err := rarestfirst.Runner{}.RunSuite(suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sr.Reports[0]
 
 	fmt.Println("torrent 8 (startup phase): rare pieces exist only on the initial seed.")
 	fmt.Println("The rarest-pieces count falls LINEARLY at the seed's constant rate,")

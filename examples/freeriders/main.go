@@ -3,39 +3,50 @@
 // pay a penalty, and the NEW seed-state algorithm caps what free riders
 // can extract from seeds compared to the OLD one.
 //
+// The experiment grid comes from the registered "freeriders" scenario
+// suite and runs with three RNG seeds per configuration, fanned across
+// the parallel runner; the table reports mean/stddev over the repeats.
+//
 //	go run ./examples/freeriders
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"rarestfirst"
 )
 
 func main() {
-	scale := rarestfirst.BenchScale()
-
-	fmt.Println("torrent 14 with 30% free riders, standard leecher choke:")
-	fmt.Println()
-	fmt.Printf("%-12s %18s %18s %10s\n", "seed choke", "contributors (s)", "free riders (s)", "penalty")
-	for _, sk := range []string{rarestfirst.SeedChokeNew, rarestfirst.SeedChokeOld} {
-		rep, err := rarestfirst.Run(rarestfirst.Scenario{
-			TorrentID:         14,
-			Scale:             scale,
-			SeedChoke:         sk,
-			FreeRiderFraction: 0.3,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		penalty := 0.0
-		if rep.MeanDownloadContrib > 0 && rep.MeanDownloadFree > 0 {
-			penalty = rep.MeanDownloadFree / rep.MeanDownloadContrib
-		}
-		fmt.Printf("%-12s %18.0f %18.0f %9.2fx\n",
-			sk, rep.MeanDownloadContrib, rep.MeanDownloadFree, penalty)
+	suite, err := rarestfirst.NewSuite("freeriders", rarestfirst.SuiteOptions{
+		Scale: rarestfirst.BenchScale(),
+		Seeds: []int64{101, 102, 103},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("suite %q: %s\n", suite.Name, suite.Description)
+	fmt.Printf("%d scenarios (2 algorithms x 3 seeds), run in parallel:\n\n", len(suite.Scenarios))
+
+	sr, err := rarestfirst.Runner{}.RunSuite(suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-16s %18s %18s %10s\n", "seed choke", "contributors (s)", "free riders (s)", "penalty")
+	for _, a := range sr.Aggregates {
+		penalty := 0.0
+		if a.ContribDownload.Mean > 0 && a.FreeDownload.Mean > 0 {
+			penalty = a.FreeDownload.Mean / a.ContribDownload.Mean
+		}
+		fmt.Printf("%-16s %11.0f ±%4.0f %11.0f ±%4.0f %9.2fx\n",
+			a.Label, a.ContribDownload.Mean, a.ContribDownload.Stddev,
+			a.FreeDownload.Mean, a.FreeDownload.Stddev, penalty)
+	}
+
+	fmt.Println()
+	sr.WriteText(os.Stdout)
 
 	fmt.Println()
 	fmt.Println("Free riders still finish (the paper argues this is a feature: excess")

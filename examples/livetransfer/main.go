@@ -3,6 +3,11 @@
 // rarest-first and choke implementations the simulator evaluates. Every
 // piece is SHA-1 verified on arrival.
 //
+// The registered "livetransfer" scenario is the simulator twin of this
+// demo (a four-peer miniature swarm); it runs first so the two layers of
+// the reproduction — discrete-event simulation and real sockets — can be
+// eyeballed side by side.
+//
 //	go run ./examples/livetransfer
 package main
 
@@ -16,12 +21,33 @@ import (
 	"net/http"
 	"time"
 
+	"rarestfirst"
 	"rarestfirst/internal/client"
 	"rarestfirst/internal/metainfo"
 	"rarestfirst/internal/tracker"
 )
 
+// runSimTwin runs the registry's simulator twin of this demo.
+func runSimTwin() {
+	suite, err := rarestfirst.NewSuite("livetransfer", rarestfirst.SuiteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite %q: %s\n", suite.Name, suite.Description)
+	sr, err := rarestfirst.Runner{}.RunSuite(suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sr.Reports[0]
+	if rep.LocalCompleted {
+		fmt.Printf("simulated twin: local peer completed in %.0f simulated seconds\n\n", rep.LocalDownloadSeconds)
+	} else {
+		fmt.Printf("simulated twin: local peer did not complete in the window\n\n")
+	}
+}
+
 func main() {
+	runSimTwin()
 	// 1. Content + .torrent metainfo.
 	content := make([]byte, 2<<20) // 2 MiB
 	rand.New(rand.NewSource(42)).Read(content)

@@ -1,5 +1,6 @@
-// Quickstart: run one instrumented swarm experiment on a Table I torrent
-// and read off the paper's headline findings.
+// Quickstart: run the registered "quickstart" scenario (torrent 10, the
+// paper's interarrival case study) through the suite runner and read off
+// the paper's headline findings.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,15 +14,22 @@ import (
 )
 
 func main() {
-	// Torrent 10 is the paper's interarrival case study: 1 seed, 1207
-	// leechers, 348 MB. BenchScale shrinks it so this runs in seconds.
-	rep, err := rarestfirst.Run(rarestfirst.Scenario{
-		TorrentID: 10,
-		Scale:     rarestfirst.BenchScale(),
+	// The scenario registry names the recurring experiment setups; every
+	// entry point builds them the same way. BenchScale shrinks torrent 10
+	// (1 seed, 1207 leechers, 348 MB) so this runs in seconds.
+	suite, err := rarestfirst.NewSuite("quickstart", rarestfirst.SuiteOptions{
+		Scale: rarestfirst.BenchScale(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("suite %q: %s\n\n", suite.Name, suite.Description)
+
+	sr, err := rarestfirst.Runner{}.RunSuite(suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sr.Reports[0]
 
 	fmt.Println("--- full report ---")
 	rep.WriteText(os.Stdout)

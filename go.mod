@@ -1,0 +1,3 @@
+module rarestfirst
+
+go 1.22

@@ -1,0 +1,64 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTorrentsAll(t *testing.T) {
+	ids, err := ParseTorrents("all")
+	if err != nil || ids != nil {
+		t.Fatalf("ParseTorrents(all) = %v, %v; want nil sentinel", ids, err)
+	}
+}
+
+func TestParseTorrentsList(t *testing.T) {
+	ids, err := ParseTorrents("7, 8,10")
+	if err != nil || len(ids) != 3 || ids[0] != 7 || ids[2] != 10 {
+		t.Fatalf("ParseTorrents = %v, %v", ids, err)
+	}
+}
+
+func TestParseTorrentsErrors(t *testing.T) {
+	for _, in := range []string{"", "0", "27", "x", "7,,8"} {
+		if _, err := ParseTorrents(in); err == nil {
+			t.Errorf("ParseTorrents(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := ParseSeeds("")
+	if err != nil || seeds != nil {
+		t.Fatalf("empty = %v, %v", seeds, err)
+	}
+	seeds, err = ParseSeeds(" 1, -2,3 ")
+	if err != nil || len(seeds) != 3 || seeds[1] != -2 {
+		t.Fatalf("ParseSeeds = %v, %v", seeds, err)
+	}
+	for _, in := range []string{"0", "x", "1,,2"} {
+		if _, err := ParseSeeds(in); err == nil {
+			t.Errorf("ParseSeeds(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("bench"); err != nil || s.MaxPeers == 0 {
+		t.Fatalf("bench = %+v, %v", s, err)
+	}
+	if s, err := ParseScale("default"); err != nil || s.MaxPeers == 0 {
+		t.Fatalf("default = %+v, %v", s, err)
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestPrintSuites(t *testing.T) {
+	var b strings.Builder
+	PrintSuites(&b)
+	if !strings.Contains(b.String(), "catalog") || !strings.Contains(b.String(), "churn") {
+		t.Fatalf("suite listing:\n%s", b.String())
+	}
+}

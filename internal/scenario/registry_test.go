@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"testing"
+
+	"rarestfirst/internal/swarm"
+	"rarestfirst/internal/torrents"
+)
+
+// tinyScale keeps smoke runs in the low milliseconds.
+func tinyScale() torrents.Scale {
+	return torrents.Scale{
+		MaxPeers:     14,
+		MaxContentMB: 1,
+		MaxPieces:    8,
+		Duration:     150,
+		Warmup:       40,
+		Seed:         42,
+	}
+}
+
+func TestRegistryHasCaseStudies(t *testing.T) {
+	for _, name := range []string{
+		"quickstart", "flashcrowd", "freeriders", "livetransfer", "catalog",
+		"pickers", "pickers-startup", "seed-choke", "leecher-choke",
+		"smart-seed", "freerider-sweep", "churn", "slow-seed", "seed-failure",
+	} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted/unique: %v", names)
+		}
+	}
+}
+
+// TestRegistrySpecsBuildValidConfigs: every spec of every registered
+// definition must map onto a runnable swarm.Config, and a short-horizon
+// run of it must complete without error.
+func TestRegistrySpecsBuildValidConfigs(t *testing.T) {
+	for _, def := range All() {
+		def := def
+		t.Run(def.Name, func(t *testing.T) {
+			t.Parallel()
+			specs := def.Scenarios(Options{Scale: tinyScale()})
+			if len(specs) == 0 {
+				t.Fatal("definition built no specs")
+			}
+			for _, sp := range specs {
+				cfg, tspec, err := sp.Config()
+				if err != nil {
+					t.Fatalf("%s: Config: %v", sp.Label, err)
+				}
+				if tspec.ID != sp.TorrentID {
+					t.Fatalf("%s: spec id %d != torrent %d", sp.Label, tspec.ID, sp.TorrentID)
+				}
+				if cfg.NumPieces <= 0 || cfg.PieceSize <= 0 || cfg.MaxPeerSet <= 0 || cfg.Duration <= 0 {
+					t.Fatalf("%s: invalid config %+v", sp.Label, cfg)
+				}
+				res := swarm.New(cfg).Run()
+				if res == nil || res.Collector == nil {
+					t.Fatalf("%s: run produced no result", sp.Label)
+				}
+			}
+		})
+	}
+}
+
+func TestScenariosSeedFanOut(t *testing.T) {
+	def, _ := Lookup("freeriders")
+	specs := def.Scenarios(Options{Scale: tinyScale(), Seeds: []int64{101, 102, 103}})
+	if len(specs) != 6 {
+		t.Fatalf("2 configs x 3 seeds: got %d specs", len(specs))
+	}
+	// Repeats keep the configuration label and differ only in the seed.
+	if specs[0].Label != specs[2].Label || specs[0].SeedOverride == specs[1].SeedOverride {
+		t.Fatalf("fan-out wrong: %+v", specs[:3])
+	}
+	if specs[0].SeedOverride != 101 || specs[1].SeedOverride != 102 {
+		t.Fatalf("seed order not deterministic: %+v", specs[:2])
+	}
+}
+
+func TestCatalogRespectsTorrentSelection(t *testing.T) {
+	def, _ := Lookup("catalog")
+	specs := def.Scenarios(Options{Torrents: []int{7, 10}})
+	if len(specs) != 2 || specs[0].TorrentID != 7 || specs[1].TorrentID != 10 {
+		t.Fatalf("selection ignored: %+v", specs)
+	}
+	all := def.Scenarios(Options{})
+	if len(all) != len(torrents.TableI) {
+		t.Fatalf("default catalog has %d specs, want %d", len(all), len(torrents.TableI))
+	}
+}
+
+func TestVariantKnobsChangeConfig(t *testing.T) {
+	base := Spec{TorrentID: 7, Scale: tinyScale()}
+	bcfg, _, err := base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := base
+	churn.ChurnScale = 2
+	ccfg, _, err := churn.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccfg.ArrivalRate != 2*bcfg.ArrivalRate {
+		t.Fatalf("ChurnScale: %v vs %v", ccfg.ArrivalRate, bcfg.ArrivalRate)
+	}
+	slow := base
+	slow.SeedUpScale = 0.25
+	scfg, _, err := slow.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.InitialSeedUp != 0.25*bcfg.InitialSeedUp {
+		t.Fatalf("SeedUpScale: %v vs %v", scfg.InitialSeedUp, bcfg.InitialSeedUp)
+	}
+	abort := base
+	abort.AbortScale = 3
+	acfg, _, err := abort.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acfg.AbortRate != 3*bcfg.AbortRate {
+		t.Fatalf("AbortScale: %v vs %v", acfg.AbortRate, bcfg.AbortRate)
+	}
+	bad := base
+	bad.ChurnScale = -1
+	if _, _, err := bad.Config(); err == nil {
+		t.Fatal("negative multiplier accepted")
+	}
+}

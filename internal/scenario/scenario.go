@@ -1,0 +1,176 @@
+// Package scenario is the experiment-description layer shared by the
+// public rarestfirst API, the cmd binaries and the examples: a Spec is the
+// full parameterization of one instrumented swarm run (Table I torrent,
+// scale, picker/choker selection, ablation switches, churn and seed-rate
+// variants), and the registry (registry.go) names the recurring Spec
+// families — the paper's catalog sweeps and ablation grids plus the
+// workload variants the reproduction adds — so every entry point builds
+// experiments the same way instead of hand-rolling its own setup.
+package scenario
+
+import (
+	"fmt"
+
+	"rarestfirst/internal/swarm"
+	"rarestfirst/internal/torrents"
+)
+
+// Piece selection strategies accepted by Spec.Picker.
+const (
+	PickerRarestFirst  = "rarest-first"  // the paper's algorithm (default)
+	PickerRandom       = "random"        // baseline the paper cites as inferior
+	PickerSequential   = "sequential"    // in-order worst case
+	PickerGlobalRarest = "global-rarest" // oracle with global knowledge
+)
+
+// Seed-state choke algorithms accepted by Spec.SeedChoke.
+const (
+	SeedChokeNew = "new" // mainline >= 4.0.0, the paper's subject (default)
+	SeedChokeOld = "old" // pre-4.0.0 upload-rate algorithm (baseline)
+)
+
+// Leecher-state choke algorithms accepted by Spec.LeecherChoke.
+const (
+	LeecherChokeStandard  = "standard"    // 3 RU / 10 s + 1 OU / 30 s (default)
+	LeecherChokeTitForTat = "tit-for-tat" // bit-level TFT baseline
+)
+
+// Spec describes one experiment. It mirrors the public
+// rarestfirst.Scenario field-for-field (the public type converts to a Spec
+// before running) and adds nothing else; keeping the mapping to
+// swarm.Config here lets the registry, the cmd binaries and the examples
+// share one builder.
+type Spec struct {
+	// Label names the spec inside a suite (e.g. "picker=random"); it does
+	// not affect the run.
+	Label string
+	// TorrentID selects a Table I torrent (1..26).
+	TorrentID int
+	// Scale bounds the simulation; zero value means torrents.DefaultScale.
+	Scale torrents.Scale
+	// Picker selects the swarm-wide piece selection strategy ("" =
+	// rarest-first).
+	Picker string
+	// SeedChoke selects the seed-state algorithm ("" = new).
+	SeedChoke string
+	// LeecherChoke selects the leecher-state algorithm ("" = standard).
+	LeecherChoke string
+	// TFTDeficitBytes is the tit-for-tat deficit threshold (default 2 MiB).
+	TFTDeficitBytes int64
+	// FreeRiderFraction of leechers never upload.
+	FreeRiderFraction float64
+	// LocalFreeRider makes the instrumented peer itself a free rider.
+	LocalFreeRider bool
+	// SmartSeedServe enables the idealized coding / super-seeding serve
+	// policy on the initial seed (ablation A4).
+	SmartSeedServe bool
+	// DisableRandomFirst turns the random-first policy off swarm-wide.
+	DisableRandomFirst bool
+	// BoostNewcomers enables the §VI extension: exploratory unchoke slots
+	// prefer peers that have no pieces yet.
+	BoostNewcomers bool
+	// InitialSeedLeavesAt injects a failure: the initial seed departs at
+	// this simulated time (0 = never).
+	InitialSeedLeavesAt float64
+	// SeedOverride, when nonzero, replaces the catalog RNG seed for
+	// repeat runs; it is mixed with the torrent id (see mixSeed), not
+	// used verbatim.
+	SeedOverride int64
+
+	// Workload variants beyond the paper's ablation switches. All three
+	// are multipliers applied after the Table I scaling rules; 0 means
+	// "unchanged" so the zero Spec still reproduces the catalog exactly.
+
+	// ChurnScale multiplies the leecher arrival rate.
+	ChurnScale float64
+	// SeedUpScale multiplies the initial seed's upload capacity.
+	SeedUpScale float64
+	// AbortScale multiplies the pre-completion departure hazard.
+	AbortScale float64
+}
+
+// mixSeed combines a user repeat seed with a torrent id into one RNG
+// seed via a splitmix64-style finalizer: deterministic, and free of the
+// collision classes a linear combination has.
+func mixSeed(seed int64, id int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(uint32(id))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Config maps the spec onto the internal swarm configuration.
+func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
+	spec, ok := torrents.ByID(s.TorrentID)
+	if !ok {
+		return swarm.Config{}, torrents.Spec{}, fmt.Errorf("scenario: no torrent %d in Table I", s.TorrentID)
+	}
+	scale := s.Scale
+	if scale == (torrents.Scale{}) {
+		scale = torrents.DefaultScale()
+	}
+	cfg := spec.Config(scale)
+	if s.SeedOverride != 0 {
+		// Decorrelate torrents under a shared repeat seed: two torrents
+		// whose scaled-down configs coincide (e.g. 7 and 10 at bench
+		// scale) must not collapse into bit-identical runs. A linear
+		// offset (seed + 1000*ID) would collide again whenever user
+		// seeds differ by the right multiple, so mix seed and ID
+		// non-linearly instead.
+		cfg.Seed = mixSeed(s.SeedOverride, spec.ID)
+	}
+	switch s.Picker {
+	case "", PickerRarestFirst:
+		cfg.Picker = swarm.PickRarestFirst
+	case PickerRandom:
+		cfg.Picker = swarm.PickRandom
+	case PickerSequential:
+		cfg.Picker = swarm.PickSequential
+	case PickerGlobalRarest:
+		cfg.Picker = swarm.PickGlobalRarest
+	default:
+		return swarm.Config{}, spec, fmt.Errorf("scenario: unknown picker %q", s.Picker)
+	}
+	switch s.SeedChoke {
+	case "", SeedChokeNew:
+		cfg.SeedChoker = swarm.SeedChokeNew
+	case SeedChokeOld:
+		cfg.SeedChoker = swarm.SeedChokeOld
+	default:
+		return swarm.Config{}, spec, fmt.Errorf("scenario: unknown seed choker %q", s.SeedChoke)
+	}
+	switch s.LeecherChoke {
+	case "", LeecherChokeStandard:
+		cfg.LeecherChoker = swarm.LeecherChokeStandard
+	case LeecherChokeTitForTat:
+		cfg.LeecherChoker = swarm.LeecherChokeTitForTat
+		cfg.TFTDeficitLimit = s.TFTDeficitBytes
+		if cfg.TFTDeficitLimit == 0 {
+			cfg.TFTDeficitLimit = 2 << 20
+		}
+	default:
+		return swarm.Config{}, spec, fmt.Errorf("scenario: unknown leecher choker %q", s.LeecherChoke)
+	}
+	if s.ChurnScale < 0 || s.SeedUpScale < 0 || s.AbortScale < 0 {
+		return swarm.Config{}, spec, fmt.Errorf("scenario: negative variant multiplier in %+v", s)
+	}
+	if s.ChurnScale > 0 {
+		cfg.ArrivalRate *= s.ChurnScale
+	}
+	if s.SeedUpScale > 0 {
+		cfg.InitialSeedUp *= s.SeedUpScale
+	}
+	if s.AbortScale > 0 {
+		cfg.AbortRate *= s.AbortScale
+	}
+	cfg.FreeRiderFraction = s.FreeRiderFraction
+	cfg.LocalFreeRider = s.LocalFreeRider
+	cfg.SmartSeedServe = s.SmartSeedServe
+	cfg.DisableRandomFirst = s.DisableRandomFirst
+	cfg.BoostNewcomers = s.BoostNewcomers
+	cfg.InitialSeedLeaveAt = s.InitialSeedLeavesAt
+	return cfg, spec, nil
+}

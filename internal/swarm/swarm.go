@@ -1,6 +1,8 @@
 package swarm
 
 import (
+	"sort"
+
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
@@ -460,8 +462,16 @@ func (s *Swarm) Run() *Result {
 	s.eng.Run(end)
 	s.col.Finalize(end)
 
-	// Harvest download-time stats.
-	for _, p := range s.peers {
+	// Harvest download-time stats. Iterate in peer-ID order: summing the
+	// float durations in map order would make the means differ in the
+	// last ULP from run to run, breaking bit-for-bit reproducibility.
+	ids := make([]core.PeerID, 0, len(s.peers))
+	for id := range s.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := s.peers[id]
 		if p.isLocal || p.finishedAt < 0 || p.seedAtStart() {
 			continue
 		}

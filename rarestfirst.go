@@ -21,8 +21,7 @@
 package rarestfirst
 
 import (
-	"fmt"
-
+	"rarestfirst/internal/scenario"
 	"rarestfirst/internal/swarm"
 	"rarestfirst/internal/torrents"
 )
@@ -69,26 +68,30 @@ func (s Scale) toInternal() torrents.Scale {
 
 // Piece selection strategies accepted by Scenario.Picker.
 const (
-	PickerRarestFirst  = "rarest-first"  // the paper's algorithm (default)
-	PickerRandom       = "random"        // baseline the paper cites as inferior
-	PickerSequential   = "sequential"    // in-order worst case
-	PickerGlobalRarest = "global-rarest" // oracle with global knowledge
+	PickerRarestFirst  = scenario.PickerRarestFirst  // the paper's algorithm (default)
+	PickerRandom       = scenario.PickerRandom       // baseline the paper cites as inferior
+	PickerSequential   = scenario.PickerSequential   // in-order worst case
+	PickerGlobalRarest = scenario.PickerGlobalRarest // oracle with global knowledge
 )
 
 // Seed-state choke algorithms accepted by Scenario.SeedChoke.
 const (
-	SeedChokeNew = "new" // mainline >= 4.0.0, the paper's subject (default)
-	SeedChokeOld = "old" // pre-4.0.0 upload-rate algorithm (baseline)
+	SeedChokeNew = scenario.SeedChokeNew // mainline >= 4.0.0, the paper's subject (default)
+	SeedChokeOld = scenario.SeedChokeOld // pre-4.0.0 upload-rate algorithm (baseline)
 )
 
 // Leecher-state choke algorithms accepted by Scenario.LeecherChoke.
 const (
-	LeecherChokeStandard  = "standard"    // 3 RU / 10 s + 1 OU / 30 s (default)
-	LeecherChokeTitForTat = "tit-for-tat" // bit-level TFT baseline
+	LeecherChokeStandard  = scenario.LeecherChokeStandard  // 3 RU / 10 s + 1 OU / 30 s (default)
+	LeecherChokeTitForTat = scenario.LeecherChokeTitForTat // bit-level TFT baseline
 )
 
 // Scenario describes one experiment.
 type Scenario struct {
+	// Label names the scenario inside a Suite (e.g. "picker=random"); it
+	// does not affect the run. Suite aggregation groups repeats of the
+	// same configuration under one label.
+	Label string
 	// TorrentID selects a Table I torrent (1..26).
 	TorrentID int
 	// Scale bounds the simulation; zero value means DefaultScale.
@@ -120,8 +123,70 @@ type Scenario struct {
 	// torrent dies — "a torrent is alive as long as there is at least one
 	// copy of each piece".
 	InitialSeedLeavesAt float64
-	// SeedOverride replaces the RNG seed when nonzero (for repeat runs).
+	// SeedOverride, when nonzero, replaces the catalog RNG seed for
+	// repeat runs. It is mixed with the torrent id (not used verbatim)
+	// so that torrents whose scaled-down configs coincide still run
+	// decorrelated; the same (SeedOverride, TorrentID) pair always
+	// reproduces the same run.
 	SeedOverride int64
+
+	// Workload variants beyond the paper's ablation switches: multipliers
+	// applied after the Table I scaling rules. 0 means "unchanged", so the
+	// zero Scenario still reproduces the catalog exactly.
+
+	// ChurnScale multiplies the leecher arrival rate.
+	ChurnScale float64
+	// SeedUpScale multiplies the initial seed's upload capacity.
+	SeedUpScale float64
+	// AbortScale multiplies the pre-completion departure hazard.
+	AbortScale float64
+}
+
+// toSpec converts the public scenario onto the internal description the
+// registry and config builder share.
+func (sc Scenario) toSpec() scenario.Spec {
+	return scenario.Spec{
+		Label:               sc.Label,
+		TorrentID:           sc.TorrentID,
+		Scale:               sc.Scale.toInternal(),
+		Picker:              sc.Picker,
+		SeedChoke:           sc.SeedChoke,
+		LeecherChoke:        sc.LeecherChoke,
+		TFTDeficitBytes:     sc.TFTDeficitBytes,
+		FreeRiderFraction:   sc.FreeRiderFraction,
+		LocalFreeRider:      sc.LocalFreeRider,
+		SmartSeedServe:      sc.SmartSeedServe,
+		DisableRandomFirst:  sc.DisableRandomFirst,
+		BoostNewcomers:      sc.BoostNewcomers,
+		InitialSeedLeavesAt: sc.InitialSeedLeavesAt,
+		SeedOverride:        sc.SeedOverride,
+		ChurnScale:          sc.ChurnScale,
+		SeedUpScale:         sc.SeedUpScale,
+		AbortScale:          sc.AbortScale,
+	}
+}
+
+// fromSpec is toSpec's inverse, used when expanding registry suites.
+func fromSpec(sp scenario.Spec) Scenario {
+	return Scenario{
+		Label:               sp.Label,
+		TorrentID:           sp.TorrentID,
+		Scale:               fromInternalScale(sp.Scale),
+		Picker:              sp.Picker,
+		SeedChoke:           sp.SeedChoke,
+		LeecherChoke:        sp.LeecherChoke,
+		TFTDeficitBytes:     sp.TFTDeficitBytes,
+		FreeRiderFraction:   sp.FreeRiderFraction,
+		LocalFreeRider:      sp.LocalFreeRider,
+		SmartSeedServe:      sp.SmartSeedServe,
+		DisableRandomFirst:  sp.DisableRandomFirst,
+		BoostNewcomers:      sp.BoostNewcomers,
+		InitialSeedLeavesAt: sp.InitialSeedLeavesAt,
+		SeedOverride:        sp.SeedOverride,
+		ChurnScale:          sp.ChurnScale,
+		SeedUpScale:         sp.SeedUpScale,
+		AbortScale:          sp.AbortScale,
+	}
 }
 
 // Torrent is one row of the paper's Table I.
@@ -152,59 +217,10 @@ func TableI() []Torrent {
 	return out
 }
 
-// buildConfig maps a Scenario onto the internal swarm configuration.
+// buildConfig maps a Scenario onto the internal swarm configuration via
+// the shared scenario builder.
 func buildConfig(sc Scenario) (swarm.Config, torrents.Spec, error) {
-	spec, ok := torrents.ByID(sc.TorrentID)
-	if !ok {
-		return swarm.Config{}, torrents.Spec{}, fmt.Errorf("rarestfirst: no torrent %d in Table I", sc.TorrentID)
-	}
-	scale := sc.Scale
-	if scale == (Scale{}) {
-		scale = DefaultScale()
-	}
-	cfg := spec.Config(scale.toInternal())
-	if sc.SeedOverride != 0 {
-		cfg.Seed = sc.SeedOverride
-	}
-	switch sc.Picker {
-	case "", PickerRarestFirst:
-		cfg.Picker = swarm.PickRarestFirst
-	case PickerRandom:
-		cfg.Picker = swarm.PickRandom
-	case PickerSequential:
-		cfg.Picker = swarm.PickSequential
-	case PickerGlobalRarest:
-		cfg.Picker = swarm.PickGlobalRarest
-	default:
-		return swarm.Config{}, spec, fmt.Errorf("rarestfirst: unknown picker %q", sc.Picker)
-	}
-	switch sc.SeedChoke {
-	case "", SeedChokeNew:
-		cfg.SeedChoker = swarm.SeedChokeNew
-	case SeedChokeOld:
-		cfg.SeedChoker = swarm.SeedChokeOld
-	default:
-		return swarm.Config{}, spec, fmt.Errorf("rarestfirst: unknown seed choker %q", sc.SeedChoke)
-	}
-	switch sc.LeecherChoke {
-	case "", LeecherChokeStandard:
-		cfg.LeecherChoker = swarm.LeecherChokeStandard
-	case LeecherChokeTitForTat:
-		cfg.LeecherChoker = swarm.LeecherChokeTitForTat
-		cfg.TFTDeficitLimit = sc.TFTDeficitBytes
-		if cfg.TFTDeficitLimit == 0 {
-			cfg.TFTDeficitLimit = 2 << 20
-		}
-	default:
-		return swarm.Config{}, spec, fmt.Errorf("rarestfirst: unknown leecher choker %q", sc.LeecherChoke)
-	}
-	cfg.FreeRiderFraction = sc.FreeRiderFraction
-	cfg.LocalFreeRider = sc.LocalFreeRider
-	cfg.SmartSeedServe = sc.SmartSeedServe
-	cfg.DisableRandomFirst = sc.DisableRandomFirst
-	cfg.BoostNewcomers = sc.BoostNewcomers
-	cfg.InitialSeedLeaveAt = sc.InitialSeedLeavesAt
-	return cfg, spec, nil
+	return sc.toSpec().Config()
 }
 
 // Run executes the scenario and derives its report.

@@ -345,3 +345,186 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// SuiteReport is everything a suite run produces: the per-scenario
+// reports in suite order plus cross-run aggregates (mean/stddev over the
+// seed repeats of each configuration).
+type SuiteReport struct {
+	Name        string
+	Description string
+	Reports     []*Report
+	Aggregates  []Aggregate
+}
+
+// MetricStat summarizes one metric over the runs of an aggregation group.
+type MetricStat struct {
+	N                      int
+	Mean, Stddev, Min, Max float64
+}
+
+func newMetricStat(xs []float64) MetricStat {
+	st := MetricStat{N: len(xs)}
+	if st.N == 0 {
+		return st
+	}
+	st.Min, st.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	st.Mean = sum / float64(st.N)
+	if st.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - st.Mean
+			ss += d * d
+		}
+		st.Stddev = math.Sqrt(ss / float64(st.N-1))
+	}
+	return st
+}
+
+// Aggregate summarizes every run of one scenario configuration (same
+// Scenario modulo SeedOverride) inside a suite.
+type Aggregate struct {
+	// Label is the scenario's Label, or a derived "torrent=N" fallback.
+	Label     string
+	TorrentID int
+	Runs      int
+	Completed int // runs where the local peer finished its download
+
+	// LocalDownload is over completed runs only; ContribDownload and
+	// FreeDownload are over runs where anyone in the class finished.
+	LocalDownload   MetricStat
+	ContribDownload MetricStat
+	FreeDownload    MetricStat
+	// EntropyAB / EntropyCD summarize the per-run a/b and c/d medians.
+	EntropyAB MetricStat
+	EntropyCD MetricStat
+	// FirstPieceRatio summarizes PieceCDF.FirstOverAllP90 (the
+	// first-pieces problem; > 1 means slow first pieces).
+	FirstPieceRatio MetricStat
+}
+
+// scenarioKey identifies a scenario's aggregation group: the full
+// configuration with the repeat seed cleared.
+func scenarioKey(sc Scenario) Scenario {
+	sc.SeedOverride = 0
+	return sc
+}
+
+// String renders the key compactly for error messages.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%s (torrent %d, %d runs)", a.Label, a.TorrentID, a.Runs)
+}
+
+// AggregateReports groups reports by scenario configuration (Scenario
+// modulo SeedOverride) and computes per-group statistics. Groups appear in
+// first-appearance order of the input slice, so the result depends only on
+// the input order — never on the completion order of a parallel run. Nil
+// reports (failed runs) are skipped.
+func AggregateReports(reports []*Report) []Aggregate {
+	type group struct {
+		label     string
+		torrentID int
+		completed int
+		local     []float64
+		contrib   []float64
+		free      []float64
+		entAB     []float64
+		entCD     []float64
+		firstOver []float64
+	}
+	var order []Scenario
+	groups := map[Scenario]*group{}
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		key := scenarioKey(rep.Scenario)
+		g, ok := groups[key]
+		if !ok {
+			label := rep.Scenario.Label
+			if label == "" {
+				label = fmt.Sprintf("torrent=%d", rep.TorrentID)
+			}
+			g = &group{label: label, torrentID: rep.TorrentID}
+			groups[key] = g
+			order = append(order, key)
+		}
+		if rep.LocalCompleted {
+			g.completed++
+			g.local = append(g.local, rep.LocalDownloadSeconds)
+		}
+		if rep.FinishedContrib > 0 {
+			g.contrib = append(g.contrib, rep.MeanDownloadContrib)
+		}
+		if rep.FinishedFree > 0 {
+			g.free = append(g.free, rep.MeanDownloadFree)
+		}
+		g.entAB = append(g.entAB, rep.Entropy.AOverB.P50)
+		g.entCD = append(g.entCD, rep.Entropy.COverD.P50)
+		g.firstOver = append(g.firstOver, rep.PieceCDF.FirstOverAllP90)
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		out = append(out, Aggregate{
+			Label:           g.label,
+			TorrentID:       g.torrentID,
+			Runs:            len(g.entAB),
+			Completed:       g.completed,
+			LocalDownload:   newMetricStat(g.local),
+			ContribDownload: newMetricStat(g.contrib),
+			FreeDownload:    newMetricStat(g.free),
+			EntropyAB:       newMetricStat(g.entAB),
+			EntropyCD:       newMetricStat(g.entCD),
+			FirstPieceRatio: newMetricStat(g.firstOver),
+		})
+	}
+	return out
+}
+
+// WriteText renders the suite's aggregate table: one row per scenario
+// configuration, mean±stddev over its seed repeats.
+func (sr *SuiteReport) WriteText(w io.Writer) {
+	runs := 0
+	for _, rep := range sr.Reports {
+		if rep != nil {
+			runs++
+		}
+	}
+	fmt.Fprintf(w, "== suite %s: %d runs, %d configurations\n", sr.Name, runs, len(sr.Aggregates))
+	if sr.Description != "" {
+		fmt.Fprintf(w, "# %s\n", sr.Description)
+	}
+	fmt.Fprintf(w, "# %-24s %7s %4s %4s  %-17s %-17s %-15s %-15s %s\n",
+		"label", "torrent", "runs", "done", "local(s)", "contrib(s)", "a/b-p50", "c/d-p50", "first/all-p90")
+	for _, a := range sr.Aggregates {
+		fmt.Fprintf(w, "  %-24s %7d %4d %4d  %-17s %-17s %-15s %-15s %s\n",
+			a.Label, a.TorrentID, a.Runs, a.Completed,
+			fmtStat(a.LocalDownload, 0), fmtStat(a.ContribDownload, 0),
+			fmtStat(a.EntropyAB, 3), fmtStat(a.EntropyCD, 3),
+			fmtStat(a.FirstPieceRatio, 2))
+		if a.FreeDownload.N > 0 {
+			fmt.Fprintf(w, "  %-24s free riders: mean download %s s\n", "", fmtStat(a.FreeDownload, 0))
+		}
+	}
+}
+
+// fmtStat renders "mean±stddev" at the given precision; "-" when empty.
+func fmtStat(st MetricStat, prec int) string {
+	if st.N == 0 {
+		return "-"
+	}
+	if st.N == 1 {
+		return fmt.Sprintf("%.*f", prec, st.Mean)
+	}
+	return fmt.Sprintf("%.*f±%.*f", prec, st.Mean, prec, st.Stddev)
+}

@@ -1,0 +1,138 @@
+package rarestfirst
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rarestfirst/internal/scenario"
+)
+
+// SuiteInfo names one registered scenario family.
+type SuiteInfo struct {
+	Name        string
+	Description string
+}
+
+// Suites lists the registered scenario families, sorted by name. Each can
+// be expanded into a runnable Suite with NewSuite.
+func Suites() []SuiteInfo {
+	defs := scenario.All()
+	out := make([]SuiteInfo, 0, len(defs))
+	for _, d := range defs {
+		out = append(out, SuiteInfo{Name: d.Name, Description: d.Description})
+	}
+	return out
+}
+
+// SuiteNames lists the registered scenario families' names, sorted.
+func SuiteNames() []string { return scenario.Names() }
+
+// SuiteOptions parameterize the expansion of a registered scenario family
+// into concrete Scenarios.
+type SuiteOptions struct {
+	// Scale applies to every scenario the family builds with a zero
+	// Scale; the zero value leaves the per-scenario default.
+	Scale Scale
+	// Seeds fans every scenario out into one repeat per RNG seed
+	// (SeedOverride); repeats share the scenario's Label, so suite
+	// aggregation reports mean/stddev over the seeds. Empty means a
+	// single run with the catalog seed.
+	Seeds []int64
+	// Torrents restricts catalog-style families to these Table I ids.
+	Torrents []int
+}
+
+// Suite is an ordered batch of scenarios run and aggregated together.
+type Suite struct {
+	Name        string
+	Description string
+	Scenarios   []Scenario
+}
+
+// NewSuite expands the named scenario family (see Suites) under the
+// options. The scenario order is deterministic.
+func NewSuite(name string, o SuiteOptions) (Suite, error) {
+	def, ok := scenario.Lookup(name)
+	if !ok {
+		return Suite{}, fmt.Errorf("rarestfirst: no scenario suite %q (have %v)", name, scenario.Names())
+	}
+	specs := def.Scenarios(scenario.Options{
+		Scale:    o.Scale.toInternal(),
+		Seeds:    o.Seeds,
+		Torrents: o.Torrents,
+	})
+	s := Suite{Name: def.Name, Description: def.Description, Scenarios: make([]Scenario, 0, len(specs))}
+	for _, sp := range specs {
+		s.Scenarios = append(s.Scenarios, fromSpec(sp))
+	}
+	return s, nil
+}
+
+// Runner executes scenarios across a bounded worker pool. Every scenario
+// is an independent deterministic simulation, so fanning them out changes
+// wall-clock time only: results are identical to serial execution and are
+// returned in input order regardless of completion order.
+type Runner struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+}
+
+func (r Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the scenarios and returns their reports in input order.
+// If any scenario fails, it returns the successful reports alongside the
+// joined errors (failed slots are nil).
+func (r Runner) Run(scs []Scenario) ([]*Report, error) {
+	reports := make([]*Report, len(scs))
+	errs := make([]error, len(scs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < r.workers(len(scs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep, err := Run(scs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("scenario %d (torrent %d %s): %w", i, scs[i].TorrentID, scs[i].Label, err)
+					continue
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	for i := range scs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return reports, errors.Join(errs...)
+}
+
+// RunSuite executes the suite and aggregates its reports.
+func (r Runner) RunSuite(s Suite) (*SuiteReport, error) {
+	reports, err := r.Run(s.Scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return &SuiteReport{
+		Name:        s.Name,
+		Description: s.Description,
+		Reports:     reports,
+		Aggregates:  AggregateReports(reports),
+	}, nil
+}

@@ -1,0 +1,174 @@
+package rarestfirst
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSuitesListsRegistry(t *testing.T) {
+	infos := Suites()
+	if len(infos) == 0 {
+		t.Fatal("no registered suites")
+	}
+	names := SuiteNames()
+	if len(names) != len(infos) {
+		t.Fatalf("Suites/SuiteNames disagree: %d vs %d", len(infos), len(names))
+	}
+	for i, in := range infos {
+		if in.Name != names[i] || in.Description == "" {
+			t.Fatalf("suite %d malformed: %+v", i, in)
+		}
+	}
+}
+
+func TestNewSuiteUnknownName(t *testing.T) {
+	if _, err := NewSuite("no-such-suite", SuiteOptions{}); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func TestNewSuiteSeedFanOut(t *testing.T) {
+	s, err := NewSuite("freeriders", SuiteOptions{Scale: quickScale(), Seeds: []int64{7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Scenarios) != 4 {
+		t.Fatalf("2 configs x 2 seeds: got %d", len(s.Scenarios))
+	}
+	for _, sc := range s.Scenarios {
+		if sc.Scale != quickScale() {
+			t.Fatalf("scale not applied: %+v", sc.Scale)
+		}
+		if sc.SeedOverride != 7 && sc.SeedOverride != 8 {
+			t.Fatalf("seed fan-out wrong: %+v", sc)
+		}
+	}
+}
+
+// TestRunnerMatchesSerial: the same Scenario (same SeedOverride) must
+// produce byte-identical Reports when run serially via Run and through
+// the parallel Runner.
+func TestRunnerMatchesSerial(t *testing.T) {
+	scs := []Scenario{
+		{Label: "a", TorrentID: 3, Scale: quickScale(), SeedOverride: 11},
+		{Label: "b", TorrentID: 3, Scale: quickScale(), SeedOverride: 12},
+		{Label: "c", TorrentID: 8, Scale: quickScale(), SeedOverride: 13},
+		{Label: "d", TorrentID: 3, Scale: quickScale(), Picker: PickerRandom, SeedOverride: 14},
+	}
+	serial := make([]*Report, len(scs))
+	for i, sc := range scs {
+		rep, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = rep
+	}
+	parallel, err := Runner{Workers: 4}.Run(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		// %#v renders every float at full precision (and NaN equal to
+		// itself, which reflect.DeepEqual would reject) with maps in
+		// sorted key order, so equal strings mean bit-identical reports.
+		sv, pv := fmt.Sprintf("%#v", *serial[i]), fmt.Sprintf("%#v", *parallel[i])
+		if sv != pv {
+			t.Fatalf("scenario %d: serial and parallel reports differ:\n%s\n%s", i, sv, pv)
+		}
+		var sb, pb bytes.Buffer
+		serial[i].WriteText(&sb)
+		parallel[i].WriteText(&pb)
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Fatalf("scenario %d: serial and parallel report text differ", i)
+		}
+	}
+}
+
+// TestSuiteAggregatesOrderIndependent: the aggregate table must not
+// depend on completion order — one worker vs many must render the exact
+// same bytes.
+func TestSuiteAggregatesOrderIndependent(t *testing.T) {
+	s, err := NewSuite("freeriders", SuiteOptions{Scale: quickScale(), Seeds: []int64{21, 22, 23}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Runner{Workers: 1}.RunSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Runner{Workers: 8}.RunSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ob, mb bytes.Buffer
+	one.WriteText(&ob)
+	many.WriteText(&mb)
+	if !bytes.Equal(ob.Bytes(), mb.Bytes()) {
+		t.Fatalf("aggregates depend on worker count:\n--- 1 worker\n%s\n--- 8 workers\n%s", ob.String(), mb.String())
+	}
+	if len(one.Aggregates) != 2 {
+		t.Fatalf("want 2 aggregation groups (one per seed-choke), got %d", len(one.Aggregates))
+	}
+	for _, a := range one.Aggregates {
+		if a.Runs != 3 {
+			t.Fatalf("group %s has %d runs, want 3 seeds", a.Label, a.Runs)
+		}
+	}
+}
+
+func TestRunnerPropagatesErrors(t *testing.T) {
+	scs := []Scenario{
+		{TorrentID: 3, Scale: quickScale()},
+		{TorrentID: 99}, // invalid
+	}
+	reports, err := Runner{Workers: 2}.Run(scs)
+	if err == nil {
+		t.Fatal("invalid scenario not reported")
+	}
+	if reports[0] == nil || reports[1] != nil {
+		t.Fatalf("partial results wrong: %v", reports)
+	}
+}
+
+func TestAggregateReportsStats(t *testing.T) {
+	s, err := NewSuite("quickstart", SuiteOptions{Scale: quickScale(), Seeds: []int64{31, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Runner{}.RunSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Aggregates) != 1 {
+		t.Fatalf("aggregates: %+v", sr.Aggregates)
+	}
+	a := sr.Aggregates[0]
+	if a.Runs != 2 || a.TorrentID != 10 {
+		t.Fatalf("aggregate header: %+v", a)
+	}
+	if a.EntropyAB.N != 2 || a.EntropyAB.Min > a.EntropyAB.Mean || a.EntropyAB.Mean > a.EntropyAB.Max {
+		t.Fatalf("entropy stat inconsistent: %+v", a.EntropyAB)
+	}
+	var buf bytes.Buffer
+	sr.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "suite quickstart") || !strings.Contains(out, "torrent=10") {
+		t.Fatalf("suite text:\n%s", out)
+	}
+}
+
+func TestMetricStat(t *testing.T) {
+	st := newMetricStat(nil)
+	if st.N != 0 || fmtStat(st, 2) != "-" {
+		t.Fatalf("empty stat: %+v", st)
+	}
+	st = newMetricStat([]float64{2, 4, 6})
+	if st.N != 3 || st.Mean != 4 || st.Min != 2 || st.Max != 6 {
+		t.Fatalf("stat: %+v", st)
+	}
+	if st.Stddev != 2 {
+		t.Fatalf("sample stddev of {2,4,6} = %v, want 2", st.Stddev)
+	}
+}
