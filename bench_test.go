@@ -37,6 +37,17 @@ func benchRun(b *testing.B, sc Scenario) *Report {
 	return rep
 }
 
+// BenchmarkLargeSwarm is the hot-path stress benchmark: one steady torrent
+// at LargeSwarmScale (hundreds of peers, 256 pieces) per iteration. It is
+// the headline row of the BENCH_*.json perf trajectory (cmd/benchtraj);
+// run with -benchmem to see the allocation profile the PR 2 rewrite
+// targets.
+func BenchmarkLargeSwarm(b *testing.B) {
+	b.ReportAllocs()
+	sc := LargeSwarmScenario()
+	benchRun(b, sc)
+}
+
 // BenchmarkTableI regenerates Table I: it checks the catalog and reports
 // how many of the 26 torrents are runnable end to end at bench scale.
 func BenchmarkTableI(b *testing.B) {

@@ -1,0 +1,250 @@
+// Command benchtraj records the repository's performance trajectory: it
+// times the fixed PerfCases scenario set (the same workloads
+// BenchmarkLargeSwarm and the bench-scale canaries run under `go test
+// -bench`) and writes one machine-readable snapshot — BENCH_<PR>.json —
+// with ns/op, allocs/op, bytes/op and the peak live heap per benchmark.
+//
+// Every PR that touches a hot path appends a snapshot, so regressions are
+// a diff away:
+//
+//	go run ./cmd/benchtraj -out BENCH_PR2.json -baseline BENCH_PR1.json
+//	go run ./cmd/benchtraj -check BENCH_PR2.json
+//
+// -baseline embeds a prior snapshot's results in the new file, so each
+// snapshot carries its own before/after comparison. -check validates that
+// an existing snapshot parses and is complete (the CI smoke job's
+// well-formedness gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rarestfirst"
+)
+
+// Result is one benchmark's row of a snapshot.
+type Result struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	// Scheduler occupancy at the end of the last iteration: event-heap
+	// size vs live entries and timer-pool reuse (Report.Events).
+	EventHeapSize int    `json:"event_heap_size"`
+	EventLive     int    `json:"event_live"`
+	TimersReused  uint64 `json:"timers_reused"`
+}
+
+// Snapshot is the whole BENCH_*.json document.
+type Snapshot struct {
+	Schema   string            `json:"schema"`
+	Label    string            `json:"label"`
+	Go       string            `json:"go"`
+	GOOS     string            `json:"goos"`
+	GOARCH   string            `json:"goarch"`
+	Results  []Result          `json:"results"`
+	Baseline map[string]Result `json:"baseline,omitempty"`
+	// BaselineLabel names the snapshot the Baseline rows came from.
+	BaselineLabel string `json:"baseline_label,omitempty"`
+}
+
+const schemaID = "rarestfirst-bench/v1"
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "snapshot file to write")
+	label := flag.String("label", "", "snapshot label (default: derived from -out)")
+	baseline := flag.String("baseline", "", "prior snapshot whose results to embed as the baseline")
+	check := flag.String("check", "", "validate an existing snapshot file and exit")
+	casesFlag := flag.String("cases", "", "comma-separated substrings selecting perf cases (default all)")
+	minTime := flag.Duration("mintime", time.Second, "minimum measurement time per case")
+	maxIters := flag.Int("maxiters", 100, "iteration cap per case")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkSnapshot(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: well-formed snapshot\n", *check)
+		return
+	}
+
+	snap := Snapshot{
+		Schema: schemaID,
+		Label:  *label,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	if snap.Label == "" {
+		snap.Label = strings.TrimSuffix(strings.TrimPrefix(*out, "BENCH_"), ".json")
+	}
+	if *baseline != "" {
+		base, err := readSnapshot(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		snap.Baseline = map[string]Result{}
+		for _, r := range base.Results {
+			snap.Baseline[r.Name] = r
+		}
+		snap.BaselineLabel = base.Label
+	}
+
+	for _, pc := range rarestfirst.PerfCases() {
+		if !selected(pc.Name, *casesFlag) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchtraj: running %s...\n", pc.Name)
+		res, err := measure(pc, *minTime, *maxIters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", pc.Name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchtraj: %-18s %3d iters  %12.0f ns/op  %10.0f allocs/op  %11.0f B/op  peak heap %d MB\n",
+			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.PeakHeapBytes>>20)
+		snap.Results = append(snap.Results, res)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchtraj: no cases selected")
+		os.Exit(1)
+	}
+
+	raw, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchtraj: wrote %s\n", *out)
+}
+
+func selected(name, filter string) bool {
+	if strings.TrimSpace(filter) == "" {
+		return true
+	}
+	for _, part := range strings.Split(filter, ",") {
+		if part = strings.TrimSpace(part); part != "" && strings.Contains(name, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// measure times repeated runs of one case. Allocation counts come from the
+// runtime's own counters (malloc count / total-alloc deltas across the
+// measurement window); peak heap is the maximum live HeapAlloc a 50 ms
+// sampler observed, a lower bound that is accurate for runs much longer
+// than the sampling period.
+func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Result, error) {
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	var last *rarestfirst.Report
+	for iters == 0 || (time.Since(start) < minTime && iters < maxIters) {
+		sc := pc.Scenario
+		// Decorrelate iterations the same way bench_test.go does, so both
+		// measurement paths sample identical swarms.
+		sc.SeedOverride = int64(1000 + iters)
+		rep, err := rarestfirst.Run(sc)
+		if err != nil {
+			close(stop)
+			<-done
+			return Result{}, err
+		}
+		last = rep
+		iters++
+	}
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	close(stop)
+	<-done
+
+	n := float64(iters)
+	return Result{
+		Name:          pc.Name,
+		Iterations:    iters,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / n,
+		PeakHeapBytes: peak.Load(),
+		EventHeapSize: last.Events.HeapSize,
+		EventLive:     last.Events.Live,
+		TimersReused:  last.Events.TimersReused,
+	}, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// checkSnapshot is the CI well-formedness gate: the file must parse, carry
+// the current schema and contain a complete result row per perf case.
+func checkSnapshot(path string) error {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return err
+	}
+	if snap.Schema != schemaID {
+		return fmt.Errorf("schema %q, want %q", snap.Schema, schemaID)
+	}
+	byName := map[string]Result{}
+	for _, r := range snap.Results {
+		byName[r.Name] = r
+	}
+	for _, pc := range rarestfirst.PerfCases() {
+		r, ok := byName[pc.Name]
+		if !ok {
+			return fmt.Errorf("missing result for case %s", pc.Name)
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			return fmt.Errorf("case %s: empty measurement", pc.Name)
+		}
+	}
+	return nil
+}

@@ -9,11 +9,15 @@
 //
 //	experiments [-scale default|bench] [-torrents all|7,8,10] [-seeds 1,2,3]
 //	            [-workers N] [-suite name] [-list] [-skip-ablations] [-out results]
+//	            [-json runs.jsonl]
 //
 // With -seeds, every configuration repeats once per RNG seed and
 // aggregates.txt reports mean/stddev over the repeats. With -suite, only
-// the named scenario suite runs (-list shows the catalog). Every run is
-// deterministic given its seed.
+// the named scenario suite runs (-list shows the catalog). With -json,
+// every executed run additionally appends one JSON line (the complete
+// Report) to the given file — the machine-readable sink external plotting
+// consumes without parsing the text tables. Every run is deterministic
+// given its seed.
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
 	suiteName := flag.String("suite", "", "run only this scenario suite (see -list)")
 	list := flag.Bool("list", false, "list the registered scenario suites and exit")
+	jsonPath := flag.String("json", "", "also write one JSON line per run to this file")
 	flag.Parse()
 
 	if *list {
@@ -69,12 +74,16 @@ func main() {
 	}
 
 	runner := rarestfirst.Runner{Workers: *workers}
+	sink := &jsonSink{path: *jsonPath}
 	if *suiteName != "" {
 		err = runSuite(*outDir, runner, *suiteName, rarestfirst.SuiteOptions{
 			Scale: scale, Seeds: seeds, Torrents: ids,
-		})
+		}, sink)
 	} else {
-		err = run(*outDir, runner, scale, ids, seeds, !*skipAblations)
+		err = run(*outDir, runner, scale, ids, seeds, !*skipAblations, sink)
+	}
+	if err == nil {
+		err = sink.flush()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,10 +91,51 @@ func main() {
 	}
 }
 
+// jsonSink streams every executed run's report to the -json JSONL file as
+// each sweep batch completes, so a failure mid-process keeps the lines
+// already written. With no path configured it is a no-op.
+type jsonSink struct {
+	path string
+	f    *os.File
+	runs int
+	err  error
+}
+
+func (s *jsonSink) add(reports ...*rarestfirst.Report) {
+	if s.path == "" || s.err != nil {
+		return
+	}
+	if s.f == nil {
+		if s.f, s.err = os.Create(s.path); s.err != nil {
+			return
+		}
+	}
+	if s.err = cliutil.WriteReportsJSONL(s.f, reports); s.err != nil {
+		return
+	}
+	for _, rep := range reports {
+		if rep != nil {
+			s.runs++
+		}
+	}
+}
+
+func (s *jsonSink) flush() error {
+	if s.f != nil {
+		if err := s.f.Close(); s.err == nil {
+			s.err = err
+		}
+	}
+	if s.path != "" && s.err == nil {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d runs)\n", s.path, s.runs)
+	}
+	return s.err
+}
+
 // runSuite runs one named scenario suite and writes its aggregate table
 // plus every per-run report. A nil o.Torrents (the -torrents default)
 // leaves the suite's own torrent selection in place.
-func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions) error {
+func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, sink *jsonSink) error {
 	suite, err := rarestfirst.NewSuite(name, o)
 	if err != nil {
 		return err
@@ -95,6 +145,7 @@ func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfir
 	if err != nil {
 		return err
 	}
+	sink.add(sr.Reports...)
 	return withFile(outDir, "suite_"+name+".txt", func(w io.Writer) error {
 		sr.WriteText(w)
 		for _, rep := range sr.Reports {
@@ -105,7 +156,7 @@ func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfir
 	})
 }
 
-func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids []int, seeds []int64, ablations bool) error {
+func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids []int, seeds []int64, ablations bool, sink *jsonSink) error {
 	if ids == nil {
 		ids = make([]int, 26)
 		for i := range ids {
@@ -130,6 +181,7 @@ func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids 
 	if err != nil {
 		return err
 	}
+	sink.add(sr.Reports...)
 
 	// The figure files use the first seed's run of each torrent — the
 	// same artifacts a serial single-seed sweep produces.
@@ -245,7 +297,7 @@ func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids 
 	if !ablations {
 		return nil
 	}
-	return runAblations(outDir, runner, scale)
+	return runAblations(outDir, runner, scale, sink)
 }
 
 func sharesStr(shares []float64) string {
@@ -272,7 +324,7 @@ func writeTableI(w io.Writer) error {
 // runAblations executes A1-A5 on representative torrents. Every grid is a
 // registered scenario suite; all grids run through ONE worker-pool batch,
 // then each section is formatted from its slice of the ordered results.
-func runAblations(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale) error {
+func runAblations(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, sink *jsonSink) error {
 	names := []string{"pickers", "pickers-startup", "seed-choke", "leecher-choke", "smart-seed", "freerider-sweep"}
 	var all []rarestfirst.Scenario
 	offsets := map[string][2]int{} // name -> [start, end) in all
@@ -289,6 +341,7 @@ func runAblations(outDir string, runner rarestfirst.Runner, scale rarestfirst.Sc
 	if err != nil {
 		return err
 	}
+	sink.add(reports...)
 	section := func(name string) []*rarestfirst.Report {
 		off := offsets[name]
 		return reports[off[0]:off[1]]

@@ -10,3 +10,14 @@ func TestSharesStr(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+func TestJSONSinkDisabledIsNoOp(t *testing.T) {
+	s := &jsonSink{}
+	s.add(nil)
+	if err := s.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.f != nil || s.runs != 0 {
+		t.Fatalf("disabled sink opened a file or counted runs: %+v", s)
+	}
+}

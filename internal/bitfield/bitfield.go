@@ -103,6 +103,15 @@ func (b *Bitfield) Copy() *Bitfield {
 	return c
 }
 
+// NumWords returns the number of 64-bit words backing the bitfield.
+func (b *Bitfield) NumWords() int { return len(b.words) }
+
+// WordAt returns backing word i. Piece 64*i is the most significant bit;
+// bits beyond Len() in the last word are always zero (every mutator
+// maintains the tail invariant), so word-parallel combinations of
+// same-length bitfields need no extra masking.
+func (b *Bitfield) WordAt(i int) uint64 { return b.words[i] }
+
 // Range calls fn for each set piece in ascending order until fn returns
 // false or pieces are exhausted.
 func (b *Bitfield) Range(fn func(i int) bool) {
@@ -121,12 +130,24 @@ func (b *Bitfield) Range(fn func(i int) bool) {
 	}
 }
 
-// Missing calls fn for each unset piece in ascending order until fn returns
-// false or pieces are exhausted.
+// Missing calls fn for each unset piece in ascending order until fn
+// returns false or pieces are exhausted. Like Range it walks whole words,
+// skipping runs of owned pieces 64 at a time; the tail-word complement
+// bits beyond Len() sort after every valid piece, so the range check stops
+// the walk before they surface.
 func (b *Bitfield) Missing(fn func(i int) bool) {
-	for i := 0; i < b.n; i++ {
-		if !b.Has(i) && !fn(i) {
-			return
+	for wi, w := range b.words {
+		w = ^w
+		for w != 0 {
+			lz := bits.LeadingZeros64(w)
+			i := wi<<6 + lz
+			if i >= b.n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &^= 1 << (63 - uint(lz))
 		}
 	}
 }

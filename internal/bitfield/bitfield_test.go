@@ -340,3 +340,146 @@ func BenchmarkAnyMissingIn(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 2: word-level iterator equivalence ---
+
+// refRange/refMissing are the per-bit reference
+// implementations the word-parallel iterators must match exactly.
+func refRange(b *Bitfield, fn func(i int) bool) {
+	for i := 0; i < b.Len(); i++ {
+		if b.Has(i) && !fn(i) {
+			return
+		}
+	}
+}
+
+func refMissing(b *Bitfield, fn func(i int) bool) {
+	for i := 0; i < b.Len(); i++ {
+		if !b.Has(i) && !fn(i) {
+			return
+		}
+	}
+}
+
+// randomBitfield fills a fresh bitfield of size n from rng with density p.
+func randomBitfield(rng *rand.Rand, n int, p float64) *Bitfield {
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func collect(iter func(fn func(i int) bool)) []int {
+	var out []int
+	iter(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+func TestWordIteratorsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Sizes chosen to hit empty, single-word, exact-word and tail-word
+	// boundaries.
+	sizes := []int{0, 1, 2, 63, 64, 65, 127, 128, 129, 200, 256, 1000}
+	densities := []float64{0, 0.05, 0.5, 0.95, 1}
+	for _, n := range sizes {
+		for _, p := range densities {
+			b := randomBitfield(rng, n, p)
+			if got, want := collect(b.Range), collect(func(fn func(int) bool) { refRange(b, fn) }); !equalInts(got, want) {
+				t.Fatalf("Range mismatch n=%d p=%.2f: got %v want %v", n, p, got, want)
+			}
+			if got, want := collect(b.Missing), collect(func(fn func(int) bool) { refMissing(b, fn) }); !equalInts(got, want) {
+				t.Fatalf("Missing mismatch n=%d p=%.2f: got %v want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMissingEarlyStop(t *testing.T) {
+	b := New(130)
+	b.Set(64)
+	var seen []int
+	b.Missing(func(i int) bool { seen = append(seen, i); return len(seen) < 3 })
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+// TestMissingTailWord pins the tail-word edge case: the complement of the
+// last word has bits beyond Len() set, and none of them may surface.
+func TestMissingTailWord(t *testing.T) {
+	for _, n := range []int{1, 63, 65, 127} {
+		b := New(n)
+		b.SetAll()
+		b.Clear(n - 1)
+		got := collect(b.Missing)
+		if len(got) != 1 || got[0] != n-1 {
+			t.Fatalf("n=%d: Missing = %v, want [%d]", n, got, n-1)
+		}
+	}
+}
+
+func TestWordAtTailInvariant(t *testing.T) {
+	b := New(70)
+	b.SetAll()
+	if w := b.WordAt(1); w != uint64(0x3f)<<58 {
+		t.Fatalf("tail word = %#x, spare bits must stay zero", w)
+	}
+	if b.NumWords() != 2 {
+		t.Fatalf("NumWords = %d", b.NumWords())
+	}
+}
+
+func TestQuickWordIterators(t *testing.T) {
+	f := func(raw []byte, nRaw uint16) bool {
+		n := int(nRaw) % 600
+		b := New(n)
+		for _, v := range raw {
+			if n > 0 {
+				b.Set(int(v) % n)
+			}
+		}
+		if !equalInts(collect(b.Missing), collect(func(fn func(int) bool) { refMissing(b, fn) })) {
+			return false
+		}
+		return equalInts(collect(b.Range), collect(func(fn func(int) bool) { refRange(b, fn) }))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzWordIterators(f *testing.F) {
+	f.Add([]byte{0x00}, uint16(1))
+	f.Add([]byte{0xff, 0x01}, uint16(65))
+	f.Add([]byte{0xaa, 0x55, 0x00, 0xf0}, uint16(127))
+	f.Fuzz(func(t *testing.T, raw []byte, nRaw uint16) {
+		n := int(nRaw) % 1024
+		b := New(n)
+		for _, v := range raw {
+			if n > 0 {
+				b.Set(int(v) % n)
+			}
+		}
+		if got, want := collect(b.Missing), collect(func(fn func(int) bool) { refMissing(b, fn) }); !equalInts(got, want) {
+			t.Fatalf("Missing mismatch n=%d: got %v want %v", n, got, want)
+		}
+		if got, want := collect(b.Range), collect(func(fn func(int) bool) { refRange(b, fn) }); !equalInts(got, want) {
+			t.Fatalf("Range mismatch n=%d: got %v want %v", n, got, want)
+		}
+	})
+}

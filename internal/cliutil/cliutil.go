@@ -1,5 +1,6 @@
-// Package cliutil holds the flag-parsing helpers the cmd binaries share,
-// so the two CLIs cannot drift apart in what they accept.
+// Package cliutil holds the flag-parsing and output helpers the cmd
+// binaries share, so the CLIs cannot drift apart in what they accept or
+// emit.
 package cliutil
 
 import (
@@ -59,6 +60,26 @@ func ParseSeeds(s string) ([]int64, error) {
 		seeds = append(seeds, v)
 	}
 	return seeds, nil
+}
+
+// WriteReportsJSONL writes one JSON line per report to w, in input order —
+// the machine-readable report sink (-json) both CLIs share. Nil reports
+// (failed runs) are skipped so line order still matches run order of the
+// survivors.
+func WriteReportsJSONL(w io.Writer, reports []*rarestfirst.Report) error {
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		line, err := rep.JSONLine()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PrintSuites writes the registered scenario suites, one per line.

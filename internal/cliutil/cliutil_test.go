@@ -1,8 +1,12 @@
 package cliutil
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"rarestfirst"
 )
 
 func TestParseTorrentsAll(t *testing.T) {
@@ -61,4 +65,40 @@ func TestPrintSuites(t *testing.T) {
 	if !strings.Contains(b.String(), "catalog") || !strings.Contains(b.String(), "churn") {
 		t.Fatalf("suite listing:\n%s", b.String())
 	}
+}
+
+func TestWriteReportsJSONL(t *testing.T) {
+	sc := rarestfirst.Scenario{TorrentID: 3, Scale: tinyTestScale(), SeedOverride: 5}
+	rep, err := rarestfirst.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// A nil report (failed run) must be skipped, not emitted as "null".
+	if err := WriteReportsJSONL(&buf, []*rarestfirst.Report{rep, nil, rep}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if decoded["TorrentID"] != float64(3) {
+			t.Fatalf("line %d: TorrentID = %v", i, decoded["TorrentID"])
+		}
+	}
+}
+
+func tinyTestScale() rarestfirst.Scale {
+	s := rarestfirst.BenchScale()
+	s.MaxPeers = 30
+	s.MaxContentMB = 4
+	s.MaxPieces = 16
+	s.Duration = 600
+	s.Warmup = 200
+	return s
 }

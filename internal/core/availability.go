@@ -148,28 +148,39 @@ func (a *Availability) Stats() (min int, mean float64, max int) {
 }
 
 // PickRarest scans buckets from the lowest copy count and returns a piece
-// uniformly random among the lowest-count pieces that satisfy want. It
-// returns -1 if no piece satisfies want. This implements "select the next
+// uniformly random among the lowest-count pieces downloadable in state s.
+// It returns -1 if no piece qualifies. This implements "select the next
 // piece to download at random in the rarest pieces set", restricted — as in
 // the mainline implementation — to pieces the target peer can actually
 // provide.
-func (a *Availability) PickRarest(rng *rand.Rand, want func(i int) bool) int {
+//
+// Each candidate costs one combined word probe, and the uniform choice is
+// count-then-draw: a counting pass sizes the qualifying set, one rng.Intn
+// draw picks a rank, a second pass locates it. One RNG draw instead of one
+// per candidate — same distribution, different RNG stream than the old
+// reservoir (a documented reproducibility-contract bump).
+func (a *Availability) PickRarest(rng *rand.Rand, s *PickState) int {
 	for _, b := range a.bucket {
 		if len(b) == 0 {
 			continue
 		}
-		// Reservoir-sample uniformly among qualifying pieces in this bucket.
-		chosen, seen := -1, 0
+		k := 0
 		for _, i := range b {
-			if want(i) {
-				seen++
-				if rng.Intn(seen) == 0 {
-					chosen = i
-				}
+			if s.want(i) {
+				k++
 			}
 		}
-		if chosen >= 0 {
-			return chosen
+		if k == 0 {
+			continue
+		}
+		j := rng.Intn(k)
+		for _, i := range b {
+			if s.want(i) {
+				if j == 0 {
+					return i
+				}
+				j--
+			}
 		}
 	}
 	return -1

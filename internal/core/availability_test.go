@@ -120,7 +120,7 @@ func TestPickRarestPrefersLowestBucket(t *testing.T) {
 	// All pieces wanted: must pick among {0, 2} (count 1).
 	counts := map[int]int{}
 	for i := 0; i < 200; i++ {
-		got := a.PickRarest(rng, func(int) bool { return true })
+		got := pickRarestFunc(a, rng, func(int) bool { return true })
 		counts[got]++
 	}
 	if counts[1] > 0 || counts[3] > 0 {
@@ -138,11 +138,11 @@ func TestPickRarestRespectsWantFilter(t *testing.T) {
 	a.Inc(2)
 	a.Inc(2)
 	rng := rand.New(rand.NewSource(2))
-	got := a.PickRarest(rng, func(i int) bool { return i == 2 })
+	got := pickRarestFunc(a, rng, func(i int) bool { return i == 2 })
 	if got != 2 {
 		t.Fatalf("picked %d, want 2", got)
 	}
-	if got := a.PickRarest(rng, func(i int) bool { return false }); got != -1 {
+	if got := pickRarestFunc(a, rng, func(i int) bool { return false }); got != -1 {
 		t.Fatalf("picked %d from empty want set", got)
 	}
 }
@@ -155,7 +155,7 @@ func TestPickRarestSkipsEmptyLowBucketForWanted(t *testing.T) {
 	a.Inc(2)
 	a.Inc(2)
 	rng := rand.New(rand.NewSource(3))
-	got := a.PickRarest(rng, func(i int) bool { return i != 0 })
+	got := pickRarestFunc(a, rng, func(i int) bool { return i != 0 })
 	if got != 1 {
 		t.Fatalf("picked %d, want 1 (the rarest available)", got)
 	}
@@ -227,6 +227,6 @@ func BenchmarkPickRarest(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.PickRarest(rng, remote.Has)
+		pickRarestFunc(a, rng, remote.Has)
 	}
 }

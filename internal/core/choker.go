@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sort"
 )
 
 // ChokeInterval is the length in seconds of one choke round (§II-C.2:
@@ -72,10 +71,48 @@ func pickCandidate(rng *rand.Rand, cands []ChokePeer, boostNewcomers bool) (Peer
 // Choker decides, once per ChokeInterval, which interested peers to
 // unchoke. Round returns the IDs to unchoke; every other peer is choked.
 // Implementations keep internal state (optimistic slots, round counters)
-// and must be driven at a fixed cadence by the embedding layer.
+// and must be driven at a fixed cadence by the embedding layer. The
+// returned slice may share the choker's internal scratch storage: it is
+// valid until the next Round call and must not be retained.
 type Choker interface {
 	Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID
 	Name() string
+}
+
+// chokeScratch holds the per-round working slices a choker reuses across
+// rounds, so a steady-state round allocates nothing.
+type chokeScratch struct {
+	interested []ChokePeer
+	cands      []ChokePeer
+	unchoke    []PeerID
+}
+
+// filterInterested refills s.interested with the interested peers.
+func (s *chokeScratch) filterInterested(peers []ChokePeer) []ChokePeer {
+	s.interested = s.interested[:0]
+	for _, p := range peers {
+		if p.Interested {
+			s.interested = append(s.interested, p)
+		}
+	}
+	return s.interested
+}
+
+// stableSortPeers sorts peers in place, preserving the order of equal
+// elements. Insertion sort: peer lists are capped at the peer-set size,
+// and this avoids the reflection swapper sort.SliceStable allocates per
+// call. The permutation is identical to sort.SliceStable's for any
+// deterministic less, so choke decisions are unchanged.
+func stableSortPeers(peers []ChokePeer, less func(a, b *ChokePeer) bool) {
+	for i := 1; i < len(peers); i++ {
+		p := peers[i]
+		j := i - 1
+		for j >= 0 && less(&p, &peers[j]) {
+			peers[j+1] = peers[j]
+			j--
+		}
+		peers[j+1] = p
+	}
 }
 
 // LeecherChoker is the leecher-state choke algorithm (§II-C.2): every round
@@ -92,6 +129,7 @@ type LeecherChoker struct {
 	// optimistic is the current OU peer, or -1.
 	optimistic PeerID
 	hasOpt     bool
+	scratch    chokeScratch
 }
 
 // NewLeecherChoker returns the standard 4-slot leecher choker.
@@ -108,16 +146,16 @@ func (c *LeecherChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []
 	}
 	regular := slots - 1
 
-	interested := filterInterested(peers)
+	interested := c.scratch.filterInterested(peers)
 	// Order by download rate to the local peer, fastest first. Stable
 	// tie-break on ID keeps rounds deterministic.
-	sort.SliceStable(interested, func(i, j int) bool {
-		if interested[i].DownloadRate != interested[j].DownloadRate {
-			return interested[i].DownloadRate > interested[j].DownloadRate
+	stableSortPeers(interested, func(a, b *ChokePeer) bool {
+		if a.DownloadRate != b.DownloadRate {
+			return a.DownloadRate > b.DownloadRate
 		}
-		return interested[i].ID < interested[j].ID
+		return a.ID < b.ID
 	})
-	unchoke := make([]PeerID, 0, slots)
+	unchoke := c.scratch.unchoke[:0]
 	for i := 0; i < len(interested) && i < regular; i++ {
 		unchoke = append(unchoke, interested[i].ID)
 	}
@@ -133,12 +171,13 @@ func (c *LeecherChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []
 	}
 	if rotate {
 		c.hasOpt = false
-		cands := make([]ChokePeer, 0, len(interested))
+		cands := c.scratch.cands[:0]
 		for _, p := range interested {
 			if !containsID(unchoke, p.ID) {
 				cands = append(cands, p)
 			}
 		}
+		c.scratch.cands = cands
 		if id, ok := pickCandidate(rng, cands, c.BoostNewcomers); ok {
 			c.optimistic = id
 			c.hasOpt = true
@@ -148,6 +187,7 @@ func (c *LeecherChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []
 		unchoke = append(unchoke, c.optimistic)
 	}
 	c.round++
+	c.scratch.unchoke = unchoke
 	return unchoke
 }
 
@@ -165,6 +205,8 @@ type SeedChoker struct {
 	// when any are present (§VI extension).
 	BoostNewcomers bool
 	round          int
+	scratch        chokeScratch
+	kept           []ChokePeer
 }
 
 // NewSeedChoker returns the standard 4-slot new-algorithm seed choker.
@@ -181,23 +223,24 @@ func (c *SeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []Pee
 	}
 	defer func() { c.round++ }()
 
-	interested := filterInterested(peers)
+	interested := c.scratch.filterInterested(peers)
 	// Candidates currently unchoked, most recently unchoked first.
-	var kept []ChokePeer
+	kept := c.kept[:0]
 	for _, p := range interested {
 		if p.Unchoked {
 			kept = append(kept, p)
 		}
 	}
-	sort.SliceStable(kept, func(i, j int) bool {
-		if kept[i].LastUnchoked != kept[j].LastUnchoked {
-			return kept[i].LastUnchoked > kept[j].LastUnchoked
+	c.kept = kept
+	stableSortPeers(kept, func(a, b *ChokePeer) bool {
+		if a.LastUnchoked != b.LastUnchoked {
+			return a.LastUnchoked > b.LastUnchoked
 		}
-		return kept[i].ID < kept[j].ID
+		return a.ID < b.ID
 	})
 
 	thirdPeriod := c.round%RoundsPerOptimistic == RoundsPerOptimistic-1
-	unchoke := make([]PeerID, 0, slots)
+	unchoke := c.scratch.unchoke[:0]
 	keepN := slots - 1
 	if thirdPeriod {
 		keepN = slots
@@ -207,12 +250,13 @@ func (c *SeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []Pee
 	}
 	if !thirdPeriod {
 		// SRU: one choked-and-interested peer chosen at random.
-		cands := make([]ChokePeer, 0, len(interested))
+		cands := c.scratch.cands[:0]
 		for _, p := range interested {
 			if !p.Unchoked && !containsID(unchoke, p.ID) {
 				cands = append(cands, p)
 			}
 		}
+		c.scratch.cands = cands
 		if id, ok := pickCandidate(rng, cands, c.BoostNewcomers); ok {
 			unchoke = append(unchoke, id)
 		}
@@ -220,18 +264,20 @@ func (c *SeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []Pee
 	// Fill spare slots (fewer unchoked peers than keepN) with random
 	// choked interested peers so the seed never idles with demand present.
 	for len(unchoke) < slots {
-		cands := make([]ChokePeer, 0, len(interested))
+		cands := c.scratch.cands[:0]
 		for _, p := range interested {
 			if !containsID(unchoke, p.ID) {
 				cands = append(cands, p)
 			}
 		}
+		c.scratch.cands = cands
 		id, ok := pickCandidate(rng, cands, c.BoostNewcomers)
 		if !ok {
 			break
 		}
 		unchoke = append(unchoke, id)
 	}
+	c.scratch.unchoke = unchoke
 	return unchoke
 }
 
@@ -244,6 +290,8 @@ type OldSeedChoker struct {
 	round      int
 	optimistic PeerID
 	hasOpt     bool
+	scratch    chokeScratch
+	candIDs    []PeerID
 }
 
 // NewOldSeedChoker returns the standard 4-slot old-algorithm seed choker.
@@ -259,14 +307,14 @@ func (c *OldSeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []
 		slots = DefaultUploadSlots
 	}
 	regular := slots - 1
-	interested := filterInterested(peers)
-	sort.SliceStable(interested, func(i, j int) bool {
-		if interested[i].UploadRate != interested[j].UploadRate {
-			return interested[i].UploadRate > interested[j].UploadRate
+	interested := c.scratch.filterInterested(peers)
+	stableSortPeers(interested, func(a, b *ChokePeer) bool {
+		if a.UploadRate != b.UploadRate {
+			return a.UploadRate > b.UploadRate
 		}
-		return interested[i].ID < interested[j].ID
+		return a.ID < b.ID
 	})
-	unchoke := make([]PeerID, 0, slots)
+	unchoke := c.scratch.unchoke[:0]
 	for i := 0; i < len(interested) && i < regular; i++ {
 		unchoke = append(unchoke, interested[i].ID)
 	}
@@ -276,12 +324,13 @@ func (c *OldSeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []
 	}
 	if rotate {
 		c.hasOpt = false
-		cands := make([]PeerID, 0, len(interested))
+		cands := c.candIDs[:0]
 		for _, p := range interested {
 			if !containsID(unchoke, p.ID) {
 				cands = append(cands, p.ID)
 			}
 		}
+		c.candIDs = cands
 		if len(cands) > 0 {
 			c.optimistic = cands[rng.Intn(len(cands))]
 			c.hasOpt = true
@@ -291,6 +340,7 @@ func (c *OldSeedChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) []
 		unchoke = append(unchoke, c.optimistic)
 	}
 	c.round++
+	c.scratch.unchoke = unchoke
 	return unchoke
 }
 
@@ -305,6 +355,7 @@ type TitForTatChoker struct {
 	// DeficitLimit is the maximum bytes of unreciprocated upload tolerated
 	// before a peer is refused service.
 	DeficitLimit int64
+	scratch      chokeScratch
 }
 
 // NewTitForTatChoker returns a 4-slot tit-for-tat choker with the given
@@ -322,22 +373,24 @@ func (c *TitForTatChoker) Round(now float64, peers []ChokePeer, rng *rand.Rand) 
 	if slots <= 0 {
 		slots = DefaultUploadSlots
 	}
-	allowed := make([]ChokePeer, 0, len(peers))
+	allowed := c.scratch.cands[:0]
 	for _, p := range peers {
 		if p.Interested && p.UploadedTo-p.DownloadedFrom <= c.DeficitLimit {
 			allowed = append(allowed, p)
 		}
 	}
-	sort.SliceStable(allowed, func(i, j int) bool {
-		if allowed[i].DownloadRate != allowed[j].DownloadRate {
-			return allowed[i].DownloadRate > allowed[j].DownloadRate
+	c.scratch.cands = allowed
+	stableSortPeers(allowed, func(a, b *ChokePeer) bool {
+		if a.DownloadRate != b.DownloadRate {
+			return a.DownloadRate > b.DownloadRate
 		}
-		return allowed[i].ID < allowed[j].ID
+		return a.ID < b.ID
 	})
-	unchoke := make([]PeerID, 0, slots)
+	unchoke := c.scratch.unchoke[:0]
 	for i := 0; i < len(allowed) && i < slots; i++ {
 		unchoke = append(unchoke, allowed[i].ID)
 	}
+	c.scratch.unchoke = unchoke
 	return unchoke
 }
 
@@ -350,16 +403,6 @@ func (NeverUnchoke) Name() string { return "free-rider" }
 // Round implements Choker.
 func (NeverUnchoke) Round(now float64, peers []ChokePeer, rng *rand.Rand) []PeerID {
 	return nil
-}
-
-func filterInterested(peers []ChokePeer) []ChokePeer {
-	out := make([]ChokePeer, 0, len(peers))
-	for _, p := range peers {
-		if p.Interested {
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 func containsID(ids []PeerID, id PeerID) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"rarestfirst/internal/bitfield"
@@ -34,6 +35,20 @@ func (s *PickState) wantFrom(i int) bool {
 	return s.Remote.Has(i) && !s.Have.Has(i) && !s.InFlight.Has(i)
 }
 
+// wantWord returns the 64-piece word of downloadable pieces at word index
+// wi: remote &^ (have | inflight). All three bitfields share a length, so
+// their tail invariants make the combination exact without masking.
+func (s *PickState) wantWord(wi int) uint64 {
+	return s.Remote.WordAt(wi) &^ (s.Have.WordAt(wi) | s.InFlight.WordAt(wi))
+}
+
+// want is wantFrom via a single combined word probe (one load per
+// bitfield, no per-field bounds recomputation) — the form the hot scans
+// use.
+func (s *PickState) want(i int) bool {
+	return s.wantWord(i>>6)&(1<<(63-uint(i)&63)) != 0
+}
+
 // Picker selects the next piece to download from a remote peer, or -1 when
 // nothing is wanted. Implementations must be deterministic given the rng.
 type Picker interface {
@@ -59,7 +74,7 @@ func (p *RarestFirst) Pick(rng *rand.Rand, s *PickState) int {
 	if !p.DisableRandomFirst && s.Downloaded < RandomFirstThreshold {
 		return pickUniform(rng, s)
 	}
-	return p.Avail.PickRarest(rng, s.wantFrom)
+	return p.Avail.PickRarest(rng, s)
 }
 
 // RandomPicker selects uniformly among wanted pieces; the baseline the
@@ -74,19 +89,41 @@ func (RandomPicker) Pick(rng *rand.Rand, s *PickState) int {
 	return pickUniform(rng, s)
 }
 
-// pickUniform reservoir-samples a wanted piece uniformly at random.
+// pickUniform picks a wanted piece uniformly at random, word-parallel: a
+// popcount pass sizes the candidate set, one rng.Intn draw selects a rank,
+// and a second pass locates that rank's bit. Versus the old per-candidate
+// reservoir this touches only set bits and consumes exactly one RNG draw
+// (a documented reproducibility-contract bump; the distribution is
+// unchanged).
 func pickUniform(rng *rand.Rand, s *PickState) int {
-	chosen, seen := -1, 0
-	n := s.Remote.Len()
-	for i := 0; i < n; i++ {
-		if s.wantFrom(i) {
-			seen++
-			if rng.Intn(seen) == 0 {
-				chosen = i
-			}
-		}
+	nw := s.Remote.NumWords()
+	count := 0
+	for wi := 0; wi < nw; wi++ {
+		count += bits.OnesCount64(s.wantWord(wi))
 	}
-	return chosen
+	if count == 0 {
+		return -1
+	}
+	k := rng.Intn(count)
+	for wi := 0; wi < nw; wi++ {
+		w := s.wantWord(wi)
+		pc := bits.OnesCount64(w)
+		if k >= pc {
+			k -= pc
+			continue
+		}
+		return wi<<6 + selectBit(w, k)
+	}
+	return -1 // unreachable: k < count
+}
+
+// selectBit returns the bit position (MSB-first, i.e. piece order within a
+// word) of the k-th set bit of w; k must be < OnesCount64(w).
+func selectBit(w uint64, k int) int {
+	for ; k > 0; k-- {
+		w &^= 1 << (63 - uint(bits.LeadingZeros64(w)))
+	}
+	return bits.LeadingZeros64(w)
 }
 
 // SequentialPicker selects the lowest-indexed wanted piece (in-order
@@ -100,9 +137,12 @@ func (SequentialPicker) Name() string { return "sequential" }
 // Pick implements Picker.
 func (SequentialPicker) Pick(rng *rand.Rand, s *PickState) int {
 	n := s.Remote.Len()
-	for i := 0; i < n; i++ {
-		if s.wantFrom(i) {
-			return i
+	nw := s.Remote.NumWords()
+	for wi := 0; wi < nw; wi++ {
+		if w := s.wantWord(wi); w != 0 {
+			if i := wi<<6 + bits.LeadingZeros64(w); i < n {
+				return i
+			}
 		}
 	}
 	return -1
@@ -123,5 +163,5 @@ func (p *GlobalRarest) Name() string { return "global-rarest" }
 
 // Pick implements Picker.
 func (p *GlobalRarest) Pick(rng *rand.Rand, s *PickState) int {
-	return p.Global.PickRarest(rng, s.wantFrom)
+	return p.Global.PickRarest(rng, s)
 }

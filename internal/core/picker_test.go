@@ -190,3 +190,182 @@ func TestPickerNames(t *testing.T) {
 		}
 	}
 }
+
+// --- PR 2: word-parallel picking ---
+
+// pickRarestFunc is the predicate-based reference implementation of
+// Availability.PickRarest. It consumes the identical RNG stream (one Intn
+// draw per bucket with qualifying pieces), so equivalence tests can run
+// both against the same seed.
+func pickRarestFunc(a *Availability, rng *rand.Rand, want func(i int) bool) int {
+	for _, b := range a.bucket {
+		if len(b) == 0 {
+			continue
+		}
+		k := 0
+		for _, i := range b {
+			if want(i) {
+				k++
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		j := rng.Intn(k)
+		for _, i := range b {
+			if want(i) {
+				if j == 0 {
+					return i
+				}
+				j--
+			}
+		}
+	}
+	return -1
+}
+
+// randomPickState builds a random but consistent PickState: Have, InFlight
+// and Remote are disjoint-where-required random bitfields over n pieces.
+func randomPickState(rng *rand.Rand, n int) *PickState {
+	s := &PickState{
+		Have:     bitfield.New(n),
+		InFlight: bitfield.New(n),
+		Remote:   bitfield.New(n),
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.6 {
+			s.Remote.Set(i)
+		}
+		switch {
+		case rng.Float64() < 0.25:
+			s.Have.Set(i)
+		case rng.Float64() < 0.2:
+			s.InFlight.Set(i)
+		}
+	}
+	s.Downloaded = s.Have.Count()
+	return s
+}
+
+// TestPickUniformMatchesReference checks the word-parallel uniform pick
+// against a per-bit count-then-draw reference consuming the same RNG
+// stream.
+func TestPickUniformMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 129, 400} {
+		for trial := 0; trial < 50; trial++ {
+			seed := int64(n*1000 + trial)
+			s := randomPickState(rand.New(rand.NewSource(seed)), n)
+
+			ref := func(rng *rand.Rand) int {
+				count := 0
+				for i := 0; i < n; i++ {
+					if s.wantFrom(i) {
+						count++
+					}
+				}
+				if count == 0 {
+					return -1
+				}
+				k := rng.Intn(count)
+				for i := 0; i < n; i++ {
+					if s.wantFrom(i) {
+						if k == 0 {
+							return i
+						}
+						k--
+					}
+				}
+				return -1
+			}
+			got := pickUniform(rand.New(rand.NewSource(seed)), s)
+			want := ref(rand.New(rand.NewSource(seed)))
+			if got != want {
+				t.Fatalf("n=%d trial=%d: pickUniform=%d ref=%d", n, trial, got, want)
+			}
+			if got >= 0 && !s.wantFrom(got) {
+				t.Fatalf("picked unwanted piece %d", got)
+			}
+		}
+	}
+}
+
+// TestPickUniformUniformity draws many picks over a fixed candidate set
+// and checks every candidate is hit at a frequency near 1/k.
+func TestPickUniformUniformity(t *testing.T) {
+	const n = 130
+	s := &PickState{Have: bitfield.New(n), InFlight: bitfield.New(n), Remote: bitfield.New(n)}
+	cands := []int{0, 1, 63, 64, 65, 100, 129}
+	for _, i := range cands {
+		s.Remote.Set(i)
+	}
+	rng := rand.New(rand.NewSource(99))
+	counts := map[int]int{}
+	const draws = 70000
+	for d := 0; d < draws; d++ {
+		counts[pickUniform(rng, s)]++
+	}
+	want := float64(draws) / float64(len(cands))
+	for _, i := range cands {
+		got := float64(counts[i])
+		if got < want*0.9 || got > want*1.1 {
+			t.Fatalf("piece %d drawn %d times, want ~%.0f (counts %v)", i, counts[i], want, counts)
+		}
+	}
+}
+
+// TestPickRarestStateMatchesFunc pins the contract that the word-probe
+// PickRarest and the predicate-based PickRarestFunc consume identical RNG
+// streams and return identical picks.
+func TestPickRarestStateMatchesFunc(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		seed := int64(7000 + trial)
+		setup := rand.New(rand.NewSource(seed))
+		const n = 150
+		a := NewAvailability(n)
+		for i := 0; i < n; i++ {
+			for c := 0; c < setup.Intn(4); c++ {
+				a.Inc(i)
+			}
+		}
+		s := randomPickState(setup, n)
+		got := a.PickRarest(rand.New(rand.NewSource(seed)), s)
+		want := pickRarestFunc(a, rand.New(rand.NewSource(seed)), s.wantFrom)
+		if got != want {
+			t.Fatalf("trial %d: PickRarest=%d PickRarestFunc=%d", trial, got, want)
+		}
+		if got >= 0 && !s.wantFrom(got) {
+			t.Fatalf("trial %d: picked unwanted piece %d", trial, got)
+		}
+	}
+}
+
+// TestSequentialPickerWordScan checks the word-skipping sequential picker
+// against the obvious per-bit loop.
+func TestSequentialPickerWordScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 64, 65, 200} {
+		for trial := 0; trial < 30; trial++ {
+			s := randomPickState(rng, n)
+			want := -1
+			for i := 0; i < n; i++ {
+				if s.wantFrom(i) {
+					want = i
+					break
+				}
+			}
+			if got := (SequentialPicker{}).Pick(rng, s); got != want {
+				t.Fatalf("n=%d: sequential pick %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkPickUniform(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomPickState(rng, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pickUniform(rng, s)
+	}
+}

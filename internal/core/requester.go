@@ -60,6 +60,9 @@ type Requester struct {
 	endgame bool
 	// downloaded counts pieces completed; drives random-first.
 	downloaded int
+	// pick is the PickState scratch reused across Next calls so the
+	// picker invocation does not allocate.
+	pick PickState
 }
 
 // NewRequester returns a Requester over the given geometry using picker.
@@ -126,8 +129,8 @@ func (r *Requester) Next(rng *rand.Rand, peer PeerID, remote *bitfield.Bitfield)
 		}
 	}
 	// Start a new piece via the piece selection strategy.
-	st := &PickState{Have: r.have, InFlight: r.inflight, Remote: remote, Downloaded: r.downloaded}
-	piece := r.picker.Pick(rng, st)
+	r.pick = PickState{Have: r.have, InFlight: r.inflight, Remote: remote, Downloaded: r.downloaded}
+	piece := r.picker.Pick(rng, &r.pick)
 	if piece >= 0 {
 		r.startPiece(piece)
 		return r.commit(peer, BlockRef{Piece: piece, Block: 0}), true

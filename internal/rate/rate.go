@@ -32,10 +32,19 @@ type Estimator struct {
 // NewEstimator returns an estimator with the given averaging window in
 // seconds. If window <= 0, DefaultMaxRatePeriod is used.
 func NewEstimator(window float64) *Estimator {
+	e := &Estimator{}
+	e.Init(window)
+	return e
+}
+
+// Init (re)initializes e in place with the given averaging window —
+// the constructor for estimators embedded by value (the simulator keeps
+// two per connection and connection churn is hot).
+func (e *Estimator) Init(window float64) {
 	if window <= 0 {
 		window = DefaultMaxRatePeriod
 	}
-	return &Estimator{maxRatePeriod: window}
+	*e = Estimator{maxRatePeriod: window}
 }
 
 // start initializes the window on the first observation, with the mainline

@@ -14,20 +14,41 @@ import (
 
 // Timer is a handle to a scheduled event; Cancel prevents a pending event
 // from firing.
+//
+// Lifetime contract: once a timer has fired (or has been popped cancelled),
+// the engine recycles it through an internal free list and a later At/After
+// call may reuse it for an unrelated event. A handle is therefore valid
+// only until its event fires; calling Cancel on a stale handle is a bug
+// (it would cancel whoever reused the slot). All in-repo holders guard
+// with their own state: a Flow never touches its timer after done, and a
+// peer's choke-round handle is overwritten each round.
 type Timer struct {
 	at        float64
 	seq       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 once popped
+	index     int  // heap index, -1 once popped
+	pooled    bool // true while parked in the engine's free list
+	eng       *Engine
 }
 
 // At returns the time the timer is scheduled to fire.
 func (t *Timer) At() float64 { return t.at }
 
 // Cancel stops the timer; it is safe to call on an already-fired or
-// already-cancelled timer.
-func (t *Timer) Cancel() { t.cancelled = true }
+// already-cancelled timer. The heap slot is reclaimed lazily: either when
+// the cancelled entry reaches the top, or by compaction once cancelled
+// entries outnumber live ones.
+func (t *Timer) Cancel() {
+	if t.cancelled {
+		return
+	}
+	t.cancelled = true
+	if t.index >= 0 && t.eng != nil {
+		t.eng.dead++
+		t.eng.maybeCompact()
+	}
+}
 
 type eventHeap []*Timer
 
@@ -58,12 +79,38 @@ func (h *eventHeap) Pop() any {
 	return t
 }
 
+// EngineStats exposes the scheduler's internal occupancy for the benchmark
+// harness: how big the heap actually is versus how many of its entries are
+// still live, plus how many timer allocations the free list saved.
+type EngineStats struct {
+	// HeapSize is the number of entries in the event heap, including
+	// lazily-deleted (cancelled) ones.
+	HeapSize int
+	// Live is the number of pending events that will actually fire.
+	Live int
+	// Cancelled is the number of dead entries awaiting compaction.
+	Cancelled int
+	// FreeListSize is the number of recycled timers ready for reuse.
+	FreeListSize int
+	// Reused counts scheduling calls served from the free list.
+	Reused uint64
+	// Compactions counts lazy-deletion sweeps of the heap.
+	Compactions uint64
+}
+
 // Engine is a single-threaded discrete-event scheduler.
 type Engine struct {
 	now  float64
 	heap eventHeap
 	seq  uint64
 	rng  *rand.Rand
+
+	// dead counts cancelled entries still occupying heap slots (lazy
+	// deletion); free is the timer recycling pool.
+	dead        int
+	free        []*Timer
+	reused      uint64
+	compactions uint64
 }
 
 // NewEngine returns an engine whose randomness derives entirely from seed.
@@ -77,8 +124,46 @@ func (e *Engine) Now() float64 { return e.now }
 // RNG returns the engine's deterministic random source.
 func (e *Engine) RNG() *rand.Rand { return e.rng }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live scheduled events (cancelled timers
+// awaiting lazy deletion are excluded).
+func (e *Engine) Pending() int { return len(e.heap) - e.dead }
+
+// Stats returns the scheduler's occupancy counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		HeapSize:     len(e.heap),
+		Live:         len(e.heap) - e.dead,
+		Cancelled:    e.dead,
+		FreeListSize: len(e.free),
+		Reused:       e.reused,
+		Compactions:  e.compactions,
+	}
+}
+
+// alloc returns a zeroed timer, reusing a recycled one when available.
+func (e *Engine) alloc() *Timer {
+	if n := len(e.free); n > 0 {
+		t := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		t.pooled = false
+		e.reused++
+		return t
+	}
+	return &Timer{eng: e}
+}
+
+// recycle returns a popped timer to the free list unless its fn
+// re-scheduled it back into the heap.
+func (e *Engine) recycle(t *Timer) {
+	if t.index != -1 {
+		return
+	}
+	t.fn = nil
+	t.cancelled = false
+	t.pooled = true
+	e.free = append(e.free, t)
+}
 
 // At schedules fn to run at absolute time t (clamped to now if in the
 // past) and returns a cancellable handle.
@@ -87,7 +172,10 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 		t = e.now
 	}
 	e.seq++
-	timer := &Timer{at: t, seq: e.seq, fn: fn}
+	timer := e.alloc()
+	timer.at = t
+	timer.seq = e.seq
+	timer.fn = fn
 	heap.Push(&e.heap, timer)
 	return timer
 }
@@ -100,15 +188,83 @@ func (e *Engine) After(d float64, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
+// Reschedule moves a pending timer to absolute time t (clamped to now if
+// in the past) by re-sorting it in place — no cancel-and-push garbage. The
+// timer is assigned a fresh sequence number, so its ordering against
+// same-instant events is exactly as if it had been cancelled and a new
+// timer pushed.
+//
+// Valid targets: a pending timer (cancelled-but-still-in-heap ones are
+// revived), or the currently firing timer from inside its own callback
+// (it re-enters the heap instead of the free list). A timer whose event
+// has otherwise completed may already have been recycled for an unrelated
+// event — rescheduling it would corrupt the free list, so that is a
+// panic, as is a cancelled timer already swept out by compaction.
+func (e *Engine) Reschedule(t *Timer, at float64) {
+	if t.pooled {
+		panic("sim: Reschedule on a recycled timer")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	t.at = at
+	t.seq = e.seq
+	if t.cancelled {
+		t.cancelled = false
+		if t.index >= 0 {
+			e.dead--
+		}
+	}
+	if t.index >= 0 {
+		heap.Fix(&e.heap, t.index)
+		return
+	}
+	heap.Push(&e.heap, t)
+}
+
+// maybeCompact sweeps cancelled entries out of the heap once they occupy
+// more than half of it, re-establishing the heap invariant in one O(n)
+// pass. Pop order is unchanged: (at, seq) is a total order, so any valid
+// heap arrangement of the same live set pops identically.
+func (e *Engine) maybeCompact() {
+	if e.dead <= len(e.heap)/2 || e.dead < 64 {
+		return
+	}
+	live := e.heap[:0]
+	for _, t := range e.heap {
+		if t.cancelled {
+			t.index = -1
+			e.recycle(t)
+			continue
+		}
+		live = append(live, t)
+	}
+	for i := len(live); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = live
+	for i, t := range e.heap {
+		t.index = i
+	}
+	heap.Init(&e.heap)
+	e.dead = 0
+	e.compactions++
+}
+
 // Step executes the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		t := heap.Pop(&e.heap).(*Timer)
 		if t.cancelled {
+			e.dead--
+			e.recycle(t)
 			continue
 		}
 		e.now = t.at
-		t.fn()
+		fn := t.fn
+		fn()
+		e.recycle(t)
 		return true
 	}
 	return false
@@ -121,6 +277,8 @@ func (e *Engine) Run(until float64) {
 		next := e.heap[0]
 		if next.cancelled {
 			heap.Pop(&e.heap)
+			e.dead--
+			e.recycle(next)
 			continue
 		}
 		if next.at > until {
@@ -128,7 +286,9 @@ func (e *Engine) Run(until float64) {
 		}
 		heap.Pop(&e.heap)
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		fn()
+		e.recycle(next)
 	}
 	if e.now < until {
 		e.now = until

@@ -8,24 +8,70 @@ import (
 // NodeID identifies a node (peer) in the fluid network.
 type NodeID int32
 
+// flowList is an intrusive doubly-linked list of the flows in one
+// direction of one node; dir selects which of the Flow's two link sets it
+// threads. Insertion order is preserved and removal is O(1): the links
+// live inside the Flow itself, so steady-state churn neither allocates
+// nor shifts slices. Walk order (head to tail = insertion order) is
+// exactly what the old slice implementation produced, which matters:
+// retiming walks assign event-heap sequence numbers, and same-instant
+// events fire in sequence order, so the walk order is part of the
+// reproducibility contract — an order-changing removal (e.g. swap-remove)
+// measurably perturbs fixed-seed runs.
+type flowList struct {
+	head, tail *Flow
+	n          int
+	dir        int // index into Flow.links: dirUp or dirDn
+}
+
+// Directions a flowList can thread through Flow.links.
+const (
+	dirUp = 0 // flows leaving a node (uploads)
+	dirDn = 1 // flows entering a node (downloads)
+)
+
+// link is one direction's intrusive list hooks inside a Flow.
+type link struct {
+	prev, next *Flow
+	attached   bool
+}
+
 // node carries a peer's access-link capacities and its active flows.
-// Flows are kept in insertion-ordered slices (not maps) so that retiming
-// walks them deterministically — event heap tie-breaking depends on
-// scheduling order, and a map walk here would leak randomness into runs.
 type node struct {
 	upCap   float64 // bytes/second; math.Inf(1) = uncapped
 	downCap float64
-	upFlows []*Flow
-	dnFlows []*Flow
+	upFlows flowList
+	dnFlows flowList
 }
 
-func removeFlow(list *[]*Flow, f *Flow) {
-	for i, x := range *list {
-		if x == f {
-			*list = append((*list)[:i], (*list)[i+1:]...)
-			return
-		}
+func (l *flowList) pushBack(f *Flow) {
+	f.links[l.dir] = link{prev: l.tail, attached: true}
+	if l.tail != nil {
+		l.tail.links[l.dir].next = f
+	} else {
+		l.head = f
 	}
+	l.tail = f
+	l.n++
+}
+
+func (l *flowList) remove(f *Flow) {
+	lk := &f.links[l.dir]
+	if !lk.attached {
+		return
+	}
+	if lk.prev != nil {
+		lk.prev.links[l.dir].next = lk.next
+	} else {
+		l.head = lk.next
+	}
+	if lk.next != nil {
+		lk.next.links[l.dir].prev = lk.prev
+	} else {
+		l.tail = lk.prev
+	}
+	*lk = link{}
+	l.n--
 }
 
 // Flow is an in-progress fluid transfer between two nodes. A flow's rate is
@@ -34,6 +80,12 @@ func removeFlow(list *[]*Flow, f *Flow) {
 // access-link fluid model for swarms without network bottlenecks (the
 // paper's stated context: "the peers are well connected without severe
 // network bottlenecks").
+//
+// Lifetime contract: when a flow completes or is cancelled the Net
+// recycles it through a free list and a later StartFlow may reuse it for
+// an unrelated transfer, so a *Flow handle is valid only until its
+// completion callback runs or Cancel returns. The swarm layer complies by
+// dropping its connection-slot references before cancelling.
 type Flow struct {
 	net        *Net
 	from, to   NodeID
@@ -43,6 +95,12 @@ type Flow struct {
 	timer      *Timer
 	onDone     func()
 	done       bool
+	// links are the intrusive hooks in the endpoints' flow lists
+	// (dirUp = uploader's list, dirDn = downloader's list).
+	links [2]link
+	// finishFn is the completion-timer callback, bound once per Flow
+	// object and reused across pool recycles.
+	finishFn func()
 }
 
 // From returns the uploading node.
@@ -68,6 +126,27 @@ func (f *Flow) Rate() float64 { return f.rate }
 type Net struct {
 	eng   *Engine
 	nodes []*node
+	// free is the Flow recycling pool (see the Flow lifetime contract).
+	free []*Flow
+}
+
+// allocFlow returns a reset flow, reusing a recycled one when available.
+func (n *Net) allocFlow() *Flow {
+	if k := len(n.free); k > 0 {
+		f := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return f
+	}
+	f := &Flow{net: n}
+	f.finishFn = func() { n.finish(f) }
+	return f
+}
+
+// recycleFlow returns a detached, done flow to the pool.
+func (n *Net) recycleFlow(f *Flow) {
+	f.onDone = nil
+	n.free = append(n.free, f)
 }
 
 // NewNet returns an empty network bound to the engine.
@@ -84,7 +163,12 @@ func (n *Net) AddNode(upCap, downCap float64) NodeID {
 	if downCap <= 0 {
 		downCap = math.Inf(1)
 	}
-	n.nodes = append(n.nodes, &node{upCap: upCap, downCap: downCap})
+	n.nodes = append(n.nodes, &node{
+		upCap:   upCap,
+		downCap: downCap,
+		upFlows: flowList{dir: dirUp},
+		dnFlows: flowList{dir: dirDn},
+	})
 	return NodeID(len(n.nodes) - 1)
 }
 
@@ -92,10 +176,10 @@ func (n *Net) AddNode(upCap, downCap float64) NodeID {
 func (n *Net) UploadCapacity(id NodeID) float64 { return n.nodes[id].upCap }
 
 // ActiveUploads returns the number of flows currently leaving id.
-func (n *Net) ActiveUploads(id NodeID) int { return len(n.nodes[id].upFlows) }
+func (n *Net) ActiveUploads(id NodeID) int { return n.nodes[id].upFlows.n }
 
 // ActiveDownloads returns the number of flows currently entering id.
-func (n *Net) ActiveDownloads(id NodeID) int { return len(n.nodes[id].dnFlows) }
+func (n *Net) ActiveDownloads(id NodeID) int { return n.nodes[id].dnFlows.n }
 
 // StartFlow begins transferring bytes from one node to another, invoking
 // onDone (in event context) when the last byte arrives.
@@ -106,19 +190,30 @@ func (n *Net) StartFlow(from, to NodeID, bytes float64, onDone func()) *Flow {
 	if from == to {
 		panic("sim: flow to self")
 	}
-	f := &Flow{
-		net:        n,
-		from:       from,
-		to:         to,
-		remaining:  bytes,
-		lastUpdate: n.eng.Now(),
-		onDone:     onDone,
-	}
-	n.nodes[from].upFlows = append(n.nodes[from].upFlows, f)
-	n.nodes[to].dnFlows = append(n.nodes[to].dnFlows, f)
+	f := n.allocFlow()
+	f.from = from
+	f.to = to
+	f.remaining = bytes
+	f.rate = 0
+	f.lastUpdate = n.eng.Now()
+	f.onDone = onDone
+	f.done = false
+	n.nodes[from].upFlows.pushBack(f)
+	n.nodes[to].dnFlows.pushBack(f)
 	n.retimeNode(from)
 	n.retimeNode(to)
 	return f
+}
+
+// detach unlinks the flow from both endpoints and cancels its timer.
+func (f *Flow) detach() {
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	n := f.net
+	n.nodes[f.from].upFlows.remove(f)
+	n.nodes[f.to].dnFlows.remove(f)
 }
 
 // Cancel aborts the flow; onDone is not invoked. Safe on completed flows.
@@ -127,14 +222,11 @@ func (f *Flow) Cancel() {
 		return
 	}
 	f.done = true
-	if f.timer != nil {
-		f.timer.Cancel()
-	}
+	f.detach()
 	n := f.net
-	removeFlow(&n.nodes[f.from].upFlows, f)
-	removeFlow(&n.nodes[f.to].dnFlows, f)
 	n.retimeNode(f.from)
 	n.retimeNode(f.to)
+	n.recycleFlow(f)
 }
 
 // settle charges elapsed time against remaining bytes.
@@ -153,32 +245,34 @@ func (f *Flow) settle(now float64) {
 // these flows need work.
 func (n *Net) retimeNode(id NodeID) {
 	nd := n.nodes[id]
-	for _, f := range nd.upFlows {
+	for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
 		n.retimeFlow(f)
 	}
-	for _, f := range nd.dnFlows {
+	for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
 		n.retimeFlow(f)
 	}
 }
 
+// retimeFlow refreshes one flow's rate and re-sorts its completion timer
+// in place (Engine.Reschedule), so steady-state rate churn neither
+// allocates nor leaves cancelled entries in the event heap.
 func (n *Net) retimeFlow(f *Flow) {
 	now := n.eng.Now()
 	f.settle(now)
 	up := n.nodes[f.from]
 	dn := n.nodes[f.to]
-	upShare := up.upCap / float64(len(up.upFlows))
-	dnShare := dn.downCap / float64(len(dn.dnFlows))
+	upShare := up.upCap / float64(up.upFlows.n)
+	dnShare := dn.downCap / float64(dn.dnFlows.n)
 	f.rate = math.Min(upShare, dnShare)
-	if f.timer != nil {
-		f.timer.Cancel()
-	}
 	var eta float64
-	if math.IsInf(f.rate, 1) {
-		eta = 0
-	} else {
+	if !math.IsInf(f.rate, 1) {
 		eta = f.remaining / f.rate
 	}
-	f.timer = n.eng.After(eta, func() { n.finish(f) })
+	if f.timer == nil {
+		f.timer = n.eng.After(eta, f.finishFn)
+		return
+	}
+	n.eng.Reschedule(f.timer, now+eta)
 }
 
 func (n *Net) finish(f *Flow) {
@@ -187,11 +281,14 @@ func (n *Net) finish(f *Flow) {
 	}
 	f.done = true
 	f.remaining = 0
-	removeFlow(&n.nodes[f.from].upFlows, f)
-	removeFlow(&n.nodes[f.to].dnFlows, f)
+	// The completion timer just fired; drop the handle (the engine recycles
+	// it) and unlink from both endpoints.
+	f.timer = nil
+	f.detach()
 	n.retimeNode(f.from)
 	n.retimeNode(f.to)
 	if f.onDone != nil {
 		f.onDone()
 	}
+	n.recycleFlow(f)
 }

@@ -334,3 +334,249 @@ func BenchmarkNetChurningFlows(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 2: retiming, pooled timers, lazy deletion ---
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	tm := e.At(10, func() { order = append(order, "moved") })
+	e.At(5, func() { order = append(order, "five") })
+	e.Reschedule(tm, 2)
+	e.RunUntilIdle()
+	if len(order) != 2 || order[0] != "moved" || order[1] != "five" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %f", e.Now())
+	}
+}
+
+// TestRescheduleTieBreakMatchesCancelPush pins the determinism contract:
+// rescheduling a timer must order it against same-instant events exactly
+// as if it had been cancelled and a fresh timer pushed.
+func TestRescheduleTieBreakMatchesCancelPush(t *testing.T) {
+	run := func(reschedule bool) []int {
+		e := NewEngine(1)
+		var order []int
+		a := e.At(50, func() { order = append(order, 0) })
+		e.At(7, func() { order = append(order, 1) })
+		if reschedule {
+			e.Reschedule(a, 7) // same instant as event 1, later seq
+		} else {
+			a.Cancel()
+			e.At(7, func() { order = append(order, 0) })
+		}
+		e.RunUntilIdle()
+		return order
+	}
+	got, want := run(true), run(false)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("reschedule order %v, cancel+push order %v", got, want)
+	}
+}
+
+func TestRescheduleClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at float64
+	tm := e.At(30, func() { at = e.Now() })
+	e.At(10, func() { e.Reschedule(tm, 3) }) // in the past: clamps to now
+	e.RunUntilIdle()
+	if at != 10 {
+		t.Fatalf("fired at %f, want 10", at)
+	}
+}
+
+func TestRescheduleRevivesCancelledAndFired(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := e.At(1, func() { fired++ })
+	tm.Cancel()
+	e.Reschedule(tm, 2) // revive a cancelled timer in the heap
+	e.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("revived timer fired %d times, want 1", fired)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after idle", got)
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.After(float64(i+1), func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for _, tm := range timers[:6] {
+		tm.Cancel()
+		tm.Cancel() // double cancel must not double-count
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4 (cancelled excluded)", e.Pending())
+	}
+	st := e.Stats()
+	if st.Live != 4 || st.Live+st.Cancelled != st.HeapSize {
+		t.Fatalf("Stats inconsistent: %+v", st)
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 || e.Stats().HeapSize != 0 {
+		t.Fatalf("after idle: %+v", e.Stats())
+	}
+}
+
+// TestCompactionKeepsOrder cancels a majority of a large heap, forcing a
+// compaction sweep, and checks the survivors still fire in order.
+func TestCompactionKeepsOrder(t *testing.T) {
+	e := NewEngine(1)
+	const n = 1000
+	var fired []int
+	var cancel []*Timer
+	for i := 0; i < n; i++ {
+		i := i
+		tm := e.At(float64(i), func() { fired = append(fired, i) })
+		if i%4 != 0 {
+			cancel = append(cancel, tm)
+		}
+	}
+	for _, tm := range cancel {
+		tm.Cancel()
+	}
+	st := e.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("expected a compaction sweep, got %+v", st)
+	}
+	if st.Cancelled > st.HeapSize/2 {
+		t.Fatalf("compaction left %d/%d dead entries", st.Cancelled, st.HeapSize)
+	}
+	e.RunUntilIdle()
+	if len(fired) != n/4 {
+		t.Fatalf("%d events fired, want %d", len(fired), n/4)
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Fatal("survivors fired out of order")
+	}
+}
+
+func TestTimerFreeListReuse(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 100; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+	if st := e.Stats(); st.Reused < 90 {
+		t.Fatalf("free list barely used: %+v", st)
+	}
+}
+
+// TestRescheduleDuringOwnFire re-arms the currently firing timer from its
+// own callback; the handle must go back into the heap, not the free list.
+func TestRescheduleDuringOwnFire(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var tm *Timer
+	tm = e.At(1, func() {
+		fired++
+		if fired == 1 {
+			e.Reschedule(tm, e.Now()+1)
+		}
+	})
+	e.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestFlowListOrderAfterRemovals(t *testing.T) {
+	e := NewEngine(1)
+	n := NewNet(e)
+	up := n.AddNode(1000, 0)
+	var flows []*Flow
+	for i := 0; i < 5; i++ {
+		dst := n.AddNode(0, 0)
+		flows = append(flows, n.StartFlow(up, dst, 1e9, nil))
+	}
+	// Remove the middle and first flows; the remaining walk order must be
+	// the insertion order of the survivors.
+	flows[2].Cancel()
+	flows[0].Cancel()
+	var got []*Flow
+	for f := n.nodes[up].upFlows.head; f != nil; f = f.links[dirUp].next {
+		got = append(got, f)
+	}
+	want := []*Flow{flows[1], flows[3], flows[4]}
+	if len(got) != len(want) {
+		t.Fatalf("walk has %d flows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] wrong flow", i)
+		}
+	}
+	if n.ActiveUploads(up) != 3 {
+		t.Fatalf("ActiveUploads = %d", n.ActiveUploads(up))
+	}
+}
+
+// TestFlowRetimingLeavesNoGarbage checks the heap does not accumulate
+// cancelled entries under steady rate churn (the PR 2 zero-churn goal).
+func TestFlowRetimingLeavesNoGarbage(t *testing.T) {
+	e := NewEngine(1)
+	n := NewNet(e)
+	up := n.AddNode(1e4, 0)
+	for i := 0; i < 32; i++ {
+		dst := n.AddNode(0, 0)
+		n.StartFlow(up, dst, 1e8, nil) // long flows: lots of retiming
+	}
+	st := e.Stats()
+	if st.Cancelled != 0 {
+		t.Fatalf("retiming left %d cancelled entries in the heap", st.Cancelled)
+	}
+	if st.HeapSize != 32 {
+		t.Fatalf("HeapSize = %d, want 32 (one live timer per flow)", st.HeapSize)
+	}
+}
+
+// TestRescheduleRecycledPanics pins the free-list safety contract: once a
+// timer has fired and been recycled, rescheduling the stale handle must
+// panic rather than corrupt the pool.
+func TestRescheduleRecycledPanics(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(1, func() {})
+	e.Step() // fires and recycles tm
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule on a recycled timer did not panic")
+		}
+	}()
+	e.Reschedule(tm, 5)
+}
+
+// TestRescheduleCompactedCancelledPanics covers the compaction variant:
+// cancelling enough timers sweeps them into the free list, after which
+// "reviving" one must panic instead of double-inserting it.
+func TestRescheduleCompactedCancelledPanics(t *testing.T) {
+	e := NewEngine(1)
+	var cancel []*Timer
+	for i := 0; i < 200; i++ {
+		tm := e.At(float64(i), func() {})
+		if i%4 != 0 {
+			cancel = append(cancel, tm)
+		}
+	}
+	for _, tm := range cancel {
+		tm.Cancel()
+	}
+	if e.Stats().Compactions == 0 {
+		t.Fatal("expected compaction")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule on a compacted cancelled timer did not panic")
+		}
+	}()
+	e.Reschedule(cancel[0], 500)
+}

@@ -26,8 +26,8 @@ type conn struct {
 	// choked to unchoked (new seed algorithm ordering).
 	lastUnchokedAt float64
 
-	inEst  *rate.Estimator // rate owner receives from remote
-	outEst *rate.Estimator // rate owner sends to remote
+	inEst  rate.Estimator // rate owner receives from remote
+	outEst rate.Estimator // rate owner sends to remote
 
 	bytesIn  int64 // owner received from remote
 	bytesOut int64 // owner sent to remote
@@ -42,6 +42,11 @@ type conn struct {
 	// Active upload (owner -> remote); bookkeeping lives on the remote's
 	// conn (its inFlow fields); this pointer only marks the slot busy.
 	outFlow *sim.Flow
+
+	// onFlowDone is the owner's flow-completion callback bound once at
+	// connect time (block path for the local peer, piece path otherwise),
+	// so each request reuses it instead of allocating a closure.
+	onFlowDone func()
 }
 
 // Peer is one simulated BitTorrent peer. The instrumented local peer runs
@@ -82,6 +87,15 @@ type Peer struct {
 
 	chokeTimer     *sim.Timer
 	nextAnnounceOK float64
+
+	// Steady-state scratch reused across events so rounds allocate
+	// nothing: the choke-round peer snapshot, the completion/teardown
+	// connection snapshot, the picker state, and the choke-round callback
+	// (bound once instead of a method-value allocation per re-arm).
+	chokePeers  []core.ChokePeer
+	connScratch []*conn
+	pickState   core.PickState
+	chokeFn     func()
 }
 
 // hasPiece reports whether the peer owns piece i (requester-backed for the
@@ -179,8 +193,8 @@ func (p *Peer) requestPiece(c *conn) {
 		}
 	}
 	if piece == -1 {
-		st := core.PickState{Have: p.have, InFlight: p.inflight, Remote: u.have, Downloaded: p.downloaded}
-		piece = p.picker.Pick(s.eng.RNG(), &st)
+		p.pickState = core.PickState{Have: p.have, InFlight: p.inflight, Remote: u.have, Downloaded: p.downloaded}
+		piece = p.picker.Pick(s.eng.RNG(), &p.pickState)
 		if piece >= 0 {
 			bytes = float64(s.geo.PieceSize(piece))
 		}
@@ -208,7 +222,7 @@ func (p *Peer) requestPiece(c *conn) {
 	c.flowPiece = piece
 	c.flowBytes = bytes
 	c.flowSettled = 0
-	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, func() { p.onPieceFlowDone(c) })
+	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, c.onFlowDone)
 	if uc := u.conns[p.id]; uc != nil {
 		uc.outFlow = c.inFlow
 	}
@@ -235,7 +249,7 @@ func (p *Peer) requestBlock(c *conn) {
 	c.flowPiece = ref.Piece
 	c.flowBytes = bytes
 	c.flowSettled = 0
-	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, func() { p.onBlockFlowDone(c) })
+	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, c.onFlowDone)
 	if uc := u.conns[p.id]; uc != nil {
 		uc.outFlow = c.inFlow
 	}
@@ -363,7 +377,11 @@ func (p *Peer) completePiece(idx int) {
 	p.s.globalAvail.Inc(idx)
 	// Snapshot: interest updates may trigger requests but never
 	// connect/disconnect, so iterating a copy is about robustness only.
-	snapshot := append([]*conn(nil), p.connList...)
+	// The scratch buffer is reused across completions; no code path
+	// re-enters completePiece/becomeSeed/depart on the SAME peer while the
+	// walk runs (neighbour reactions never complete a piece synchronously).
+	snapshot := append(p.connScratch[:0], p.connList...)
+	p.connScratch = snapshot
 	for _, c := range snapshot {
 		n := c.remote
 		nc := n.conns[p.id]
@@ -407,7 +425,8 @@ func (p *Peer) becomeSeed() {
 	if p.isLocal {
 		s.col.LocalSeed(now)
 	}
-	snapshot := append([]*conn(nil), p.connList...)
+	snapshot := append(p.connScratch[:0], p.connList...)
+	p.connScratch = snapshot
 	for _, c := range snapshot {
 		// Abort any leftover end-game downloads.
 		p.cancelDownload(c, false)
@@ -436,7 +455,8 @@ func (p *Peer) depart() {
 	if p.chokeTimer != nil {
 		p.chokeTimer.Cancel()
 	}
-	snapshot := append([]*conn(nil), p.connList...)
+	snapshot := append(p.connScratch[:0], p.connList...)
+	p.connScratch = snapshot
 	for _, c := range snapshot {
 		s.disconnect(p, c.remote)
 	}
@@ -447,20 +467,27 @@ func (p *Peer) depart() {
 // ---------------------------------------------------------------------------
 // Choke rounds
 
-// chokeRound runs one 10-second round of the appropriate choke algorithm
-// and applies the transitions.
+// chokeRound runs one 10-second round of the appropriate choke algorithm,
+// applies the transitions and re-arms itself. The re-arm happens after the
+// round's work, exactly where the old deferred re-arm ran, so event
+// sequence numbering — and with it same-instant tie-breaking — is
+// unchanged.
 func (p *Peer) chokeRound() {
 	if p.departed {
 		return
 	}
-	s := p.s
-	now := s.eng.Now()
-	defer func() {
-		p.chokeTimer = s.eng.After(core.ChokeInterval, p.chokeRound)
-	}()
+	p.runChokeRound()
+	p.chokeTimer = p.s.eng.After(core.ChokeInterval, p.chokeFn)
+}
+
+// runChokeRound is one round's body. All working storage is per-peer or
+// per-choker scratch: a steady-state round performs no allocation.
+func (p *Peer) runChokeRound() {
 	if len(p.connList) == 0 {
 		return
 	}
+	s := p.s
+	now := s.eng.Now()
 	// Settle estimators so rate ordering reflects in-flight progress.
 	for _, c := range p.connList {
 		p.settleDown(c)
@@ -470,9 +497,9 @@ func (p *Peer) chokeRound() {
 			}
 		}
 	}
-	peers := make([]core.ChokePeer, len(p.connList))
-	for i, c := range p.connList {
-		peers[i] = core.ChokePeer{
+	peers := p.chokePeers[:0]
+	for _, c := range p.connList {
+		peers = append(peers, core.ChokePeer{
 			ID:             c.remote.id,
 			Interested:     c.peerInterested,
 			Unchoked:       c.amUnchoking,
@@ -482,20 +509,28 @@ func (p *Peer) chokeRound() {
 			UploadedTo:     c.bytesOut,
 			DownloadedFrom: c.bytesIn,
 			RemotePieces:   c.remote.have.Count(),
-		}
+		})
 	}
+	p.chokePeers = peers
 	choker := p.chokerL
 	if p.seed {
 		choker = p.chokerS
 	}
 	unchoke := choker.Round(now, peers, s.eng.RNG())
-	want := make(map[core.PeerID]bool, len(unchoke))
-	for _, id := range unchoke {
-		want[id] = true
-	}
 	for _, c := range p.connList {
-		p.applyChoke(c, want[c.remote.id])
+		p.applyChoke(c, containsPeerID(unchoke, c.remote.id))
 	}
+}
+
+// containsPeerID reports whether id is in ids (at most UploadSlots long,
+// so a linear scan beats a map).
+func containsPeerID(ids []core.PeerID, id core.PeerID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // applyChoke transitions one connection's choke state and mirrors it.

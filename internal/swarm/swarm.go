@@ -6,7 +6,6 @@ import (
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
-	"rarestfirst/internal/rate"
 	"rarestfirst/internal/sim"
 	"rarestfirst/internal/trace"
 )
@@ -70,6 +69,10 @@ type Result struct {
 	SeedServes, DupSeedServes int
 	// EndTime is the simulated end of the experiment.
 	EndTime float64
+	// Events is the discrete-event scheduler's occupancy at the end of the
+	// run (heap size vs live events, timer-pool reuse) — the benchmark
+	// harness's view of the PR 2 hot-path rewrite.
+	Events sim.EngineStats
 }
 
 // New builds a swarm from cfg; call Run to execute it.
@@ -224,13 +227,14 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 	if !isSeed {
 		s.arrivals++
 	}
+	p.chokeFn = p.chokeRound // bound once; re-arms reuse it
 	s.peers[id] = p
 	s.trk.register(p)
 	s.globalAvail.AddPeer(p.have)
 	s.announce(p)
 	// Stagger the first choke round within the interval so rounds don't
 	// all fire in lockstep.
-	p.chokeTimer = s.eng.After(s.eng.RNG().Float64()*core.ChokeInterval, p.chokeRound)
+	p.chokeTimer = s.eng.After(s.eng.RNG().Float64()*core.ChokeInterval, p.chokeFn)
 	// Pre-completion abort process.
 	if !isSeed && s.cfg.AbortRate > 0 && !isLocal {
 		s.scheduleAbortCheck(p)
@@ -290,10 +294,25 @@ func (s *Swarm) connect(a, b *Peer) {
 		return
 	}
 	now := s.eng.Now()
-	ca := &conn{owner: a, remote: b, initiatedByOwner: true,
-		inEst: rate.NewEstimator(0), outEst: rate.NewEstimator(0)}
-	cb := &conn{owner: b, remote: a,
-		inEst: rate.NewEstimator(0), outEst: rate.NewEstimator(0)}
+	ca := &conn{owner: a, remote: b, initiatedByOwner: true}
+	ca.inEst.Init(0)
+	ca.outEst.Init(0)
+	cb := &conn{owner: b, remote: a}
+	cb.inEst.Init(0)
+	cb.outEst.Init(0)
+	// Bind each side's flow-completion callback once; every request on the
+	// connection reuses it (block granularity for the local peer, piece
+	// granularity for remote peers).
+	if a.isLocal {
+		ca.onFlowDone = func() { a.onBlockFlowDone(ca) }
+	} else {
+		ca.onFlowDone = func() { a.onPieceFlowDone(ca) }
+	}
+	if b.isLocal {
+		cb.onFlowDone = func() { b.onBlockFlowDone(cb) }
+	} else {
+		cb.onFlowDone = func() { b.onPieceFlowDone(cb) }
+	}
 	a.conns[b.id] = ca
 	a.connList = append(a.connList, ca)
 	b.conns[a.id] = cb
@@ -486,6 +505,7 @@ func (s *Swarm) Run() *Result {
 	}
 	res := &Result{
 		Collector:       s.col,
+		Events:          s.eng.Stats(),
 		Arrivals:        s.arrivals,
 		FinishedContrib: s.finishedContrib,
 		FinishedFree:    s.finishedFree,

@@ -1,0 +1,45 @@
+package rarestfirst
+
+// Perf cases: the fixed scenario set the benchmark trajectory harness
+// (cmd/benchtraj) and BenchmarkLargeSwarm time. Keeping the definitions
+// here — not in a _test file — lets the harness, the go-test benchmarks and
+// CI all run the identical workload, so BENCH_*.json snapshots are
+// comparable across PRs.
+
+// LargeSwarmScale is the stress scale for the hot-path benchmarks: well
+// above the default experiment caps, so steady-state event throughput —
+// not setup — dominates.
+func LargeSwarmScale() Scale {
+	return Scale{
+		MaxPeers:     300,
+		MaxContentMB: 24,
+		MaxPieces:    256,
+		Duration:     1800,
+		Warmup:       400,
+		Seed:         42,
+	}
+}
+
+// LargeSwarmScenario is the headline hot-path benchmark: a steady torrent
+// at LargeSwarmScale. BENCH_*.json tracks its ns/op and allocs/op across
+// PRs.
+func LargeSwarmScenario() Scenario {
+	return Scenario{Label: "large-swarm", TorrentID: 7, Scale: LargeSwarmScale()}
+}
+
+// PerfCase names one benchmark scenario of the trajectory harness.
+type PerfCase struct {
+	Name     string
+	Scenario Scenario
+}
+
+// PerfCases returns the harness's scenario set: the large-swarm stress
+// case plus bench-scale steady and transient runs (cheap canaries that
+// catch regressions the big run would hide in noise).
+func PerfCases() []PerfCase {
+	return []PerfCase{
+		{Name: "LargeSwarm", Scenario: LargeSwarmScenario()},
+		{Name: "SteadyT7Bench", Scenario: Scenario{Label: "steady-t7", TorrentID: 7, Scale: BenchScale()}},
+		{Name: "TransientT8Bench", Scenario: Scenario{Label: "transient-t8", TorrentID: 8, Scale: BenchScale()}},
+	}
+}

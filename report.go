@@ -1,9 +1,11 @@
 package rarestfirst
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"reflect"
 	"sort"
 
 	"rarestfirst/internal/analysis"
@@ -105,6 +107,26 @@ type Report struct {
 	// transitions, choke transitions, HAVEs observed) — the message-log
 	// summary of the paper's instrumentation.
 	MsgCounts map[string]int
+
+	// Events is the discrete-event scheduler's end-of-run occupancy: how
+	// big the heap got versus how many entries were live, and how much the
+	// timer free list saved. The benchmark trajectory harness records it
+	// per snapshot.
+	Events EventHeapStats
+}
+
+// EventHeapStats mirrors the simulator scheduler's internal counters for
+// reporting (see internal/sim.EngineStats).
+type EventHeapStats struct {
+	// HeapSize is the event-heap occupancy at end of run, including
+	// lazily-deleted entries; Live excludes them.
+	HeapSize  int
+	Live      int
+	Cancelled int
+	// TimersReused counts scheduling calls served by the timer free list;
+	// Compactions counts lazy-deletion sweeps.
+	TimersReused uint64
+	Compactions  uint64
 }
 
 // buildReport derives every figure's statistics from the run result.
@@ -126,6 +148,13 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 		FinishedContrib:      res.FinishedContrib,
 		FinishedFree:         res.FinishedFree,
 		MsgCounts:            col.MsgCounts,
+		Events: EventHeapStats{
+			HeapSize:     res.Events.HeapSize,
+			Live:         res.Events.Live,
+			Cancelled:    res.Events.Cancelled,
+			TimersReused: res.Events.Reused,
+			Compactions:  res.Events.Compactions,
+		},
 	}
 	for _, e := range col.Events {
 		if e.Name == "end_game" {
@@ -312,6 +341,76 @@ func (r *Report) WriteText(w io.Writer) {
 	if r.FinishedContrib > 0 || r.FinishedFree > 0 {
 		fmt.Fprintf(w, "[swarm] mean download: contributors %.0f s (n=%d), free riders %.0f s (n=%d)\n",
 			r.MeanDownloadContrib, r.FinishedContrib, r.MeanDownloadFree, r.FinishedFree)
+	}
+}
+
+// JSONLine renders the complete report as a single line of JSON — the
+// machine-readable sink suite runs write one line per run of. NaN and
+// infinite floats (possible in correlation and share fields when a run has
+// no data in some class) are replaced by zero, since JSON cannot represent
+// them; the plain-text renderer applies the same convention.
+func (r *Report) JSONLine() ([]byte, error) {
+	clean := sanitizedCopy(reflect.ValueOf(*r)).Interface().(Report)
+	return json.Marshal(&clean)
+}
+
+// sanitizedCopy deep-copies v, zeroing every NaN or infinite float so the
+// result is JSON-encodable without touching the original's shared slices.
+// It requires every reachable struct field to be exported (reflect cannot
+// set unexported fields; Report and everything it embeds satisfy this, and
+// the golden-digest tests exercise the full shape, so a violation fails
+// loudly in CI rather than silently).
+func sanitizedCopy(v reflect.Value) reflect.Value {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.New(v.Type().Elem())
+		out.Elem().Set(sanitizedCopy(v.Elem()))
+		return out
+	case reflect.Interface:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.New(v.Type()).Elem()
+		out.Set(sanitizedCopy(v.Elem()))
+		return out
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			f = 0
+		}
+		out := reflect.New(v.Type()).Elem()
+		out.SetFloat(f)
+		return out
+	case reflect.Slice:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out.Index(i).Set(sanitizedCopy(v.Index(i)))
+		}
+		return out
+	case reflect.Map:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.MakeMapWithSize(v.Type(), v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			out.SetMapIndex(iter.Key(), sanitizedCopy(iter.Value()))
+		}
+		return out
+	case reflect.Struct:
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			out.Field(i).Set(sanitizedCopy(v.Field(i)))
+		}
+		return out
+	default:
+		return v
 	}
 }
 
