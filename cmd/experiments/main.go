@@ -8,16 +8,20 @@
 // Usage:
 //
 //	experiments [-scale default|bench] [-torrents all|7,8,10] [-seeds 1,2,3]
-//	            [-workers N] [-suite name] [-list] [-skip-ablations] [-out results]
-//	            [-json runs.jsonl]
+//	            [-workers N] [-suite name] [-live] [-list] [-skip-ablations]
+//	            [-out results] [-json runs.jsonl]
 //
 // With -seeds, every configuration repeats once per RNG seed and
 // aggregates.txt reports mean/stddev over the repeats. With -suite, only
-// the named scenario suite runs (-list shows the catalog). With -json,
-// every executed run additionally appends one JSON line (the complete
-// Report) to the given file — the machine-readable sink external plotting
-// consumes without parsing the text tables. Every run is deterministic
-// given its seed.
+// the named scenario suite runs (-list shows the catalog). With -live,
+// every live-* scenario family runs instead: real-TCP loopback swarms
+// next to their simulator twins, with a sim-vs-live cross-validation
+// section per suite. With -json, every executed run additionally appends
+// one JSON line (the complete Report) to the given file, followed by one
+// Kind="aggregate" line per suite configuration — the machine-readable
+// sink external plotting consumes without parsing the text tables. Every
+// sim run is deterministic given its seed; live runs are deterministic in
+// everything but real-TCP timing.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 	seedList := flag.String("seeds", "", "comma-separated RNG seeds for multi-seed repeats (empty = catalog seed)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
 	suiteName := flag.String("suite", "", "run only this scenario suite (see -list)")
+	liveOnly := flag.Bool("live", false, "run the live-* families: real-TCP loopback swarms vs their sim twins")
 	list := flag.Bool("list", false, "list the registered scenario suites and exit")
 	jsonPath := flag.String("json", "", "also write one JSON line per run to this file")
 	flag.Parse()
@@ -73,9 +78,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *liveOnly && (*suiteName != "" || *torrentList != "all") {
+		fmt.Fprintln(os.Stderr, "-live runs the whole live-* family; it cannot be combined with -suite or -torrents")
+		os.Exit(2)
+	}
+
 	runner := rarestfirst.Runner{Workers: *workers}
 	sink := &jsonSink{path: *jsonPath}
-	if *suiteName != "" {
+	if *liveOnly {
+		for _, name := range rarestfirst.SuiteNames() {
+			if !strings.HasPrefix(name, "live-") {
+				continue
+			}
+			// Live suites carry their own wall-clock scales; only the
+			// seed fan-out applies.
+			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, sink); err != nil {
+				break
+			}
+		}
+	} else if *suiteName != "" {
 		err = runSuite(*outDir, runner, *suiteName, rarestfirst.SuiteOptions{
 			Scale: scale, Seeds: seeds, Torrents: ids,
 		}, sink)
@@ -101,14 +122,21 @@ type jsonSink struct {
 	err  error
 }
 
-func (s *jsonSink) add(reports ...*rarestfirst.Report) {
+// ensureOpen lazily creates the sink file; false means "skip" (no sink
+// configured, a previous error, or the create itself failed).
+func (s *jsonSink) ensureOpen() bool {
 	if s.path == "" || s.err != nil {
-		return
+		return false
 	}
 	if s.f == nil {
-		if s.f, s.err = os.Create(s.path); s.err != nil {
-			return
-		}
+		s.f, s.err = os.Create(s.path)
+	}
+	return s.err == nil
+}
+
+func (s *jsonSink) add(reports ...*rarestfirst.Report) {
+	if !s.ensureOpen() {
+		return
 	}
 	if s.err = cliutil.WriteReportsJSONL(s.f, reports); s.err != nil {
 		return
@@ -118,6 +146,14 @@ func (s *jsonSink) add(reports ...*rarestfirst.Report) {
 			s.runs++
 		}
 	}
+}
+
+// addAggregates appends the suite's Kind="aggregate" lines after its runs.
+func (s *jsonSink) addAggregates(suite string, aggs []rarestfirst.Aggregate) {
+	if len(aggs) == 0 || !s.ensureOpen() {
+		return
+	}
+	s.err = cliutil.WriteAggregatesJSONL(s.f, suite, aggs)
 }
 
 func (s *jsonSink) flush() error {
@@ -146,6 +182,7 @@ func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfir
 		return err
 	}
 	sink.add(sr.Reports...)
+	sink.addAggregates(sr.Name, sr.Aggregates)
 	return withFile(outDir, "suite_"+name+".txt", func(w io.Writer) error {
 		sr.WriteText(w)
 		for _, rep := range sr.Reports {
@@ -182,6 +219,7 @@ func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids 
 		return err
 	}
 	sink.add(sr.Reports...)
+	sink.addAggregates(sr.Name, sr.Aggregates)
 
 	// The figure files use the first seed's run of each torrent — the
 	// same artifacts a serial single-seed sweep produces.

@@ -23,6 +23,7 @@ import (
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
 	mrate "rarestfirst/internal/rate"
+	"rarestfirst/internal/trace"
 	"rarestfirst/internal/tracker"
 	"rarestfirst/internal/wire"
 )
@@ -50,6 +51,29 @@ type Options struct {
 	// ChokeInterval overrides the 10-second choke round cadence; tests use
 	// short intervals so reciprocation dynamics fit in seconds.
 	ChokeInterval time.Duration
+	// Seed, when nonzero, derives the peer ID suffix and the choke/request
+	// RNG from it instead of ambient entropy, so live runs are
+	// reproducible in everything the client itself randomizes (network
+	// timing stays real). Clients sharing a torrent must use distinct
+	// seeds or their identical peer IDs make them reject each other.
+	Seed int64
+	// Trace, when non-nil, instruments the client: every peer-set,
+	// interest, choke, byte and piece event is recorded into the
+	// collector, timestamped in wall-clock seconds since the client
+	// started — the same observables the paper's modified mainline client
+	// logged, via the same trace.Collector the simulator fills. The
+	// collector must not be shared across clients and must be read only
+	// after Stop and Collector.Finalize. When nil (the default) no hook
+	// touches the hot path beyond one nil check.
+	Trace *trace.Collector
+	// SampleEvery is the availability snapshot cadence while tracing
+	// (default 500ms).
+	SampleEvery time.Duration
+	// GlobalAvail, when tracing, supplies the torrent-global availability
+	// counters for snapshots: minimum copies over live swarm members and
+	// the number of rare pieces (held only by the initial seed). Only the
+	// lab orchestrating the swarm can see them; nil leaves both at zero.
+	GlobalAvail func() (globalMin, globalRare int)
 }
 
 // Client is a single-torrent BitTorrent peer.
@@ -72,6 +96,8 @@ type Client struct {
 	uploaded   int64
 	downloaded int64
 	rng        *lockedRand
+	// endgameMarked latches the first end-game entry for the trace.
+	endgameMarked bool
 
 	bucket   *mrate.Bucket
 	bucketMu sync.Mutex
@@ -81,6 +107,11 @@ type Client struct {
 	stopCh     chan struct{}
 	start      time.Time
 	chokeEvery time.Duration
+
+	// tr is nil unless Options.Trace was set; all hooks are nil-safe.
+	tr          *tracer
+	sampleEvery time.Duration
+	globalAvail func() (int, int)
 
 	// onComplete, if set, is invoked once when the download finishes.
 	onComplete func()
@@ -104,20 +135,31 @@ func New(opts Options) (*Client, error) {
 	if chokeEvery <= 0 {
 		chokeEvery = time.Duration(core.ChokeInterval * float64(time.Second))
 	}
-	c := &Client{
-		meta:       opts.Meta,
-		geo:        geo,
-		conns:      map[core.PeerID]*peerConn{},
-		bucket:     mrate.NewBucket(up, up),
-		stopCh:     make(chan struct{}),
-		start:      time.Now(),
-		rng:        newLockedRand(),
-		chokerL:    &core.LeecherChoker{Slots: slots},
-		chokerS:    &core.SeedChoker{Slots: slots},
-		chokeEvery: chokeEvery,
+	sampleEvery := opts.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 500 * time.Millisecond
 	}
+	c := &Client{
+		meta:        opts.Meta,
+		geo:         geo,
+		conns:       map[core.PeerID]*peerConn{},
+		bucket:      mrate.NewBucket(up, up),
+		stopCh:      make(chan struct{}),
+		start:       time.Now(),
+		rng:         newLockedRand(opts.Seed),
+		chokerL:     &core.LeecherChoker{Slots: slots},
+		chokerS:     &core.SeedChoker{Slots: slots},
+		chokeEvery:  chokeEvery,
+		sampleEvery: sampleEvery,
+		globalAvail: opts.GlobalAvail,
+	}
+	c.tr = newTracer(opts.Trace, c.start)
 	copy(c.peerID[:8], "-RF0100-")
-	if _, err := rand.Read(c.peerID[8:]); err != nil {
+	if opts.Seed != 0 {
+		// Deterministic identity: the suffix derives from the seed so a
+		// fixed-seed live run reproduces its peer IDs bit-for-bit.
+		c.rng.Rand().Read(c.peerID[8:])
+	} else if _, err := rand.Read(c.peerID[8:]); err != nil {
 		return nil, fmt.Errorf("client: peer id: %w", err)
 	}
 	c.avail = core.NewAvailability(geo.NumPieces)
@@ -131,6 +173,7 @@ func New(opts Options) (*Client, error) {
 			c.req.AddHave(i)
 		}
 		c.seeding = true
+		c.tr.localSeed()
 	} else {
 		c.content = make([]byte, geo.TotalLength)
 	}
@@ -206,6 +249,10 @@ func (c *Client) Start(listenAddr, announceURL string) error {
 	if announceURL != "" {
 		c.wg.Add(1)
 		go c.announceLoop(announceURL)
+	}
+	if c.tr != nil {
+		c.wg.Add(1)
+		go c.sampleLoop(c.sampleEvery, c.globalAvail)
 	}
 	return nil
 }
@@ -370,6 +417,14 @@ func (c *Client) runChokeRound() {
 				pc.lastUnchokedAt = now
 			}
 			changes = append(changes, change{pc, v})
+			// Trace the transition while still holding c.mu: recording
+			// after unlock races the peer's dropConn, which could
+			// re-latch unchoked state on a record that already left.
+			if v {
+				c.tr.unchoke(pc.id)
+			} else {
+				c.tr.choke(pc.id)
+			}
 		}
 	}
 	c.mu.Unlock()
@@ -386,7 +441,9 @@ func (c *Client) runChokeRound() {
 // dropConn removes a closed connection from client state.
 func (c *Client) dropConn(pc *peerConn) {
 	c.mu.Lock()
+	dropped := false
 	if _, ok := c.conns[pc.id]; ok {
+		dropped = true
 		delete(c.conns, pc.id)
 		for i, x := range c.connOrder {
 			if x == pc {
@@ -400,6 +457,9 @@ func (c *Client) dropConn(pc *peerConn) {
 		c.req.OnPeerGone(pc.id)
 	}
 	c.mu.Unlock()
+	if dropped {
+		c.tr.peerLeft(pc.id)
+	}
 }
 
 // broadcastHave announces a completed piece to every peer.

@@ -19,8 +19,12 @@ type lockedRand struct {
 	rng *rand.Rand
 }
 
-func newLockedRand() *lockedRand {
-	return &lockedRand{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+// newLockedRand seeds from the option seed, or ambient time when zero.
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
 }
 
 // Rand returns a rand.Rand safe to use while holding the client lock only.
@@ -107,6 +111,7 @@ func (c *Client) handleConn(conn net.Conn, outgoing bool) {
 	myBits := c.req.Have().ToWire()
 	empty := c.req.Have().Empty()
 	c.mu.Unlock()
+	c.tr.peerJoined(pc.id)
 	defer c.dropConn(pc)
 
 	// Initial bitfield (skipped when empty, as real clients do).
@@ -145,7 +150,11 @@ func (c *Client) handleMessage(pc *peerConn, m *wire.Message) bool {
 		pc.haveBits = bf
 		c.avail.AddPeer(bf)
 		c.updateInterestLocked(pc)
+		seed := bf.Complete()
 		c.mu.Unlock()
+		if seed {
+			c.tr.remoteSeedStatus(pc.id, true)
+		}
 		return true
 	case wire.MsgHave:
 		idx := int(m.Index)
@@ -162,7 +171,12 @@ func (c *Client) handleMessage(pc *peerConn, m *wire.Message) bool {
 		}
 		c.updateInterestLocked(pc)
 		refill := pc.peerUnchoking && pc.amInterested
+		seed := pc.haveBits.Complete()
 		c.mu.Unlock()
+		c.tr.countMsg("have_received")
+		if seed {
+			c.tr.remoteSeedStatus(pc.id, true)
+		}
 		if refill {
 			c.fillPipeline(pc)
 		}
@@ -171,11 +185,13 @@ func (c *Client) handleMessage(pc *peerConn, m *wire.Message) bool {
 		c.mu.Lock()
 		pc.peerInterested = true
 		c.mu.Unlock()
+		c.tr.remoteInterest(pc.id, true)
 		return true
 	case wire.MsgNotInterested:
 		c.mu.Lock()
 		pc.peerInterested = false
 		c.mu.Unlock()
+		c.tr.remoteInterest(pc.id, false)
 		return true
 	case wire.MsgUnchoke:
 		c.mu.Lock()
@@ -211,6 +227,7 @@ func (c *Client) updateInterestLocked(pc *peerConn) {
 		return
 	}
 	pc.amInterested = want
+	c.tr.localInterest(pc.id, want)
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -288,6 +305,7 @@ func (c *Client) handleRequest(pc *peerConn, m *wire.Message) bool {
 	pc.outEst.Update(now, int64(length))
 	c.uploaded += int64(length)
 	c.mu.Unlock()
+	c.tr.uploaded(pc.id, int64(length))
 	return true
 }
 
@@ -316,6 +334,11 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 	pc.inEst.Update(now, int64(len(m.Block)))
 	c.downloaded += int64(len(m.Block))
 	done, cancels := c.req.OnBlock(pc.id, ref)
+	endgameEntered := false
+	if c.req.InEndGame() && !c.endgameMarked {
+		c.endgameMarked = true
+		endgameEntered = true
+	}
 	var verifiedPiece = -1
 	var completed bool
 	if done {
@@ -349,6 +372,17 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 	interestRefresh := verifiedPiece >= 0
 	c.mu.Unlock()
 
+	c.tr.downloaded(pc.id, int64(len(m.Block)))
+	c.tr.blockReceived()
+	if endgameEntered {
+		c.tr.markEvent("end_game")
+	}
+	if verifiedPiece >= 0 {
+		c.tr.pieceCompleted(verifiedPiece)
+	}
+	if completed {
+		c.tr.localSeed()
+	}
 	for _, cm := range cmsgs {
 		cm.pc.send(func(e *wire.Encoder) error { return e.Cancel(cm.piece, cm.begin, cm.length) })
 	}

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"rarestfirst/internal/core"
+	"rarestfirst/internal/trace"
+)
+
+// tracer adapts the single-goroutine trace.Collector to the client's
+// concurrent reader/choke/serve goroutines: every hook takes one mutex and
+// stamps the event with the collector clock (wall seconds since client
+// start) *inside* the critical section, so the collector observes a
+// monotonic, serialized event stream exactly like the simulator's.
+//
+// All hooks are methods on a possibly-nil receiver: an uninstrumented
+// client (Options.Trace == nil) carries a nil *tracer and every call is a
+// single predictable branch, leaving the hot path untouched.
+type tracer struct {
+	mu    sync.Mutex
+	col   *trace.Collector
+	start time.Time
+}
+
+func newTracer(col *trace.Collector, start time.Time) *tracer {
+	if col == nil {
+		return nil
+	}
+	return &tracer{col: col, start: start}
+}
+
+// now returns the collector clock. Callers must hold t.mu.
+func (t *tracer) now() float64 { return time.Since(t.start).Seconds() }
+
+func (t *tracer) peerJoined(id core.PeerID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.PeerJoined(int(id), t.now())
+	t.mu.Unlock()
+}
+
+func (t *tracer) peerLeft(id core.PeerID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.PeerLeft(int(id), t.now())
+	t.mu.Unlock()
+}
+
+func (t *tracer) localInterest(id core.PeerID, interested bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.LocalInterest(int(id), t.now(), interested)
+	t.mu.Unlock()
+}
+
+func (t *tracer) remoteInterest(id core.PeerID, interested bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.RemoteInterest(int(id), t.now(), interested)
+	t.mu.Unlock()
+}
+
+func (t *tracer) remoteSeedStatus(id core.PeerID, seed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.RemoteSeedStatus(int(id), t.now(), seed)
+	t.mu.Unlock()
+}
+
+func (t *tracer) unchoke(id core.PeerID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.Unchoke(int(id), t.now())
+	t.mu.Unlock()
+}
+
+func (t *tracer) choke(id core.PeerID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.Choke(int(id), t.now())
+	t.mu.Unlock()
+}
+
+func (t *tracer) uploaded(id core.PeerID, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.Uploaded(int(id), t.now(), n)
+	t.mu.Unlock()
+}
+
+func (t *tracer) downloaded(id core.PeerID, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.Downloaded(int(id), t.now(), n)
+	t.mu.Unlock()
+}
+
+func (t *tracer) blockReceived() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.BlockReceived(t.now())
+	t.mu.Unlock()
+}
+
+func (t *tracer) pieceCompleted(piece int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.PieceCompleted(t.now(), piece)
+	t.mu.Unlock()
+}
+
+func (t *tracer) localSeed() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.LocalSeed(t.now())
+	t.mu.Unlock()
+}
+
+func (t *tracer) markEvent(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.MarkEvent(t.now(), name)
+	t.mu.Unlock()
+}
+
+func (t *tracer) countMsg(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.CountMsg(name)
+	t.mu.Unlock()
+}
+
+func (t *tracer) sample(s trace.AvailSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s.T = t.now()
+	t.col.Sample(s)
+	t.mu.Unlock()
+}
+
+// sampleLoop records one availability snapshot of the client's peer-set
+// view every interval — the live equivalent of the simulator's periodic
+// bitfield snapshots behind Figs 2-6. globalFn, when non-nil, supplies the
+// torrent-global counters (min copies, rare pieces) only the lab can see.
+func (c *Client) sampleLoop(interval time.Duration, globalFn func() (int, int)) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			c.mu.Lock()
+			min, mean, max := c.avail.Stats()
+			s := trace.AvailSample{
+				Min:        min,
+				Mean:       mean,
+				Max:        max,
+				RarestSize: c.avail.RarestSetSize(),
+				PeerSet:    len(c.connOrder),
+			}
+			c.mu.Unlock()
+			// Global state is computed outside c.mu: the callback reads
+			// every swarm member's bitfield, including our own.
+			if globalFn != nil {
+				s.GlobalMin, s.GlobalRare = globalFn()
+			}
+			c.tr.sample(s)
+		}
+	}
+}

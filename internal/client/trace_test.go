@@ -1,0 +1,174 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"rarestfirst/internal/trace"
+)
+
+// TestLiveClientTraceInstrumentation: a traced leecher downloading from a
+// real seed over loopback must populate the collector with the same
+// observables the simulator records — joins, seed status, interest in
+// both directions, choke transitions, byte counters, block/piece arrival
+// series and availability snapshots.
+func TestLiveClientTraceInstrumentation(t *testing.T) {
+	m, content := makeTorrent(t, 512<<10, "")
+	seed, err := New(Options{Meta: m, Content: content, UploadBps: 1 << 20,
+		ChokeInterval: 100 * time.Millisecond, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	col := trace.NewCollector(0)
+	col.MinResidency = 0.05
+	globalCalls := 0
+	leech, err := New(Options{
+		Meta: m, UploadBps: 1 << 20,
+		ChokeInterval: 100 * time.Millisecond,
+		Seed:          22,
+		Trace:         col,
+		SampleEvery:   50 * time.Millisecond,
+		GlobalAvail:   func() (int, int) { globalCalls++; return 2, 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leech.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	leech.AddPeer(seed.Addr())
+	waitComplete(t, 30*time.Second, leech)
+	// Let at least one more sample and choke round land post-completion.
+	time.Sleep(250 * time.Millisecond)
+	leech.Stop()
+	col.Finalize(3600) // any time past the last event; the run took seconds
+
+	if col.SeededAt() < 0 {
+		t.Fatal("collector missed the leecher->seed transition")
+	}
+	if got, want := len(col.PieceTimes), m.NumPieces(); got != want {
+		t.Errorf("PieceTimes: %d, want %d", got, want)
+	}
+	if len(col.BlockTimes) == 0 {
+		t.Error("no block arrivals recorded")
+	}
+	if len(col.Samples) == 0 {
+		t.Error("no availability snapshots recorded")
+	}
+	for _, s := range col.Samples {
+		if s.GlobalMin != 2 || s.GlobalRare != 1 {
+			t.Fatalf("sample did not carry the GlobalAvail callback values: %+v", s)
+		}
+	}
+	if globalCalls == 0 {
+		t.Error("GlobalAvail callback never invoked")
+	}
+	recs := col.Records()
+	if len(recs) != 1 {
+		t.Fatalf("peer records: %d, want 1 (the seed)", len(recs))
+	}
+	r := recs[0]
+	if !r.RemoteWasSeed {
+		t.Error("seed not flagged as seed")
+	}
+	if r.DownloadedLS != int64(len(content)) {
+		t.Errorf("DownloadedLS = %d, want %d", r.DownloadedLS, len(content))
+	}
+	if r.LocalInterestedTime <= 0 {
+		t.Error("no local-interest time accrued against the seed")
+	}
+	if col.MsgCounts["have_received"] == 0 && col.MsgCounts["local_interested"] == 0 {
+		t.Errorf("message-log counters empty: %v", col.MsgCounts)
+	}
+}
+
+// TestLiveClientSeedDeterminism: Options.Seed pins the peer identity (and
+// the choke/request RNG stream behind it).
+func TestLiveClientSeedDeterminism(t *testing.T) {
+	m, content := makeTorrent(t, 128<<10, "")
+	a, err := New(Options{Meta: m, Content: content, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Meta: m, Content: content, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Options{Meta: m, Content: content, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeerID() != b.PeerID() {
+		t.Error("same seed produced different peer IDs")
+	}
+	if a.PeerID() == c.PeerID() {
+		t.Error("different seeds produced the same peer ID")
+	}
+	id := a.PeerID()
+	if string(id[:8]) != "-RF0100-" {
+		t.Errorf("client prefix lost: %q", id[:8])
+	}
+}
+
+// TestLiveStopMidTransfer: tearing clients down while blocks are in
+// flight must not deadlock, panic or race (the CI live-smoke job runs
+// this under -race), in either stop order, including a double Stop.
+func TestLiveStopMidTransfer(t *testing.T) {
+	for _, seedFirst := range []bool{false, true} {
+		m, content := makeTorrent(t, 2<<20, "")
+		// Slow enough that completion takes seconds: Stop always lands
+		// mid-transfer.
+		seed, err := New(Options{Meta: m, Content: content, UploadBps: 256 << 10,
+			ChokeInterval: 50 * time.Millisecond, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Start("127.0.0.1:0", ""); err != nil {
+			t.Fatal(err)
+		}
+		col := trace.NewCollector(0)
+		leech, err := New(Options{Meta: m, UploadBps: 256 << 10,
+			ChokeInterval: 50 * time.Millisecond, Seed: 32,
+			Trace: col, SampleEvery: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := leech.Start("127.0.0.1:0", ""); err != nil {
+			t.Fatal(err)
+		}
+		leech.AddPeer(seed.Addr())
+
+		// Wait for actual transfer, then stop mid-flight.
+		deadline := time.After(10 * time.Second)
+		for {
+			if _, down := leech.Stats(); down > 0 {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatal("no bytes moved within 10s")
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		if leech.Complete() {
+			t.Fatal("transfer finished before Stop; slow the caps down")
+		}
+		if seedFirst {
+			seed.Stop()
+			leech.Stop()
+		} else {
+			leech.Stop()
+			seed.Stop()
+		}
+		leech.Stop() // idempotent under instrumentation too
+		col.Finalize(60)
+		if len(col.BlockTimes) == 0 {
+			t.Error("instrumentation saw no blocks before teardown")
+		}
+	}
+}

@@ -82,6 +82,23 @@ func WriteReportsJSONL(w io.Writer, reports []*rarestfirst.Report) error {
 	return nil
 }
 
+// WriteAggregatesJSONL appends one JSON line per aggregate to w — the
+// suite-level companion of WriteReportsJSONL. Aggregate lines carry
+// Kind="aggregate" and the suite name, so both line shapes can share one
+// sink file and still be told apart.
+func WriteAggregatesJSONL(w io.Writer, suite string, aggs []rarestfirst.Aggregate) error {
+	for _, a := range aggs {
+		line, err := rarestfirst.MarshalAggregateLine(suite, a)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PrintSuites writes the registered scenario suites, one per line.
 func PrintSuites(w io.Writer) {
 	for _, in := range rarestfirst.Suites() {

@@ -1,0 +1,470 @@
+// Package live is the live-swarm lab: it provisions real BitTorrent
+// swarms — one loopback HTTP tracker plus N instrumented internal/client
+// peers per swarm — and harvests the same trace.Collector instrumentation
+// the discrete-event simulator produces, so real-TCP runs flow through the
+// identical report/aggregation pipeline and cross-validate the simulator's
+// conclusions, the way the paper's own evidence came from an instrumented
+// real client rather than a model.
+//
+// One designated leecher per swarm (the last to arrive, mirroring the
+// simulator's late-joining local peer) carries the collector; the lab's
+// global-availability callback gives its snapshots the torrent-wide
+// counters (min copies, rare pieces) that only the orchestrator can see.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"rarestfirst/internal/client"
+	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/scenario"
+	"rarestfirst/internal/trace"
+	"rarestfirst/internal/tracker"
+)
+
+// Config is the fully resolved parameterization of one live swarm.
+type Config struct {
+	Label     string
+	TorrentID int
+	// Seed drives content generation and every client's identity/choke
+	// RNG; a fixed seed reproduces everything but real-TCP timing.
+	Seed int64
+
+	NumPieces int
+	PieceSize int // bytes; a multiple of the 16 KiB block size
+
+	// Leechers is the leecher count including the instrumented local
+	// peer; the swarm additionally has one initial seed.
+	Leechers int
+
+	SeedUploadBps float64
+	PeerUploadBps float64
+
+	ChokeInterval time.Duration
+	SampleEvery   time.Duration
+	// Stagger is the arrival spacing between successive leechers; the
+	// instrumented local peer arrives last.
+	Stagger time.Duration
+	// Deadline bounds the swarm's wall-clock lifetime. A swarm whose
+	// local peer has not finished by then reports LocalCompleted false.
+	Deadline time.Duration
+	// Linger keeps the swarm up after everyone finished so residency and
+	// seed-state intervals accumulate past the residency filter.
+	Linger time.Duration
+	// SeedStopAfter, when positive, stops the initial seed that long
+	// after swarm start — the live twin of the seed-failure injection.
+	SeedStopAfter time.Duration
+
+	// MinResidency is the collector's residency filter in seconds (live
+	// swarms live wall-clock seconds, not the paper's hours).
+	MinResidency float64
+}
+
+// Defaults for FromSpec, exported so tests and docs agree with the code.
+// Upload caps are deliberately far below loopback capacity: the paper's
+// dynamics (choke rotation, reciprocation, interest churn) only appear
+// when a transfer spans many choke rounds, so the default geometry makes
+// a swarm last roughly 15-20 rounds rather than one.
+const (
+	DefaultPeers      = 5
+	DefaultContentMB  = 1
+	DefaultPieces     = 32
+	DefaultDeadlineS  = 90
+	DefaultSeedUpBps  = 512 << 10
+	DefaultPeerUpBps  = 256 << 10
+	DefaultResidencyS = 0.5
+)
+
+// FromSpec resolves a scenario spec onto a live swarm configuration. The
+// spec's Scale is read at wall-clock granularity (Duration = deadline in
+// real seconds); unsupported ablation switches are rejected rather than
+// silently ignored, because a live run that silently dropped its ablation
+// would masquerade as a valid twin.
+func FromSpec(sp scenario.Spec) (Config, error) {
+	switch {
+	case sp.Picker != "" && sp.Picker != scenario.PickerRarestFirst:
+		return Config{}, fmt.Errorf("live: picker %q not supported (the TCP client runs the paper's rarest-first)", sp.Picker)
+	case sp.SeedChoke != "" && sp.SeedChoke != scenario.SeedChokeNew:
+		return Config{}, fmt.Errorf("live: seed choker %q not supported live", sp.SeedChoke)
+	case sp.LeecherChoke != "" && sp.LeecherChoke != scenario.LeecherChokeStandard:
+		return Config{}, fmt.Errorf("live: leecher choker %q not supported live", sp.LeecherChoke)
+	case sp.FreeRiderFraction != 0 || sp.LocalFreeRider:
+		return Config{}, errors.New("live: free riders not supported live")
+	case sp.SmartSeedServe || sp.DisableRandomFirst || sp.BoostNewcomers:
+		return Config{}, errors.New("live: policy ablations not supported live")
+	case sp.ChurnScale != 0 && sp.ChurnScale != 1:
+		return Config{}, errors.New("live: churn scaling not supported live")
+	case sp.AbortScale != 0:
+		return Config{}, errors.New("live: abort scaling not supported live")
+	}
+
+	peers := clampInt(sp.Scale.MaxPeers, DefaultPeers, 3, 32)
+	contentMB := clampInt(sp.Scale.MaxContentMB, DefaultContentMB, 1, 8)
+	pieces := clampInt(sp.Scale.MaxPieces, DefaultPieces, 8, 256)
+	// Piece size: the content split into the requested piece count,
+	// rounded up to whole 16 KiB blocks; content is piece-aligned so the
+	// geometry stays exact.
+	pieceSize := (contentMB << 20) / pieces
+	if rem := pieceSize % metainfo.BlockSize; rem != 0 {
+		pieceSize += metainfo.BlockSize - rem
+	}
+	if pieceSize < metainfo.BlockSize {
+		pieceSize = metainfo.BlockSize
+	}
+
+	deadline := sp.Scale.Duration
+	if deadline <= 0 {
+		deadline = DefaultDeadlineS
+	}
+	if deadline > 600 {
+		deadline = 600
+	}
+
+	base := sp.Scale.Seed
+	if sp.SeedOverride != 0 {
+		base = sp.SeedOverride
+	}
+	if base == 0 {
+		base = 1
+	}
+
+	upScale := sp.SeedUpScale
+	if upScale <= 0 {
+		upScale = 1
+	}
+
+	cfg := Config{
+		Label:         sp.Label,
+		TorrentID:     sp.TorrentID,
+		Seed:          scenario.MixSeed(base, sp.TorrentID),
+		NumPieces:     pieces,
+		PieceSize:     pieceSize,
+		Leechers:      peers - 1,
+		SeedUploadBps: DefaultSeedUpBps * upScale,
+		PeerUploadBps: DefaultPeerUpBps,
+		ChokeInterval: 250 * time.Millisecond,
+		SampleEvery:   250 * time.Millisecond,
+		Stagger:       100 * time.Millisecond,
+		Deadline:      time.Duration(deadline * float64(time.Second)),
+		Linger:        time.Second,
+		SeedStopAfter: time.Duration(sp.InitialSeedLeavesAt * float64(time.Second)),
+		MinResidency:  DefaultResidencyS,
+	}
+	return cfg, nil
+}
+
+func clampInt(v, def, lo, hi int) int {
+	if v == 0 {
+		v = def
+	}
+	return min(max(v, lo), hi)
+}
+
+// Result is everything one live swarm produced, mirroring the fields of a
+// simulator swarm.Result that the report builder consumes.
+type Result struct {
+	Config Config
+	// Collector is the local peer's finalized instrumentation.
+	Collector *trace.Collector
+	// LocalCompleted / LocalDownloadSeconds describe the instrumented
+	// peer (download time -1 when it did not finish).
+	LocalCompleted       bool
+	LocalDownloadSeconds float64
+	// Arrivals counts leechers; FinishedContrib / MeanDownloadContrib
+	// cover the non-instrumented leechers that completed.
+	Arrivals            int
+	FinishedContrib     int
+	MeanDownloadContrib float64
+	// EndSeconds is the collector-clock time the swarm was torn down.
+	EndSeconds float64
+}
+
+// swarmView is the orchestrator's membership table behind the
+// global-availability callback: which clients are live and which is the
+// initial seed.
+type swarmView struct {
+	mu       sync.Mutex
+	members  []*client.Client
+	seed     *client.Client
+	seedGone bool
+}
+
+func (v *swarmView) add(c *client.Client) {
+	v.mu.Lock()
+	v.members = append(v.members, c)
+	v.mu.Unlock()
+}
+
+func (v *swarmView) dropSeed() {
+	v.mu.Lock()
+	v.seedGone = true
+	v.mu.Unlock()
+}
+
+// global returns (min copies over live members, rare-piece count). Rare
+// pieces are held only by the initial seed — the paper's transient-state
+// criterion; a departed seed leaves no rare pieces, as in the simulator.
+func (v *swarmView) global(numPieces int) (int, int) {
+	v.mu.Lock()
+	members := append([]*client.Client(nil), v.members...)
+	seed, seedGone := v.seed, v.seedGone
+	v.mu.Unlock()
+
+	counts := make([]int, numPieces)
+	for _, c := range members {
+		if seedGone && c == seed {
+			continue
+		}
+		bf := c.Bitfield()
+		for i := 0; i < numPieces; i++ {
+			if bf.Has(i) {
+				counts[i]++
+			}
+		}
+	}
+	var seedBits = seed.Bitfield()
+	minCopies, rare := counts[0], 0
+	for i, n := range counts {
+		if n < minCopies {
+			minCopies = n
+		}
+		if n == 1 && !seedGone && seedBits.Has(i) {
+			rare++
+		}
+	}
+	return minCopies, rare
+}
+
+// Run provisions one live swarm, waits for it to finish (or hit its
+// deadline) and returns the harvested result. It is safe to call from
+// many goroutines at once: every swarm owns its tracker, listener ports
+// and clients.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NumPieces <= 0 || cfg.PieceSize <= 0 || cfg.Leechers < 1 {
+		return nil, fmt.Errorf("live: bad config %+v", cfg)
+	}
+
+	// Content derives from the run seed, like the simulator's RNG stream.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	content := make([]byte, cfg.NumPieces*cfg.PieceSize)
+	rng.Read(content)
+
+	// Loopback HTTP tracker with a fast re-announce interval.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("live: tracker listen: %w", err)
+	}
+	srv := &http.Server{Handler: tracker.NewServer(1).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	announce := fmt.Sprintf("http://%s/announce", ln.Addr())
+
+	meta, err := metainfo.Build(fmt.Sprintf("live-t%d.bin", cfg.TorrentID), announce, content, cfg.PieceSize)
+	if err != nil {
+		return nil, fmt.Errorf("live: metainfo: %w", err)
+	}
+
+	view := &swarmView{}
+	clientSeed := func(i int) int64 {
+		s := scenario.MixSeed(cfg.Seed, i+1)
+		if s == 0 {
+			s = 1
+		}
+		return s
+	}
+
+	// Initial seed.
+	seed, err := client.New(client.Options{
+		Meta: meta, Content: content,
+		UploadBps:     cfg.SeedUploadBps,
+		ChokeInterval: cfg.ChokeInterval,
+		Seed:          clientSeed(0),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live: seed client: %w", err)
+	}
+	view.seed = seed
+	if err := seed.Start("127.0.0.1:0", announce); err != nil {
+		return nil, fmt.Errorf("live: seed start: %w", err)
+	}
+	view.add(seed)
+	defer seed.Stop()
+
+	if cfg.SeedStopAfter > 0 {
+		timer := time.AfterFunc(cfg.SeedStopAfter, func() {
+			view.dropSeed()
+			seed.Stop()
+		})
+		defer timer.Stop()
+	}
+
+	col := trace.NewCollector(0)
+	col.MinResidency = cfg.MinResidency
+
+	// Leechers arrive staggered; the LAST is the instrumented local peer,
+	// mirroring the simulator's local peer joining a warmed-up swarm.
+	type leecher struct {
+		c       *client.Client
+		startAt time.Time
+	}
+	var (
+		leechers []leecher
+		doneMu   sync.Mutex
+		doneAt   = make(map[int]time.Time)
+	)
+	stopAll := func() {
+		// Non-local leechers first so the local peer observes their
+		// departures, then the local peer, then (deferred) the seed.
+		for _, l := range leechers {
+			l.c.Stop()
+		}
+	}
+	localIdx := cfg.Leechers - 1
+	for i := 0; i < cfg.Leechers; i++ {
+		if i > 0 {
+			time.Sleep(cfg.Stagger)
+		}
+		opts := client.Options{
+			Meta:          meta,
+			UploadBps:     cfg.PeerUploadBps,
+			ChokeInterval: cfg.ChokeInterval,
+			Seed:          clientSeed(i + 1),
+		}
+		if i == localIdx {
+			opts.Trace = col
+			opts.SampleEvery = cfg.SampleEvery
+			opts.GlobalAvail = func() (int, int) { return view.global(cfg.NumPieces) }
+		}
+		// startAt is captured before New so it lower-bounds the client's
+		// internal clock origin: the Finalize timestamp derived from it
+		// can never precede a recorded event.
+		startAt := time.Now()
+		l, err := client.New(opts)
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("live: leecher %d: %w", i, err)
+		}
+		idx := i
+		l.OnComplete(func() {
+			doneMu.Lock()
+			doneAt[idx] = time.Now()
+			doneMu.Unlock()
+		})
+		if err := l.Start("127.0.0.1:0", announce); err != nil {
+			stopAll()
+			return nil, fmt.Errorf("live: leecher %d start: %w", i, err)
+		}
+		leechers = append(leechers, leecher{c: l, startAt: startAt})
+		view.add(l)
+	}
+	localStart := leechers[localIdx].startAt
+
+	// Wait until every leecher finished or the deadline passes, then
+	// linger briefly so post-completion intervals (residency past the
+	// filter, seed-state choke rounds) accumulate.
+	deadline := time.Now().Add(cfg.Deadline)
+	for time.Now().Before(deadline) {
+		doneMu.Lock()
+		n := len(doneAt)
+		doneMu.Unlock()
+		if n == len(leechers) {
+			if lingerEnd := time.Now().Add(cfg.Linger); lingerEnd.Before(deadline) {
+				time.Sleep(cfg.Linger)
+			} else {
+				time.Sleep(time.Until(deadline))
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	stopAll()
+	end := time.Since(localStart).Seconds()
+	col.Finalize(end)
+
+	res := &Result{
+		Config:               cfg,
+		Collector:            col,
+		Arrivals:             len(leechers),
+		EndSeconds:           end,
+		LocalDownloadSeconds: -1,
+	}
+	if at := col.SeededAt(); at >= 0 {
+		res.LocalCompleted = true
+		res.LocalDownloadSeconds = at
+	}
+	doneMu.Lock()
+	var sum float64
+	for i, l := range leechers {
+		if i == localIdx {
+			continue
+		}
+		if at, ok := doneAt[i]; ok {
+			res.FinishedContrib++
+			sum += at.Sub(l.startAt).Seconds()
+		}
+	}
+	doneMu.Unlock()
+	if res.FinishedContrib > 0 {
+		res.MeanDownloadContrib = sum / float64(res.FinishedContrib)
+	}
+	return res, nil
+}
+
+// Lab runs many live swarms concurrently across a bounded worker pool —
+// the same discipline as the public Runner, so a suite of live scenarios
+// saturates cores without oversubscribing the loopback interface.
+type Lab struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU (via the same
+	// convention as rarestfirst.Runner). Live swarms are I/O-heavy, so
+	// the default is fine even though each swarm runs many goroutines.
+	Workers int
+}
+
+func defaultWorkers() int { return runtime.NumCPU() }
+
+// Run executes every config and returns results in input order; failed
+// slots are nil and the errors are joined.
+func (l Lab) Run(cfgs []Config) ([]*Result, error) {
+	workers := l.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := Run(cfgs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("live swarm %d (%s): %w", i, cfgs[i].Label, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

@@ -126,6 +126,22 @@ func allTorrentIDs() []int {
 	return ids
 }
 
+// liveTwin expands one base configuration into its [sim twin, live run]
+// pair. Both share the base Label — the aggregation key — and differ only
+// in the backend: the sim twin runs at o.Scale (bench scale unless the
+// caller overrides), the live run at the given wall-clock liveScale.
+func liveTwin(o Options, base Spec, liveScale torrents.Scale) []Spec {
+	sim := base
+	sim.Scale = o.Scale
+	if sim.Scale == (torrents.Scale{}) {
+		sim.Scale = torrents.BenchScale()
+	}
+	lv := base
+	lv.Live = true
+	lv.Scale = liveScale
+	return []Spec{sim, lv}
+}
+
 // The built-in catalog. Case studies come first (the torrents the paper
 // singles out), then the Table I sweep, the ablation grids A1-A5, and the
 // workload variants this reproduction adds (churn, slow-seed,
@@ -326,6 +342,47 @@ func init() {
 				}
 			}
 			return out
+		},
+	})
+	// The live-* family: each definition pairs a simulator twin with a
+	// real-TCP loopback swarm under ONE label, so suite aggregation
+	// yields one sim group and one live group per configuration and the
+	// suite report can cross-validate them side by side. Live scales are
+	// wall-clock: Duration is the swarm deadline in real seconds.
+	Register(Def{
+		Name: "live-casestudy",
+		Description: "sim-vs-live twin of the torrent 10 case study: a real-TCP " +
+			"loopback swarm (1 seed, 4 leechers, 1 MiB) against its bench-scale sim twin",
+		Build: func(o Options) []Spec {
+			return liveTwin(o, Spec{TorrentID: 10, Label: "case-study"},
+				torrents.Scale{MaxPeers: 5, MaxContentMB: 1, MaxPieces: 32, Duration: 90})
+		},
+	})
+	Register(Def{
+		Name: "live-flashcrowd",
+		Description: "sim-vs-live twin of the torrent 8 flash crowd: a slow real " +
+			"initial seed against a crowd of empty loopback leechers",
+		Build: func(o Options) []Spec {
+			specs := liveTwin(o, Spec{TorrentID: 8, Label: "flash-crowd"},
+				torrents.Scale{MaxPeers: 6, MaxContentMB: 1, MaxPieces: 32, Duration: 120})
+			// The live seed runs at a quarter of the lab default so the
+			// transient phase (rare pieces draining off the seed) is
+			// observable at loopback speed, as in the sim twin.
+			specs[1].SeedUpScale = 0.25
+			return specs
+		},
+	})
+	Register(Def{
+		Name: "live-seedfailure",
+		Description: "sim-vs-live twin of the seed-failure injection: the initial " +
+			"seed departs mid-transient and the real-TCP torrent dies too",
+		Build: func(o Options) []Spec {
+			specs := liveTwin(o, Spec{TorrentID: 8, Label: "seed=leaves"},
+				torrents.Scale{MaxPeers: 5, MaxContentMB: 1, MaxPieces: 32, Duration: 15})
+			specs[0].InitialSeedLeavesAt = 900 // sim seconds, mid-transient
+			specs[1].InitialSeedLeavesAt = 1   // wall seconds
+			specs[1].SeedUpScale = 0.25
+			return specs
 		},
 	})
 	Register(Def{

@@ -24,6 +24,7 @@ func TestRegistryHasCaseStudies(t *testing.T) {
 		"quickstart", "flashcrowd", "freeriders", "livetransfer", "catalog",
 		"pickers", "pickers-startup", "seed-choke", "leecher-choke",
 		"smart-seed", "freerider-sweep", "churn", "slow-seed", "seed-failure",
+		"live-casestudy", "live-flashcrowd", "live-seedfailure",
 	} {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("registry missing %q", name)
@@ -50,6 +51,14 @@ func TestRegistrySpecsBuildValidConfigs(t *testing.T) {
 				t.Fatal("definition built no specs")
 			}
 			for _, sp := range specs {
+				if sp.Live {
+					// Live specs resolve on the TCP backend, not here;
+					// Config must refuse to simulate them.
+					if _, _, err := sp.Config(); err == nil {
+						t.Fatalf("%s: live spec accepted by the sim config builder", sp.Label)
+					}
+					continue
+				}
 				cfg, tspec, err := sp.Config()
 				if err != nil {
 					t.Fatalf("%s: Config: %v", sp.Label, err)

@@ -46,6 +46,12 @@ type Spec struct {
 	Label string
 	// TorrentID selects a Table I torrent (1..26).
 	TorrentID int
+	// Live runs the spec on the real-TCP loopback backend (internal/live)
+	// instead of the discrete-event simulator. Scale fields are then read
+	// at wall-clock granularity: Duration is the swarm's deadline in real
+	// seconds and MaxPeers/MaxContentMB/MaxPieces bound the loopback
+	// swarm. Only the paper's default algorithms are supported live.
+	Live bool
 	// Scale bounds the simulation; zero value means torrents.DefaultScale.
 	Scale torrents.Scale
 	// Picker selects the swarm-wide piece selection strategy ("" =
@@ -73,7 +79,7 @@ type Spec struct {
 	// this simulated time (0 = never).
 	InitialSeedLeavesAt float64
 	// SeedOverride, when nonzero, replaces the catalog RNG seed for
-	// repeat runs; it is mixed with the torrent id (see mixSeed), not
+	// repeat runs; it is mixed with the torrent id (see MixSeed), not
 	// used verbatim.
 	SeedOverride int64
 
@@ -89,10 +95,11 @@ type Spec struct {
 	AbortScale float64
 }
 
-// mixSeed combines a user repeat seed with a torrent id into one RNG
+// MixSeed combines a user repeat seed with a torrent id into one RNG
 // seed via a splitmix64-style finalizer: deterministic, and free of the
-// collision classes a linear combination has.
-func mixSeed(seed int64, id int) int64 {
+// collision classes a linear combination has. The live lab reuses it to
+// derive per-client seeds, so it is part of the reproducibility contract.
+func MixSeed(seed int64, id int) int64 {
 	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(uint32(id))
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -102,8 +109,14 @@ func mixSeed(seed int64, id int) int64 {
 	return int64(x)
 }
 
-// Config maps the spec onto the internal swarm configuration.
+// Config maps the spec onto the internal swarm configuration. Live specs
+// are rejected: they resolve through internal/live.FromSpec instead, and
+// silently simulating one would let a live scenario masquerade as its own
+// sim twin.
 func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
+	if s.Live {
+		return swarm.Config{}, torrents.Spec{}, fmt.Errorf("scenario: %q is a live spec; it runs on the TCP backend, not the simulator", s.Label)
+	}
 	spec, ok := torrents.ByID(s.TorrentID)
 	if !ok {
 		return swarm.Config{}, torrents.Spec{}, fmt.Errorf("scenario: no torrent %d in Table I", s.TorrentID)
@@ -120,7 +133,7 @@ func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
 		// offset (seed + 1000*ID) would collide again whenever user
 		// seeds differ by the right multiple, so mix seed and ID
 		// non-linearly instead.
-		cfg.Seed = mixSeed(s.SeedOverride, spec.ID)
+		cfg.Seed = MixSeed(s.SeedOverride, spec.ID)
 	}
 	switch s.Picker {
 	case "", PickerRarestFirst:

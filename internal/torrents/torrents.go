@@ -217,10 +217,10 @@ func (s Spec) Config(sc Scale) swarm.Config {
 	if cfg.MaxPeerSet > 4*(seeds+leech) {
 		// Keep the paper's "peer set smaller than torrent" property at
 		// reduced populations.
-		cfg.MaxPeerSet = maxInt(4, (seeds+leech)/2)
+		cfg.MaxPeerSet = max(4, (seeds+leech)/2)
 	}
-	cfg.MinPeerSet = minInt(20, cfg.MaxPeerSet/2+1)
-	cfg.MaxInitiated = maxInt(2, cfg.MaxPeerSet/2)
+	cfg.MinPeerSet = min(20, cfg.MaxPeerSet/2+1)
+	cfg.MaxInitiated = max(2, cfg.MaxPeerSet/2)
 
 	// Estimated download time of one leecher in an upload-constrained
 	// swarm; drives both churn and warmup.
@@ -275,18 +275,4 @@ func (s Spec) Config(sc Scale) swarm.Config {
 	cfg.LocalJoinTime = warmup
 	cfg.Duration = sc.Duration
 	return cfg
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -94,6 +94,11 @@ type AvailSample struct {
 // Collector gathers a single experiment's instrumentation.
 type Collector struct {
 	peers map[int]*PeerRecord
+	// MinResidency overrides the paper's 10-second residency filter for
+	// Records when positive. Live loopback swarms finish in wall-clock
+	// seconds, so their collectors lower it; simulated runs leave it zero
+	// and keep the paper's threshold.
+	MinResidency float64
 	// localSeed is whether the local peer is currently in seed state.
 	localSeed     bool
 	seedAt        float64 // time the local peer became a seed (-1 if never)
@@ -157,7 +162,11 @@ func (c *Collector) PeerJoined(id int, now float64) {
 }
 
 // PeerLeft records a remote peer leaving the local peer set, closing all
-// open intervals.
+// open intervals. Interest and unchoke state die with the connection: a
+// departed peer that later rejoins starts neutral and must re-announce
+// interest, so the absence gap never accrues to any interval. (Leaving
+// the flags latched across the gap over-counted interest numerators for
+// rejoining peers — a/b ratios could exceed 1 before clamping.)
 func (c *Collector) PeerLeft(id int, now float64) {
 	r := c.rec(id)
 	if !r.inSet {
@@ -166,6 +175,9 @@ func (c *Collector) PeerLeft(id int, now float64) {
 	c.closeIntervals(r, now)
 	r.inSet = false
 	r.LeftAt = now
+	r.localInterested = false
+	r.remoteInterested = false
+	r.unchoked = false
 }
 
 // closeIntervals settles every open interval for r at time now. Intervals
@@ -369,15 +381,20 @@ func (c *Collector) Finalize(end float64) {
 	c.finalized = true
 }
 
-// Records returns all peer records with residency of at least MinResidency,
-// sorted by ID. Finalize must have been called.
+// Records returns all peer records with residency of at least the
+// collector's residency threshold (MinResidency unless overridden), sorted
+// by ID. Finalize must have been called.
 func (c *Collector) Records() []*PeerRecord {
 	if !c.finalized {
 		panic("trace: Records before Finalize")
 	}
+	minRes := c.MinResidency
+	if minRes <= 0 {
+		minRes = MinResidency
+	}
 	out := make([]*PeerRecord, 0, len(c.peers))
 	for _, r := range c.peers {
-		if r.Residency >= MinResidency {
+		if r.Residency >= minRes {
 			out = append(out, r)
 		}
 	}

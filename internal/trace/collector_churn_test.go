@@ -1,0 +1,113 @@
+package trace
+
+import "testing"
+
+// TestPeerLeftClosesOpenIntervals: a peer departing mid-run with open
+// residency, interest (both directions) and unchoke state must settle
+// every interval at the departure time, and contribute nothing afterwards.
+func TestPeerLeftClosesOpenIntervals(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.LocalInterest(1, 10, true)
+	c.RemoteInterest(1, 20, true)
+	c.Unchoke(1, 25)
+	c.PeerLeft(1, 100)
+
+	// Events after departure must not extend the settled intervals.
+	c.Finalize(500)
+	r := c.AllRecords()[0]
+	approx(t, "Residency", r.Residency, 100)
+	approx(t, "ResidencyLSLocal", r.ResidencyLSLocal, 100)
+	approx(t, "LocalInterestedTime", r.LocalInterestedTime, 90)
+	approx(t, "RemoteInterestedTime", r.RemoteInterestedTime, 80)
+	approx(t, "InterestedInLocalLS", r.InterestedInLocalLS, 80)
+	if r.UnchokesLS != 1 || r.UnchokesSS != 0 {
+		t.Errorf("unchokes LS/SS = %d/%d, want 1/0", r.UnchokesLS, r.UnchokesSS)
+	}
+	if r.LeftAt != 100 {
+		t.Errorf("LeftAt = %v, want 100", r.LeftAt)
+	}
+}
+
+// TestPeerRejoinAccumulatesResidency: churn (leave + rejoin) must add
+// residency spans without double-counting, and keep JoinedAt at the first
+// join as the paper's residency accounting does.
+func TestPeerRejoinAccumulatesResidency(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(3, 0)
+	c.LocalInterest(3, 0, true)
+	c.PeerLeft(3, 40)
+	// While out of the set, no interval accrues.
+	c.PeerJoined(3, 100)
+	c.PeerLeft(3, 130)
+	c.Finalize(200)
+
+	r := c.AllRecords()[0]
+	approx(t, "Residency", r.Residency, 70)
+	if r.JoinedAt != 0 {
+		t.Errorf("JoinedAt = %v, want first join at 0", r.JoinedAt)
+	}
+	// Local interest stayed logically on across the gap: the open
+	// interval was settled at leave (40) and the flag's clock restarted
+	// at the point of re-settlement, never spanning the absence.
+	if r.LocalInterestedTime > 70+1e-9 {
+		t.Errorf("LocalInterestedTime %v exceeds total residency 70", r.LocalInterestedTime)
+	}
+}
+
+// TestPeerLeftDuplicateAndUnknown: redundant departures and departures of
+// unknown peers are no-ops, not corruption.
+func TestPeerLeftDuplicateAndUnknown(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.PeerLeft(1, 10)
+	c.PeerLeft(1, 50) // duplicate: already out
+	c.PeerLeft(9, 60) // never joined
+	c.Finalize(100)
+	recs := c.AllRecords()
+	if len(recs) != 2 {
+		t.Fatalf("records: %d, want 2 (one real, one empty)", len(recs))
+	}
+	approx(t, "Residency", recs[0].Residency, 10)
+	approx(t, "unknown residency", recs[1].Residency, 0)
+}
+
+// TestLocalSeedTransitionSplitsOpenIntervals: the leecher->seed flip must
+// settle open remote-interest intervals under leecher-state accounting
+// and accrue the remainder under seed-state.
+func TestLocalSeedTransitionSplitsOpenIntervals(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(1, 0)
+	c.RemoteInterest(1, 0, true)
+	c.LocalSeed(60)
+	c.PeerLeft(1, 100)
+	c.Finalize(100)
+
+	r := c.AllRecords()[0]
+	approx(t, "InterestedInLocalLS", r.InterestedInLocalLS, 60)
+	approx(t, "InterestedInLocalSS", r.InterestedInLocalSS, 40)
+	approx(t, "RemoteInterestedTime", r.RemoteInterestedTime, 60)
+	approx(t, "ResidencyLSLocal", r.ResidencyLSLocal, 60)
+	if got := c.SeededAt(); got != 60 {
+		t.Errorf("SeededAt = %v, want 60", got)
+	}
+}
+
+// TestMinResidencyOverride: the live lab lowers the residency filter;
+// zero keeps the paper's 10-second threshold.
+func TestMinResidencyOverride(t *testing.T) {
+	build := func(minRes float64) int {
+		c := NewCollector(0)
+		c.MinResidency = minRes
+		c.PeerJoined(1, 0)
+		c.PeerLeft(1, 2) // 2-second residency
+		c.Finalize(10)
+		return len(c.Records())
+	}
+	if n := build(0); n != 0 {
+		t.Errorf("default threshold kept a 2s peer (n=%d)", n)
+	}
+	if n := build(0.5); n != 1 {
+		t.Errorf("0.5s threshold dropped a 2s peer (n=%d)", n)
+	}
+}

@@ -94,6 +94,15 @@ type Scenario struct {
 	Label string
 	// TorrentID selects a Table I torrent (1..26).
 	TorrentID int
+	// Live runs the scenario as a real-TCP loopback swarm (internal/live)
+	// instead of a discrete-event simulation: one HTTP tracker plus an
+	// instrumented client swarm whose traces flow through the same report
+	// pipeline. Scale is then read at wall-clock granularity (Duration =
+	// swarm deadline in real seconds; MaxPeers/MaxContentMB/MaxPieces
+	// bound the loopback swarm) and only the paper's default algorithms
+	// are supported. The omitempty tag keeps sim-run reports serializing
+	// exactly as before this field existed.
+	Live bool `json:",omitempty"`
 	// Scale bounds the simulation; zero value means DefaultScale.
 	Scale Scale
 	// Picker selects the swarm-wide piece selection strategy ("" =
@@ -148,6 +157,7 @@ func (sc Scenario) toSpec() scenario.Spec {
 	return scenario.Spec{
 		Label:               sc.Label,
 		TorrentID:           sc.TorrentID,
+		Live:                sc.Live,
 		Scale:               sc.Scale.toInternal(),
 		Picker:              sc.Picker,
 		SeedChoke:           sc.SeedChoke,
@@ -171,6 +181,7 @@ func fromSpec(sp scenario.Spec) Scenario {
 	return Scenario{
 		Label:               sp.Label,
 		TorrentID:           sp.TorrentID,
+		Live:                sp.Live,
 		Scale:               fromInternalScale(sp.Scale),
 		Picker:              sp.Picker,
 		SeedChoke:           sp.SeedChoke,
@@ -223,8 +234,15 @@ func buildConfig(sc Scenario) (swarm.Config, torrents.Spec, error) {
 	return sc.toSpec().Config()
 }
 
-// Run executes the scenario and derives its report.
+// Run executes the scenario and derives its report. Live scenarios run on
+// the real-TCP loopback backend; everything else is a discrete-event
+// simulation. Both produce the same *Report shape through the same
+// derivation, so downstream aggregation cannot tell them apart except by
+// the Scenario.Live flag.
 func Run(sc Scenario) (*Report, error) {
+	if sc.Live {
+		return runLive(sc)
+	}
 	cfg, spec, err := buildConfig(sc)
 	if err != nil {
 		return nil, err

@@ -182,8 +182,8 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 
 	// The paper uses the first/last 100 of ~900–1400 pieces; at reduced
 	// scale the window is the same fraction (~10%) of the arrival series.
-	pieceWin := maxInt(8, cfg.NumPieces/10)
-	blockWin := maxInt(32, cfg.Geometry().TotalBlocks()/10)
+	pieceWin := max(8, cfg.NumPieces/10)
+	blockWin := max(32, cfg.Geometry().TotalBlocks()/10)
 	rep.PieceCDF = interarrivalCDF(col.PieceTimes, pieceWin)
 	rep.BlockCDF = interarrivalCDF(col.BlockTimes, blockWin)
 
@@ -354,6 +354,20 @@ func (r *Report) JSONLine() ([]byte, error) {
 	return json.Marshal(&clean)
 }
 
+// MarshalAggregateLine renders one aggregate as a line for the JSONL
+// sink, NaN/Inf-sanitized like Report.JSONLine. The Kind field
+// distinguishes aggregate lines from per-run Report lines (which have no
+// Kind) when both share a stream; Suite names the producing suite.
+func MarshalAggregateLine(suite string, a Aggregate) ([]byte, error) {
+	type line struct {
+		Kind  string
+		Suite string
+		Aggregate
+	}
+	clean := sanitizedCopy(reflect.ValueOf(line{Kind: "aggregate", Suite: suite, Aggregate: a})).Interface().(line)
+	return json.Marshal(&clean)
+}
+
 // sanitizedCopy deep-copies v, zeroing every NaN or infinite float so the
 // result is JSON-encodable without touching the original's shared slices.
 // It requires every reachable struct field to be exported (reflect cannot
@@ -438,21 +452,52 @@ func orDefault(v, def string) string {
 	return v
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // SuiteReport is everything a suite run produces: the per-scenario
 // reports in suite order plus cross-run aggregates (mean/stddev over the
-// seed repeats of each configuration).
+// seed repeats of each configuration) and, when the suite mixes backends,
+// the sim-vs-live cross-validation pairs.
 type SuiteReport struct {
 	Name        string
 	Description string
 	Reports     []*Report
 	Aggregates  []Aggregate
+	// CrossValidation pairs each live configuration with the sim twin
+	// sharing its label — the lab's claim check: do real TCP swarms
+	// reproduce the simulator's qualitative findings?
+	CrossValidation []CrossPair
+}
+
+// CrossPair is one sim-vs-live pairing: two aggregates with the same
+// Label, one per backend.
+type CrossPair struct {
+	Label string
+	Sim   Aggregate
+	Live  Aggregate
+}
+
+// crossValidate pairs aggregates that share a Label across backends, in
+// first-appearance order of the live side. Labels with no twin (or with a
+// duplicated one, which Register-time label discipline prevents) are
+// skipped rather than guessed at.
+func crossValidate(aggs []Aggregate) []CrossPair {
+	simByLabel := map[string]*Aggregate{}
+	for i := range aggs {
+		if !aggs[i].Live {
+			if _, dup := simByLabel[aggs[i].Label]; !dup {
+				simByLabel[aggs[i].Label] = &aggs[i]
+			}
+		}
+	}
+	var out []CrossPair
+	for i := range aggs {
+		if !aggs[i].Live {
+			continue
+		}
+		if sim := simByLabel[aggs[i].Label]; sim != nil {
+			out = append(out, CrossPair{Label: aggs[i].Label, Sim: *sim, Live: aggs[i]})
+		}
+	}
+	return out
 }
 
 // MetricStat summarizes one metric over the runs of an aggregation group.
@@ -489,12 +534,25 @@ func newMetricStat(xs []float64) MetricStat {
 	return st
 }
 
+// AvailBand is one point of an aggregate availability envelope: the
+// spread, across a configuration's seed repeats, of the per-run mean piece
+// replication at the same sample index.
+type AvailBand struct {
+	// T is the mean sample time across the contributing runs.
+	T float64
+	// Min/Mean/Max band the runs' mean-copies series.
+	Min, Mean, Max float64
+}
+
 // Aggregate summarizes every run of one scenario configuration (same
 // Scenario modulo SeedOverride) inside a suite.
 type Aggregate struct {
 	// Label is the scenario's Label, or a derived "torrent=N" fallback.
 	Label     string
 	TorrentID int
+	// Live marks configurations that ran on the real-TCP loopback
+	// backend; a sim/live pair shares a Label and differs here.
+	Live      bool
 	Runs      int
 	Completed int // runs where the local peer finished its download
 
@@ -509,6 +567,20 @@ type Aggregate struct {
 	// FirstPieceRatio summarizes PieceCDF.FirstOverAllP90 (the
 	// first-pieces problem; > 1 means slow first pieces).
 	FirstPieceRatio MetricStat
+
+	// Fairness-share stats over the repeats: the top 5-peer set's share
+	// of leecher-state uploads (Fig 9 top bar), of the reciprocation
+	// downloads from the same ranking (Fig 9 bottom), and of seed-state
+	// uploads (Fig 11). Runs without data in a class are skipped.
+	TopSetUploadLS MetricStat
+	TopSetRecipLS  MetricStat
+	TopSetUploadSS MetricStat
+
+	// AvailMeanCopies is the availability-series envelope: at each sample
+	// index, the min/mean/max across runs of that run's mean piece-copy
+	// count — the Figs 2-6 replication curve with a seed-spread band.
+	// The envelope is truncated to the shortest run's series.
+	AvailMeanCopies []AvailBand
 }
 
 // scenarioKey identifies a scenario's aggregation group: the full
@@ -532,6 +604,7 @@ func AggregateReports(reports []*Report) []Aggregate {
 	type group struct {
 		label     string
 		torrentID int
+		live      bool
 		completed int
 		local     []float64
 		contrib   []float64
@@ -539,6 +612,10 @@ func AggregateReports(reports []*Report) []Aggregate {
 		entAB     []float64
 		entCD     []float64
 		firstOver []float64
+		topUpLS   []float64
+		topRecLS  []float64
+		topUpSS   []float64
+		avail     [][]AvailPoint
 	}
 	var order []Scenario
 	groups := map[Scenario]*group{}
@@ -553,7 +630,7 @@ func AggregateReports(reports []*Report) []Aggregate {
 			if label == "" {
 				label = fmt.Sprintf("torrent=%d", rep.TorrentID)
 			}
-			g = &group{label: label, torrentID: rep.TorrentID}
+			g = &group{label: label, torrentID: rep.TorrentID, live: rep.Scenario.Live}
 			groups[key] = g
 			order = append(order, key)
 		}
@@ -570,6 +647,18 @@ func AggregateReports(reports []*Report) []Aggregate {
 		g.entAB = append(g.entAB, rep.Entropy.AOverB.P50)
 		g.entCD = append(g.entCD, rep.Entropy.COverD.P50)
 		g.firstOver = append(g.firstOver, rep.PieceCDF.FirstOverAllP90)
+		if len(rep.FairnessUploadLS) > 0 {
+			g.topUpLS = append(g.topUpLS, rep.FairnessUploadLS[0])
+		}
+		if len(rep.FairnessRecipLS) > 0 {
+			g.topRecLS = append(g.topRecLS, rep.FairnessRecipLS[0])
+		}
+		if len(rep.FairnessUploadSS) > 0 {
+			g.topUpSS = append(g.topUpSS, rep.FairnessUploadSS[0])
+		}
+		if len(rep.Availability) > 0 {
+			g.avail = append(g.avail, rep.Availability)
+		}
 	}
 	out := make([]Aggregate, 0, len(order))
 	for _, key := range order {
@@ -577,6 +666,7 @@ func AggregateReports(reports []*Report) []Aggregate {
 		out = append(out, Aggregate{
 			Label:           g.label,
 			TorrentID:       g.torrentID,
+			Live:            g.live,
 			Runs:            len(g.entAB),
 			Completed:       g.completed,
 			LocalDownload:   newMetricStat(g.local),
@@ -585,7 +675,48 @@ func AggregateReports(reports []*Report) []Aggregate {
 			EntropyAB:       newMetricStat(g.entAB),
 			EntropyCD:       newMetricStat(g.entCD),
 			FirstPieceRatio: newMetricStat(g.firstOver),
+			TopSetUploadLS:  newMetricStat(g.topUpLS),
+			TopSetRecipLS:   newMetricStat(g.topRecLS),
+			TopSetUploadSS:  newMetricStat(g.topUpSS),
+			AvailMeanCopies: availEnvelope(g.avail),
 		})
+	}
+	return out
+}
+
+// availEnvelope bands the runs' mean-copies series point-by-point. Series
+// are aligned by sample index (repeats of one configuration sample on the
+// same cadence) and truncated to the shortest; live runs can have ragged
+// lengths, so truncation rather than padding keeps every band fully
+// populated.
+func availEnvelope(series [][]AvailPoint) []AvailBand {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	for _, s := range series {
+		if len(s) < n {
+			n = len(s)
+		}
+	}
+	out := make([]AvailBand, n)
+	for i := 0; i < n; i++ {
+		b := AvailBand{Min: series[0][i].Mean, Max: series[0][i].Mean}
+		var tSum, vSum float64
+		for _, s := range series {
+			v := s[i].Mean
+			vSum += v
+			tSum += s[i].T
+			if v < b.Min {
+				b.Min = v
+			}
+			if v > b.Max {
+				b.Max = v
+			}
+		}
+		b.T = tSum / float64(len(series))
+		b.Mean = vSum / float64(len(series))
+		out[i] = b
 	}
 	return out
 }
@@ -607,14 +738,55 @@ func (sr *SuiteReport) WriteText(w io.Writer) {
 		"label", "torrent", "runs", "done", "local(s)", "contrib(s)", "a/b-p50", "c/d-p50", "first/all-p90")
 	for _, a := range sr.Aggregates {
 		fmt.Fprintf(w, "  %-24s %7d %4d %4d  %-17s %-17s %-15s %-15s %s\n",
-			a.Label, a.TorrentID, a.Runs, a.Completed,
+			aggLabel(a), a.TorrentID, a.Runs, a.Completed,
 			fmtStat(a.LocalDownload, 0), fmtStat(a.ContribDownload, 0),
 			fmtStat(a.EntropyAB, 3), fmtStat(a.EntropyCD, 3),
 			fmtStat(a.FirstPieceRatio, 2))
 		if a.FreeDownload.N > 0 {
 			fmt.Fprintf(w, "  %-24s free riders: mean download %s s\n", "", fmtStat(a.FreeDownload, 0))
 		}
+		if a.TopSetUploadLS.N > 0 || a.TopSetRecipLS.N > 0 || a.TopSetUploadSS.N > 0 {
+			fmt.Fprintf(w, "  %-24s top-5-set shares: up-LS %s  recip-LS %s  up-SS %s\n", "",
+				fmtStat(a.TopSetUploadLS, 2), fmtStat(a.TopSetRecipLS, 2), fmtStat(a.TopSetUploadSS, 2))
+		}
+		if len(a.AvailMeanCopies) > 0 {
+			means := make([]float64, len(a.AvailMeanCopies))
+			lo, hi := a.AvailMeanCopies[0].Min, a.AvailMeanCopies[0].Max
+			for i, b := range a.AvailMeanCopies {
+				means[i] = b.Mean
+				lo = math.Min(lo, b.Min)
+				hi = math.Max(hi, b.Max)
+			}
+			fmt.Fprintf(w, "  %-24s avail mean-copies: %s seed-band [%.1f .. %.1f]\n", "",
+				analysis.Sparkline(means, 40), lo, hi)
+		}
 	}
+
+	if len(sr.CrossValidation) > 0 {
+		fmt.Fprintf(w, "\n== sim vs live cross-validation: %d pair(s)\n", len(sr.CrossValidation))
+		fmt.Fprintf(w, "# %-20s %-7s %4s %4s  %-14s %-15s %-15s %-15s %s\n",
+			"label", "backend", "runs", "done", "local(s)", "a/b-p50", "c/d-p50", "first/all-p90", "top-up-LS")
+		row := func(backend string, a Aggregate) {
+			fmt.Fprintf(w, "  %-20s %-7s %4d %4d  %-14s %-15s %-15s %-15s %s\n",
+				a.Label, backend, a.Runs, a.Completed,
+				fmtStat(a.LocalDownload, 1), fmtStat(a.EntropyAB, 3), fmtStat(a.EntropyCD, 3),
+				fmtStat(a.FirstPieceRatio, 2), fmtStat(a.TopSetUploadLS, 2))
+		}
+		for _, p := range sr.CrossValidation {
+			row("sim", p.Sim)
+			row("live", p.Live)
+		}
+		fmt.Fprintf(w, "# NOTE: sim local(s) are simulated seconds at catalog scale, live local(s) wall-clock\n")
+		fmt.Fprintf(w, "#       seconds at loopback scale; compare the dimensionless columns, not durations.\n")
+	}
+}
+
+// aggLabel marks live-backend aggregates in suite tables.
+func aggLabel(a Aggregate) string {
+	if a.Live {
+		return a.Label + " (live)"
+	}
+	return a.Label
 }
 
 // fmtStat renders "mean±stddev" at the given precision; "-" when empty.

@@ -1,0 +1,131 @@
+package rarestfirst
+
+// Unit tests for the PR-1 follow-up aggregate extensions: fairness-share
+// stats, availability-series envelopes, the backend split, sim-vs-live
+// pairing, and the aggregate JSONL line. Built on synthetic reports so
+// they run in microseconds.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"rarestfirst/internal/analysis"
+)
+
+// fakeReport builds a minimal report for aggregation tests.
+func fakeReport(label string, live bool, seed int64, topLS float64, avail []AvailPoint) *Report {
+	return &Report{
+		TorrentID: 10,
+		Scenario:  Scenario{Label: label, TorrentID: 10, Live: live, SeedOverride: seed},
+		Entropy: EntropySummary{
+			AOverB: analysis.Summary{N: 1, P20: 0.9, P50: 0.9, P80: 0.9},
+			COverD: analysis.Summary{N: 1, P20: 0.8, P50: 0.8, P80: 0.8},
+		},
+		FairnessUploadLS: []float64{topLS, 1 - topLS},
+		FairnessRecipLS:  []float64{topLS / 2},
+		FairnessUploadSS: []float64{topLS / 4},
+		Availability:     avail,
+	}
+}
+
+func availSeries(means ...float64) []AvailPoint {
+	out := make([]AvailPoint, len(means))
+	for i, m := range means {
+		out[i] = AvailPoint{T: float64(i * 10), Mean: m}
+	}
+	return out
+}
+
+func TestAggregateFairnessAndEnvelope(t *testing.T) {
+	reports := []*Report{
+		fakeReport("x", false, 1, 0.6, availSeries(1, 2, 3, 4)),
+		fakeReport("x", false, 2, 0.8, availSeries(2, 3, 4)), // shorter series
+	}
+	aggs := AggregateReports(reports)
+	if len(aggs) != 1 {
+		t.Fatalf("want one group, got %d", len(aggs))
+	}
+	a := aggs[0]
+	if a.TopSetUploadLS.N != 2 || math.Abs(a.TopSetUploadLS.Mean-0.7) > 1e-12 {
+		t.Fatalf("TopSetUploadLS: %+v", a.TopSetUploadLS)
+	}
+	if a.TopSetRecipLS.N != 2 || math.Abs(a.TopSetRecipLS.Mean-0.35) > 1e-12 {
+		t.Fatalf("TopSetRecipLS: %+v", a.TopSetRecipLS)
+	}
+	if a.TopSetUploadSS.N != 2 || math.Abs(a.TopSetUploadSS.Mean-0.175) > 1e-12 {
+		t.Fatalf("TopSetUploadSS: %+v", a.TopSetUploadSS)
+	}
+	// Envelope truncates to the shortest series and bands point-by-point.
+	if len(a.AvailMeanCopies) != 3 {
+		t.Fatalf("envelope length %d, want 3", len(a.AvailMeanCopies))
+	}
+	b := a.AvailMeanCopies[1]
+	if b.Min != 2 || b.Max != 3 || math.Abs(b.Mean-2.5) > 1e-12 || b.T != 10 {
+		t.Fatalf("band 1: %+v", b)
+	}
+}
+
+func TestCrossValidatePairsByLabelAcrossBackends(t *testing.T) {
+	reports := []*Report{
+		fakeReport("twin", false, 1, 0.5, nil),
+		fakeReport("twin", false, 2, 0.5, nil),
+		fakeReport("twin", true, 1, 0.5, nil),
+		fakeReport("solo-sim", false, 1, 0.5, nil),
+		fakeReport("solo-live", true, 1, 0.5, nil),
+	}
+	aggs := AggregateReports(reports)
+	if len(aggs) != 4 {
+		t.Fatalf("want 4 groups, got %d: %+v", len(aggs), aggs)
+	}
+	pairs := crossValidate(aggs)
+	if len(pairs) != 1 {
+		t.Fatalf("want 1 pair, got %d: %+v", len(pairs), pairs)
+	}
+	p := pairs[0]
+	if p.Label != "twin" || p.Sim.Live || !p.Live.Live || p.Sim.Runs != 2 || p.Live.Runs != 1 {
+		t.Fatalf("pair: %+v", p)
+	}
+}
+
+func TestSuiteTextRendersExtensions(t *testing.T) {
+	reports := []*Report{
+		fakeReport("twin", false, 1, 0.5, availSeries(1, 2)),
+		fakeReport("twin", true, 1, 0.7, availSeries(1, 3)),
+	}
+	aggs := AggregateReports(reports)
+	sr := &SuiteReport{Name: "t", Reports: reports, Aggregates: aggs, CrossValidation: crossValidate(aggs)}
+	var buf bytes.Buffer
+	sr.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"twin (live)", "top-5-set shares", "avail mean-copies", "seed-band",
+		"sim vs live cross-validation", "top-up-LS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarshalAggregateLine(t *testing.T) {
+	a := Aggregate{
+		Label: "x", TorrentID: 10, Live: true, Runs: 2,
+		// NaN must be sanitized exactly like Report.JSONLine does.
+		EntropyAB:       MetricStat{N: 1, Mean: math.NaN()},
+		AvailMeanCopies: []AvailBand{{T: 1, Min: 1, Mean: math.Inf(1), Max: 2}},
+	}
+	line, err := MarshalAggregateLine("live-casestudy", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatalf("unmarshal: %v (%s)", err, line)
+	}
+	if m["Kind"] != "aggregate" || m["Suite"] != "live-casestudy" || m["Label"] != "x" || m["Live"] != true {
+		t.Fatalf("line fields: %s", line)
+	}
+}

@@ -123,16 +123,20 @@ func (r Runner) Run(scs []Scenario) ([]*Report, error) {
 	return reports, errors.Join(errs...)
 }
 
-// RunSuite executes the suite and aggregates its reports.
+// RunSuite executes the suite, aggregates its reports, and — when the
+// suite pairs live scenarios with sim twins under shared labels — derives
+// the sim-vs-live cross-validation section.
 func (r Runner) RunSuite(s Suite) (*SuiteReport, error) {
 	reports, err := r.Run(s.Scenarios)
 	if err != nil {
 		return nil, err
 	}
+	aggs := AggregateReports(reports)
 	return &SuiteReport{
-		Name:        s.Name,
-		Description: s.Description,
-		Reports:     reports,
-		Aggregates:  AggregateReports(reports),
+		Name:            s.Name,
+		Description:     s.Description,
+		Reports:         reports,
+		Aggregates:      aggs,
+		CrossValidation: crossValidate(aggs),
 	}, nil
 }
