@@ -48,6 +48,23 @@ func BenchmarkLargeSwarm(b *testing.B) {
 	benchRun(b, sc)
 }
 
+// BenchmarkHugeSwarm is the intra-swarm sharding stress benchmark: one
+// ~6000-peer torrent-24 swarm per iteration with batched choke-round
+// lanes (PR 4). Besides ns/op, it reports the peak lane batch width —
+// how many same-instant choke rounds the engine overlapped. Each
+// iteration simulates minutes of wall time and peaks above 1 GB of heap,
+// so -short skips it (CI's bench smoke does; the benchtraj snapshot step
+// still measures the same workload once).
+func BenchmarkHugeSwarm(b *testing.B) {
+	if testing.Short() {
+		b.Skip("huge-swarm iteration is minutes long; benchtraj covers it")
+	}
+	b.ReportAllocs()
+	rep := benchRun(b, HugeSwarmScenario())
+	b.ReportMetric(float64(rep.Events.PeakLaneWidth), "peak-lane-width")
+	b.ReportMetric(float64(rep.Events.LaneEvents), "lane-rounds")
+}
+
 // BenchmarkTableI regenerates Table I: it checks the catalog and reports
 // how many of the 26 torrents are runnable end to end at bench scale.
 func BenchmarkTableI(b *testing.B) {

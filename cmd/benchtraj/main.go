@@ -7,13 +7,21 @@
 // Every PR that touches a hot path appends a snapshot, so regressions are
 // a diff away:
 //
-//	go run ./cmd/benchtraj -out BENCH_PR2.json -baseline BENCH_PR1.json
-//	go run ./cmd/benchtraj -check BENCH_PR2.json
+//	go run ./cmd/benchtraj -out BENCH_PR4.json -baseline BENCH_PR2.json
+//	go run ./cmd/benchtraj -check BENCH_PR4.json
+//	go run ./cmd/benchtraj -trajectory
 //
 // -baseline embeds a prior snapshot's results in the new file, so each
 // snapshot carries its own before/after comparison. -check validates that
-// an existing snapshot parses and is complete (the CI smoke job's
-// well-formedness gate).
+// an existing snapshot parses and is well-formed (the CI smoke job's
+// gate). -trajectory loads every committed BENCH_PR*.json, prints the
+// per-benchmark history with deltas, and exits nonzero if the newest
+// snapshot regressed wall time by more than -regress against the previous
+// one — the CI perf gate; -latest appends an uncommitted snapshot (CI's
+// freshly measured BENCH_CI.json) as the newest entry, with a looser
+// tolerance to absorb cross-machine variance. -cpuprofile/-memprofile
+// write pprof profiles of the measurement loop so perf work starts from a
+// profile, not a guess.
 package main
 
 import (
@@ -21,7 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -42,6 +55,12 @@ type Result struct {
 	EventHeapSize int    `json:"event_heap_size"`
 	EventLive     int    `json:"event_live"`
 	TimersReused  uint64 `json:"timers_reused"`
+	// Lane stats (zero unless the case runs with choke-round lanes):
+	// the widest same-instant batch of choke rounds and the number of
+	// lane batches executed — how much intra-swarm parallelism the run
+	// exposed.
+	PeakLaneWidth int    `json:"peak_lane_width,omitempty"`
+	LaneBatches   uint64 `json:"lane_batches,omitempty"`
 }
 
 // Snapshot is the whole BENCH_*.json document.
@@ -67,6 +86,12 @@ func main() {
 	casesFlag := flag.String("cases", "", "comma-separated substrings selecting perf cases (default all)")
 	minTime := flag.Duration("mintime", time.Second, "minimum measurement time per case")
 	maxIters := flag.Int("maxiters", 100, "iteration cap per case")
+	trajectory := flag.Bool("trajectory", false, "print the committed BENCH_PR*.json history with deltas; exit 1 on wall-time regression")
+	trajDir := flag.String("dir", ".", "directory -trajectory scans for BENCH_PR*.json snapshots")
+	latest := flag.String("latest", "", "extra snapshot file -trajectory appends as the newest chain entry (e.g. a freshly measured BENCH_CI.json)")
+	regress := flag.Float64("regress", 0.20, "wall-time regression tolerance for -trajectory (0.20 = +20%)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement loop to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the measurement loop to this file")
 	flag.Parse()
 
 	if *check != "" {
@@ -77,22 +102,50 @@ func main() {
 		fmt.Printf("%s: well-formed snapshot\n", *check)
 		return
 	}
+	if *trajectory {
+		if err := runTrajectory(*trajDir, *latest, *regress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// record uses defers for the profile teardown, so every error path
+	// flushes a valid CPU profile before the exit below.
+	if err := record(*out, *label, *baseline, *casesFlag, *cpuProfile, *memProfile, *minTime, *maxIters); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// record measures the selected perf cases and writes the snapshot,
+// optionally under a CPU profile and followed by a heap profile.
+func record(out, label, baseline, casesFlag, cpuProfile, memProfile string, minTime time.Duration, maxIters int) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	snap := Snapshot{
 		Schema: schemaID,
-		Label:  *label,
+		Label:  label,
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 	}
 	if snap.Label == "" {
-		snap.Label = strings.TrimSuffix(strings.TrimPrefix(*out, "BENCH_"), ".json")
+		snap.Label = strings.TrimSuffix(strings.TrimPrefix(out, "BENCH_"), ".json")
 	}
-	if *baseline != "" {
-		base, err := readSnapshot(*baseline)
+	if baseline != "" {
+		base, err := readSnapshot(baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtraj: baseline %s: %v\n", *baseline, err)
-			os.Exit(1)
+			return fmt.Errorf("baseline %s: %w", baseline, err)
 		}
 		snap.Baseline = map[string]Result{}
 		for _, r := range base.Results {
@@ -102,34 +155,163 @@ func main() {
 	}
 
 	for _, pc := range rarestfirst.PerfCases() {
-		if !selected(pc.Name, *casesFlag) {
+		if !selected(pc.Name, casesFlag) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "benchtraj: running %s...\n", pc.Name)
-		res, err := measure(pc, *minTime, *maxIters)
+		res, err := measure(pc, minTime, maxIters)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", pc.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", pc.Name, err)
 		}
 		fmt.Fprintf(os.Stderr, "benchtraj: %-18s %3d iters  %12.0f ns/op  %10.0f allocs/op  %11.0f B/op  peak heap %d MB\n",
 			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.PeakHeapBytes>>20)
 		snap.Results = append(snap.Results, res)
 	}
 	if len(snap.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchtraj: no cases selected")
-		os.Exit(1)
+		return fmt.Errorf("no cases selected")
 	}
 
 	raw, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchtraj:", err)
-		os.Exit(1)
+		return err
 	}
-	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchtraj:", err)
-		os.Exit(1)
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchtraj: wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "benchtraj: wrote %s\n", out)
+
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtraj: wrote %s\n", memProfile)
+	}
+	return nil
+}
+
+// prLabel matches the committed trajectory snapshots (BENCH_PR4.json ->
+// 4). Ad-hoc snapshots (BENCH_CI.json, scratch files) have no PR number
+// and stay out of the regression chain.
+var prLabel = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// runTrajectory loads every BENCH_PR*.json under dir in PR order —
+// appending the optional latest snapshot file (a freshly measured
+// BENCH_CI.json) as the newest entry — prints each benchmark's ns/op and
+// allocs/op history with deltas between consecutive snapshots, and
+// returns an error if any benchmark in the newest snapshot is more than
+// tol slower than in the previous one.
+func runTrajectory(dir, latest string, tol float64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type chainEntry struct {
+		name string
+		pr   int
+		rows map[string]Result
+	}
+	load := func(path, display string, pr int) (chainEntry, error) {
+		snap, err := readSnapshot(path)
+		if err != nil {
+			return chainEntry{}, fmt.Errorf("%s: %w", display, err)
+		}
+		if snap.Schema != schemaID {
+			return chainEntry{}, fmt.Errorf("%s: schema %q, want %q", display, snap.Schema, schemaID)
+		}
+		ce := chainEntry{name: display, pr: pr, rows: map[string]Result{}}
+		for _, r := range snap.Results {
+			ce.rows[r.Name] = r
+		}
+		return ce, nil
+	}
+	var chain []chainEntry
+	for _, e := range entries {
+		m := prLabel.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		pr, _ := strconv.Atoi(m[1])
+		ce, err := load(filepath.Join(dir, e.Name()), fmt.Sprintf("PR%d", pr), pr)
+		if err != nil {
+			return err
+		}
+		chain = append(chain, ce)
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("no BENCH_PR*.json snapshots in %s", dir)
+	}
+	sort.Slice(chain, func(i, j int) bool { return chain[i].pr < chain[j].pr })
+	if latest != "" {
+		// Refuse a -latest file the scan already loaded: appending it
+		// again would gate the newest snapshot against itself (0% delta)
+		// and silently skip the real newest-vs-previous comparison.
+		if m := prLabel.FindStringSubmatch(filepath.Base(latest)); m != nil {
+			if abs, err := filepath.Abs(latest); err == nil {
+				if dirAbs, err := filepath.Abs(dir); err == nil && filepath.Dir(abs) == dirAbs {
+					return fmt.Errorf("-latest %s is already part of the committed chain; drop the flag", latest)
+				}
+			}
+		}
+		ce, err := load(latest, filepath.Base(latest), chain[len(chain)-1].pr+1)
+		if err != nil {
+			return err
+		}
+		chain = append(chain, ce)
+	}
+
+	seen := map[string]bool{}
+	var names []string
+	for _, ce := range chain {
+		for name := range ce.rows {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		fmt.Printf("%s\n", name)
+		var prev *Result
+		prevName := ""
+		for i, ce := range chain {
+			r, ok := ce.rows[name]
+			if !ok {
+				continue
+			}
+			line := fmt.Sprintf("  %-12s %14.0f ns/op %12.0f allocs/op", ce.name, r.NsPerOp, r.AllocsPerOp)
+			if prev != nil && prev.NsPerOp > 0 {
+				dNs := r.NsPerOp/prev.NsPerOp - 1
+				dAl := 0.0
+				if prev.AllocsPerOp > 0 {
+					dAl = r.AllocsPerOp/prev.AllocsPerOp - 1
+				}
+				line += fmt.Sprintf("   (%+6.1f%% ns, %+6.1f%% allocs)", 100*dNs, 100*dAl)
+				if i == len(chain)-1 && dNs > tol {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %s is %.1f%% slower than %s (tolerance %.0f%%)",
+							name, ce.name, 100*dNs, prevName, 100*tol))
+				}
+			}
+			fmt.Println(line)
+			rr := r
+			prev, prevName = &rr, ce.name
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("wall-time regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("trajectory: %d snapshots, %d benchmarks, newest within %.0f%% of baseline\n",
+		len(chain), len(names), 100*tol)
+	return nil
 }
 
 func selected(name, filter string) bool {
@@ -208,6 +390,8 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 		EventHeapSize: last.Events.HeapSize,
 		EventLive:     last.Events.Live,
 		TimersReused:  last.Events.TimersReused,
+		PeakLaneWidth: last.Events.PeakLaneWidth,
+		LaneBatches:   last.Events.LaneBatches,
 	}, nil
 }
 
@@ -223,8 +407,12 @@ func readSnapshot(path string) (*Snapshot, error) {
 	return &snap, nil
 }
 
-// checkSnapshot is the CI well-formedness gate: the file must parse, carry
-// the current schema and contain a complete result row per perf case.
+// checkSnapshot is the CI well-formedness gate: the file must parse,
+// carry the current schema, and every row it does contain must be a real
+// measurement. Rows are NOT required to cover every current perf case:
+// committed snapshots predate cases added by later PRs (BENCH_PR2.json
+// has no HugeSwarm row), and the trajectory gate handles missing rows by
+// skipping the comparison.
 func checkSnapshot(path string) error {
 	snap, err := readSnapshot(path)
 	if err != nil {
@@ -233,18 +421,24 @@ func checkSnapshot(path string) error {
 	if snap.Schema != schemaID {
 		return fmt.Errorf("schema %q, want %q", snap.Schema, schemaID)
 	}
-	byName := map[string]Result{}
-	for _, r := range snap.Results {
-		byName[r.Name] = r
+	if len(snap.Results) == 0 {
+		return fmt.Errorf("no results")
 	}
+	known := map[string]bool{}
 	for _, pc := range rarestfirst.PerfCases() {
-		r, ok := byName[pc.Name]
-		if !ok {
-			return fmt.Errorf("missing result for case %s", pc.Name)
-		}
+		known[pc.Name] = true
+	}
+	matched := false
+	for _, r := range snap.Results {
 		if r.Iterations <= 0 || r.NsPerOp <= 0 {
-			return fmt.Errorf("case %s: empty measurement", pc.Name)
+			return fmt.Errorf("case %s: empty measurement", r.Name)
 		}
+		if known[r.Name] {
+			matched = true
+		}
+	}
+	if !matched {
+		return fmt.Errorf("no result matches any current perf case")
 	}
 	return nil
 }

@@ -19,12 +19,19 @@ import (
 // local peer set ("each peer maintains a list of the number of copies of
 // each piece in its peer set", §II-C.1). Pieces are bucketed by copy count
 // so that rarest-first picking can scan from the lowest count upward; all
-// updates are O(1).
+// updates are O(1), and cursors over the lowest/highest non-empty bucket
+// plus a running count sum make MinCount, RarestSetSize, RarestSet and
+// Stats O(1) too (amortized for the cursor maintenance) — at 10k-peer
+// scale, copy counts reach the peer-set cap and the old scan from bucket 0
+// walked ~80 empty buckets per query and per pick.
 type Availability struct {
 	counts []int   // copy count per piece
 	bucket [][]int // bucket[c] = piece indices with count c (unordered)
 	pos    []int   // position of piece i inside bucket[counts[i]]
 	peers  int     // number of contributing bitfields
+	minC   int     // lowest non-empty bucket (0 when empty/no pieces)
+	maxC   int     // highest non-empty bucket (0 when empty/no pieces)
+	sum    int64   // sum of all copy counts
 }
 
 // NewAvailability returns an all-zero availability index over n pieces.
@@ -51,7 +58,11 @@ func (a *Availability) Peers() int { return a.peers }
 // Count returns the copy count of piece i.
 func (a *Availability) Count(i int) int { return a.counts[i] }
 
-// move shifts piece i from its current bucket to bucket c.
+// move shifts piece i from its current bucket to bucket c and maintains
+// the min/max cursors and the count sum. Cursor motion is amortized O(1):
+// the min cursor only advances over buckets emptied by Incs and the max
+// cursor only retreats over buckets emptied by Decs, work those same
+// operations paid for creating.
 func (a *Availability) move(i, c int) {
 	old := a.counts[i]
 	b := a.bucket[old]
@@ -66,6 +77,25 @@ func (a *Availability) move(i, c int) {
 	a.bucket[c] = append(a.bucket[c], i)
 	a.pos[i] = len(a.bucket[c]) - 1
 	a.counts[i] = c
+	a.sum += int64(c - old)
+	if c < a.minC {
+		a.minC = c
+	}
+	if c > a.maxC {
+		a.maxC = c
+	}
+	if last == 0 { // bucket[old] just became empty
+		if old == a.minC {
+			for len(a.bucket[a.minC]) == 0 { // stops at bucket[c] at the latest
+				a.minC++
+			}
+		}
+		if old == a.maxC {
+			for a.maxC > 0 && len(a.bucket[a.maxC]) == 0 {
+				a.maxC--
+			}
+		}
+	}
 }
 
 // Inc records one more copy of piece i in the peer set (a HAVE message or
@@ -94,57 +124,42 @@ func (a *Availability) RemovePeer(b *bitfield.Bitfield) {
 }
 
 // MinCount returns the minimum copy count over all pieces (m in the paper's
-// definition of the rarest pieces set).
+// definition of the rarest pieces set). O(1): the min cursor always sits on
+// the lowest non-empty bucket.
 func (a *Availability) MinCount() int {
-	for c, b := range a.bucket {
-		if len(b) > 0 {
-			return c
-		}
+	if len(a.counts) == 0 {
+		return 0
 	}
-	return 0
+	return a.minC
 }
 
 // RarestSetSize returns the number of pieces that are equally rarest —
-// the series plotted in Figs 3 and 6.
+// the series plotted in Figs 3 and 6. O(1).
 func (a *Availability) RarestSetSize() int {
-	for _, b := range a.bucket {
-		if len(b) > 0 {
-			return len(b)
-		}
+	if len(a.counts) == 0 {
+		return 0
 	}
-	return 0
+	return len(a.bucket[a.minC])
 }
 
 // RarestSet appends the indices of the rarest pieces to dst and returns it.
 func (a *Availability) RarestSet(dst []int) []int {
-	for _, b := range a.bucket {
-		if len(b) > 0 {
-			return append(dst, b...)
-		}
+	if len(a.counts) == 0 {
+		return dst
 	}
-	return dst
+	return append(dst, a.bucket[a.minC]...)
 }
 
 // Stats returns the (min, mean, max) copy counts across all pieces — the
-// three series plotted in Figs 2 and 4.
+// three series plotted in Figs 2 and 4. O(1): min/max are the bucket
+// cursors and the mean divides the running integer sum, so the result is
+// bit-identical to the old full scan.
 func (a *Availability) Stats() (min int, mean float64, max int) {
 	n := len(a.counts)
 	if n == 0 {
 		return 0, 0, 0
 	}
-	min = a.counts[0]
-	max = a.counts[0]
-	sum := 0
-	for _, c := range a.counts {
-		if c < min {
-			min = c
-		}
-		if c > max {
-			max = c
-		}
-		sum += c
-	}
-	return min, float64(sum) / float64(n), max
+	return a.minC, float64(a.sum) / float64(n), a.maxC
 }
 
 // PickRarest scans buckets from the lowest copy count and returns a piece
@@ -160,7 +175,10 @@ func (a *Availability) Stats() (min int, mean float64, max int) {
 // per candidate — same distribution, different RNG stream than the old
 // reservoir (a documented reproducibility-contract bump).
 func (a *Availability) PickRarest(rng *rand.Rand, s *PickState) int {
-	for _, b := range a.bucket {
+	for ci := a.minC; ci < len(a.bucket); ci++ {
+		// Buckets below the min cursor are empty by invariant, so starting
+		// the walk at minC visits exactly the buckets the full scan did.
+		b := a.bucket[ci]
 		if len(b) == 0 {
 			continue
 		}

@@ -84,6 +84,35 @@ func (e *Estimator) Rate(now float64) float64 {
 	return e.rate
 }
 
+// RateAt returns the rate Rate(now) would report, without mutating the
+// estimator. Pure reads let concurrent readers (the simulator's parallel
+// choke-round lanes) share one estimator; skipping the aging commit is
+// observable only through later Update calls, which re-age from the last
+// committed observation anyway.
+func (e *Estimator) RateAt(now float64) float64 { return e.RateWith(now, 0) }
+
+// RateWith returns the rate Rate(now) would report if amount extra bytes
+// had just been observed at now, without mutating the estimator. The
+// simulator uses it to fold a flow's not-yet-settled in-flight progress
+// into the choke ordering while keeping the read side effect free.
+func (e *Estimator) RateWith(now float64, amount int64) float64 {
+	if !e.started {
+		if amount == 0 {
+			return 0
+		}
+		// Mirror start(now): the window opens one second before now.
+		return float64(amount)
+	}
+	if now < e.last {
+		now = e.last
+	}
+	rate := e.rate
+	if now > e.rateSince {
+		rate = (rate*(e.last-e.rateSince) + float64(amount)) / (now - e.rateSince)
+	}
+	return rate
+}
+
 // Total returns the total bytes observed.
 func (e *Estimator) Total() int64 { return e.total }
 

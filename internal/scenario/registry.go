@@ -181,6 +181,27 @@ func init() {
 		},
 	})
 	Register(Def{
+		Name: "huge-swarm",
+		Description: "torrent 24 capped at 6000 peers with batched choke-round " +
+			"lanes (intra-swarm sharding): the single-run scale ceiling",
+		Build: func(o Options) []Spec {
+			scale := o.Scale
+			if scale == (torrents.Scale{}) {
+				// Mirrors the public HugeSwarmScale (perf.go), which cannot
+				// be imported from here without a cycle.
+				scale = torrents.Scale{
+					MaxPeers:     6000,
+					MaxContentMB: 24,
+					MaxPieces:    256,
+					Duration:     600,
+					Warmup:       300,
+					Seed:         42,
+				}
+			}
+			return []Spec{{Label: "torrent=24 lanes", TorrentID: 24, Scale: scale, ChokeLanes: true}}
+		},
+	})
+	Register(Def{
 		Name: "livetransfer",
 		Description: "simulator twin of the loopback TCP demo: a four-peer swarm " +
 			"(one fast seed, three leechers) at miniature scale",

@@ -82,6 +82,11 @@ type Spec struct {
 	// repeat runs; it is mixed with the torrent id (see MixSeed), not
 	// used verbatim.
 	SeedOverride int64
+	// ChokeLanes runs the simulated swarm with grid-aligned, batched
+	// choke rounds (swarm.Config.ChokeLanes): the intra-swarm sharding
+	// mode for very large populations. Bit-reproducible, but a different
+	// round schedule than the default staggered rounds.
+	ChokeLanes bool
 
 	// Workload variants beyond the paper's ablation switches. All three
 	// are multipliers applied after the Table I scaling rules; 0 means
@@ -179,6 +184,7 @@ func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
 	if s.AbortScale > 0 {
 		cfg.AbortRate *= s.AbortScale
 	}
+	cfg.ChokeLanes = s.ChokeLanes
 	cfg.FreeRiderFraction = s.FreeRiderFraction
 	cfg.LocalFreeRider = s.LocalFreeRider
 	cfg.SmartSeedServe = s.SmartSeedServe

@@ -10,6 +10,9 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Timer is a handle to a scheduled event; Cancel prevents a pending event
@@ -30,6 +33,12 @@ type Timer struct {
 	index     int  // heap index, -1 once popped
 	pooled    bool // true while parked in the engine's free list
 	eng       *Engine
+
+	// Lane events (AtLane) carry a compute half instead of fn: compute is
+	// the read-only phase, the closure it returns is the mutation phase.
+	// compute != nil marks the timer as a lane event.
+	compute func() func()
+	laneKey int64
 }
 
 // At returns the time the timer is scheduled to fire.
@@ -96,6 +105,14 @@ type EngineStats struct {
 	Reused uint64
 	// Compactions counts lazy-deletion sweeps of the heap.
 	Compactions uint64
+	// PeakLaneWidth is the largest batch of same-timestamp lane events
+	// (AtLane) executed as one unit — the upper bound on how much compute
+	// the lane pool could overlap in a single instant.
+	PeakLaneWidth int
+	// LaneBatches / LaneEvents count executed lane batches and the lane
+	// events they contained (LaneEvents/LaneBatches = mean batch width).
+	LaneBatches uint64
+	LaneEvents  uint64
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -111,6 +128,16 @@ type Engine struct {
 	free        []*Timer
 	reused      uint64
 	compactions uint64
+
+	// Lane execution state: laneWorkers bounds the compute pool (<=1 runs
+	// computes inline), laneBatch/laneApply are per-batch scratch, and the
+	// counters feed EngineStats.
+	laneWorkers int
+	laneBatch   []*Timer
+	laneApply   []func()
+	peakLane    int
+	laneBatches uint64
+	laneEvents  uint64
 }
 
 // NewEngine returns an engine whose randomness derives entirely from seed.
@@ -131,13 +158,37 @@ func (e *Engine) Pending() int { return len(e.heap) - e.dead }
 // Stats returns the scheduler's occupancy counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		HeapSize:     len(e.heap),
-		Live:         len(e.heap) - e.dead,
-		Cancelled:    e.dead,
-		FreeListSize: len(e.free),
-		Reused:       e.reused,
-		Compactions:  e.compactions,
+		HeapSize:      len(e.heap),
+		Live:          len(e.heap) - e.dead,
+		Cancelled:     e.dead,
+		FreeListSize:  len(e.free),
+		Reused:        e.reused,
+		Compactions:   e.compactions,
+		PeakLaneWidth: e.peakLane,
+		LaneBatches:   e.laneBatches,
+		LaneEvents:    e.laneEvents,
 	}
+}
+
+// SetLaneParallelism bounds the pool that runs lane-event compute phases:
+// n <= 1 runs them inline on the engine goroutine (serial mode), n > 1
+// fans a batch's computes across up to n goroutines. Parallelism is pure
+// scheduling: a lane batch's observable effects are identical for every
+// n, because computes must be read-only with respect to shared state and
+// applies always run serially in key order.
+func (e *Engine) SetLaneParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.laneWorkers = n
+}
+
+// LaneParallelism returns the configured lane compute pool bound.
+func (e *Engine) LaneParallelism() int {
+	if e.laneWorkers < 1 {
+		return 1
+	}
+	return e.laneWorkers
 }
 
 // alloc returns a zeroed timer, reusing a recycled one when available.
@@ -160,6 +211,8 @@ func (e *Engine) recycle(t *Timer) {
 		return
 	}
 	t.fn = nil
+	t.compute = nil
+	t.laneKey = 0
 	t.cancelled = false
 	t.pooled = true
 	e.free = append(e.free, t)
@@ -186,6 +239,36 @@ func (e *Engine) After(d float64, fn func()) *Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AtLane schedules a lane event at absolute time t (clamped to now if in
+// the past). Lane events scheduled for the same instant that are adjacent
+// in (time, seq) order — i.e. not interleaved with a plain event at the
+// same timestamp — execute as one batch: every compute runs first against
+// the pre-batch state, then the returned apply closures run serially in
+// ascending (key, seq) order. A compute must therefore be read-only with
+// respect to state shared with other lane events (private state, e.g. a
+// per-peer RNG or choker, is fair game); all shared-state mutation,
+// engine RNG use and rescheduling belongs in the apply closure. A compute
+// may return nil to skip its apply phase.
+//
+// With SetLaneParallelism(n>1) the computes of one batch run concurrently
+// on up to n goroutines; results are indistinguishable from serial mode.
+func (e *Engine) AtLane(t float64, key int64, compute func() func()) *Timer {
+	if compute == nil {
+		panic("sim: AtLane with nil compute")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	timer := e.alloc()
+	timer.at = t
+	timer.seq = e.seq
+	timer.compute = compute
+	timer.laneKey = key
+	heap.Push(&e.heap, timer)
+	return timer
 }
 
 // Reschedule moves a pending timer to absolute time t (clamped to now if
@@ -252,7 +335,103 @@ func (e *Engine) maybeCompact() {
 	e.compactions++
 }
 
-// Step executes the next event. It reports false when the queue is empty.
+// runLaneBatch executes the lane batch starting at first, which has just
+// been popped: it keeps popping lane events scheduled for the same instant
+// (skipping cancelled entries of any kind) until the heap top is a plain
+// event or a later time, runs every compute, then applies serially in
+// ascending (key, seq) order. Apply closures may schedule, reschedule and
+// cancel freely — including cancelling a later member of the same batch,
+// whose apply is then skipped.
+func (e *Engine) runLaneBatch(first *Timer) {
+	batch := append(e.laneBatch[:0], first)
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if top.at != first.at {
+			break
+		}
+		if top.cancelled {
+			heap.Pop(&e.heap)
+			e.dead--
+			e.recycle(top)
+			continue
+		}
+		if top.compute == nil {
+			break
+		}
+		heap.Pop(&e.heap)
+		batch = append(batch, top)
+	}
+	// Key order, not pop order, for both phases: computes are mutually
+	// independent so their order is unobservable, and fixing one order
+	// keeps serial and parallel modes trivially identical.
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].laneKey != batch[j].laneKey {
+			return batch[i].laneKey < batch[j].laneKey
+		}
+		return batch[i].seq < batch[j].seq
+	})
+	e.laneBatch = batch
+
+	applies := e.laneApply
+	if cap(applies) < len(batch) {
+		applies = make([]func(), len(batch))
+	} else {
+		applies = applies[:len(batch)]
+	}
+	e.laneApply = applies
+	if workers := min(e.LaneParallelism(), len(batch)); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					applies[i] = batch[i].compute()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, t := range batch {
+			applies[i] = t.compute()
+		}
+	}
+
+	e.laneBatches++
+	e.laneEvents += uint64(len(batch))
+	if len(batch) > e.peakLane {
+		e.peakLane = len(batch)
+	}
+	for i, t := range batch {
+		if fn := applies[i]; fn != nil && !t.cancelled {
+			fn()
+		}
+		applies[i] = nil
+		e.laneBatch[i] = nil
+		e.recycle(t)
+	}
+}
+
+// fire runs one popped, non-cancelled event — a lane batch seeded by t, or
+// a plain callback — with the clock already advanced to t.at.
+func (e *Engine) fire(t *Timer) {
+	e.now = t.at
+	if t.compute != nil {
+		e.runLaneBatch(t)
+		return
+	}
+	fn := t.fn
+	fn()
+	e.recycle(t)
+}
+
+// Step executes the next event (a whole batch, for batched lane events).
+// It reports false when the queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		t := heap.Pop(&e.heap).(*Timer)
@@ -261,10 +440,7 @@ func (e *Engine) Step() bool {
 			e.recycle(t)
 			continue
 		}
-		e.now = t.at
-		fn := t.fn
-		fn()
-		e.recycle(t)
+		e.fire(t)
 		return true
 	}
 	return false
@@ -285,10 +461,7 @@ func (e *Engine) Run(until float64) {
 			break
 		}
 		heap.Pop(&e.heap)
-		e.now = next.at
-		fn := next.fn
-		fn()
-		e.recycle(next)
+		e.fire(next)
 	}
 	if e.now < until {
 		e.now = until

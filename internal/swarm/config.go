@@ -167,6 +167,20 @@ type Config struct {
 	// the paper ran 8 h. Sampling cadence for Figs 2–6 is SampleEvery.
 	Duration    float64
 	SampleEvery float64
+
+	// ChokeLanes aligns every peer's choke rounds to the global
+	// ChokeInterval grid and executes each instant's rounds as one batched
+	// sim.Engine lane: the per-peer decision (rate snapshot + choke
+	// algorithm) runs as a read-only compute phase fanned across
+	// LaneWorkers goroutines, then the state transitions apply serially in
+	// peer-id order. Results are bit-identical for any LaneWorkers value;
+	// they differ from the default (staggered, interleaved) rounds, so the
+	// flag is off everywhere the reproducibility goldens cover and on for
+	// the 10k-peer scale runs.
+	ChokeLanes bool
+	// LaneWorkers bounds the lane compute pool; 0 means runtime.NumCPU().
+	// It is pure scheduling — never part of the reproducibility contract.
+	LaneWorkers int
 }
 
 // DefaultConfig returns mainline defaults on a small steady torrent.
@@ -218,5 +232,7 @@ func (c *Config) validate() {
 		panic("swarm: bad duration")
 	case math.IsNaN(c.ArrivalRate) || c.ArrivalRate < 0:
 		panic("swarm: bad arrival rate")
+	case c.LaneWorkers < 0:
+		panic("swarm: negative lane workers")
 	}
 }

@@ -1,6 +1,8 @@
 package swarm
 
 import (
+	"math/rand"
+
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/rate"
@@ -96,6 +98,14 @@ type Peer struct {
 	connScratch []*conn
 	pickState   core.PickState
 	chokeFn     func()
+
+	// Lane-mode state (Config.ChokeLanes; see lanes.go): the private
+	// choke RNG a parallel compute phase may advance, the compute/apply
+	// halves bound once, and the unchoke set parked between them.
+	chokeRNG    *rand.Rand
+	laneFn      func() func()
+	laneApplyFn func()
+	laneUnchoke []core.PeerID
 }
 
 // hasPiece reports whether the peer owns piece i (requester-backed for the

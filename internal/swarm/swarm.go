@@ -1,6 +1,8 @@
 package swarm
 
 import (
+	"math/rand"
+	"runtime"
 	"sort"
 
 	"rarestfirst/internal/bitfield"
@@ -82,6 +84,13 @@ func New(cfg Config) *Swarm {
 		cfg.BlockSize = metainfo.BlockSize
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.ChokeLanes {
+		w := cfg.LaneWorkers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+		eng.SetLaneParallelism(w)
+	}
 	s := &Swarm{
 		cfg:            cfg,
 		geo:            cfg.Geometry(),
@@ -232,9 +241,20 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 	s.trk.register(p)
 	s.globalAvail.AddPeer(p.have)
 	s.announce(p)
-	// Stagger the first choke round within the interval so rounds don't
-	// all fire in lockstep.
-	p.chokeTimer = s.eng.After(s.eng.RNG().Float64()*core.ChokeInterval, p.chokeFn)
+	if s.cfg.ChokeLanes {
+		// Lane mode: rounds sit on the global ChokeInterval grid so every
+		// instant's rounds form one engine batch, and each peer draws its
+		// choke randomness from a private stream (the shared engine RNG
+		// cannot be consulted from a parallel compute phase).
+		p.chokeRNG = rand.New(&laneSource{state: laneSeed(s.cfg.Seed, id)})
+		p.laneFn = p.chokeLaneCompute
+		p.laneApplyFn = p.applyLaneRound
+		p.chokeTimer = s.eng.AtLane(nextChokeInstant(s.eng.Now()), int64(id), p.laneFn)
+	} else {
+		// Stagger the first choke round within the interval so rounds
+		// don't all fire in lockstep.
+		p.chokeTimer = s.eng.After(s.eng.RNG().Float64()*core.ChokeInterval, p.chokeFn)
+	}
 	// Pre-completion abort process.
 	if !isSeed && s.cfg.AbortRate > 0 && !isLocal {
 		s.scheduleAbortCheck(p)

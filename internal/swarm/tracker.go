@@ -13,6 +13,10 @@ import (
 type tracker struct {
 	alive []*Peer
 	index map[core.PeerID]int
+	// scratch is the partial-Fisher–Yates index buffer sample reuses; at
+	// 10k live peers a fresh slice per announce was ~80 kB of garbage per
+	// joining peer.
+	scratch []int
 }
 
 func newTracker() *tracker {
@@ -59,8 +63,12 @@ func (t *tracker) sample(rng *rand.Rand, n int, exclude core.PeerID) []*Peer {
 		}
 		return out
 	}
-	// Partial Fisher–Yates over a scratch index slice.
-	idx := make([]int, m)
+	// Partial Fisher–Yates over the reusable scratch index slice; the
+	// walk, draws and output are identical to the old per-call allocation.
+	if cap(t.scratch) < m {
+		t.scratch = make([]int, m)
+	}
+	idx := t.scratch[:m]
 	for i := range idx {
 		idx[i] = i
 	}

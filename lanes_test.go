@@ -1,0 +1,85 @@
+package rarestfirst
+
+// Lane-mode determinism at the report level: the parallel choke-round
+// lanes (Scenario.ChokeLanes) must produce byte-identical reports whether
+// the compute phases run serially or on a worker pool. This is the
+// acceptance gate for the intra-swarm sharding path — reportDigest covers
+// every derived statistic, so any scheduling leak shows up here.
+
+import (
+	"testing"
+
+	"rarestfirst/internal/swarm"
+)
+
+// laneDigest runs one lane-mode scenario with an explicit worker count
+// and returns its report digest. LaneWorkers is internal scheduling (not
+// part of Scenario), so the config is built and overridden directly.
+func laneDigest(t *testing.T, sc Scenario, workers int) string {
+	t.Helper()
+	cfg, spec, err := buildConfig(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LaneWorkers = workers
+	res := swarm.New(cfg).Run()
+	return reportDigest(t, buildReport(sc, spec, cfg, res))
+}
+
+func TestChokeLanesParallelMatchesSerial(t *testing.T) {
+	for _, sc := range []Scenario{
+		{Label: "lanes-steady-t7", TorrentID: 7, Scale: BenchScale(), ChokeLanes: true, SeedOverride: 5},
+		{Label: "lanes-freeride-t14", TorrentID: 14, Scale: BenchScale(), ChokeLanes: true, FreeRiderFraction: 0.2, SeedOverride: 6},
+	} {
+		serial := laneDigest(t, sc, 1)
+		parallel := laneDigest(t, sc, 8)
+		if serial != parallel {
+			t.Errorf("%s: parallel lane digest %s != serial digest %s", sc.Label, parallel, serial)
+		}
+		if again := laneDigest(t, sc, 8); again != parallel {
+			t.Errorf("%s: parallel lane run not reproducible: %s vs %s", sc.Label, again, parallel)
+		}
+	}
+}
+
+// TestHugeSwarmSuiteMatchesPerfCase pins the registry's "huge-swarm"
+// default to the perf harness's HugeSwarmScenario: the registry cannot
+// import perf.go (package cycle) and hand-copies the scale, so this test
+// is what keeps `swarmsim -suite huge-swarm` running the exact workload
+// BENCH_PR*.json records.
+func TestHugeSwarmSuiteMatchesPerfCase(t *testing.T) {
+	s, err := NewSuite("huge-swarm", SuiteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Scenarios) != 1 {
+		t.Fatalf("huge-swarm expands to %d scenarios, want 1", len(s.Scenarios))
+	}
+	got, want := s.Scenarios[0], HugeSwarmScenario()
+	if got.Scale != want.Scale {
+		t.Fatalf("registry scale %+v != HugeSwarmScale %+v", got.Scale, want.Scale)
+	}
+	if got.TorrentID != want.TorrentID || !got.ChokeLanes {
+		t.Fatalf("registry spec %+v drifted from HugeSwarmScenario %+v", got, want)
+	}
+}
+
+// TestChokeLanesReportObservability checks the lane stats surface through
+// the public report, and that non-lane runs keep them zero (so existing
+// JSONL serializations are unchanged via omitempty).
+func TestChokeLanesReportObservability(t *testing.T) {
+	rep, err := Run(Scenario{Label: "lanes-obs", TorrentID: 14, Scale: BenchScale(), ChokeLanes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events.PeakLaneWidth < 2 || rep.Events.LaneBatches == 0 || rep.Events.LaneEvents == 0 {
+		t.Fatalf("lane stats missing from report: %+v", rep.Events)
+	}
+	plain, err := Run(Scenario{Label: "no-lanes", TorrentID: 14, Scale: BenchScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Events.PeakLaneWidth != 0 || plain.Events.LaneBatches != 0 || plain.Events.LaneEvents != 0 {
+		t.Fatalf("non-lane run reports lane stats: %+v", plain.Events)
+	}
+}

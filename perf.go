@@ -27,6 +27,28 @@ func LargeSwarmScenario() Scenario {
 	return Scenario{Label: "large-swarm", TorrentID: 7, Scale: LargeSwarmScale()}
 }
 
+// HugeSwarmScale is the intra-swarm sharding stress scale: thousands of
+// peers in ONE simulated swarm, an order of magnitude past LargeSwarmScale.
+// Runs at this scale require Scenario.ChokeLanes; they exist to measure
+// the single-run ceiling, not to regenerate paper figures.
+func HugeSwarmScale() Scale {
+	return Scale{
+		MaxPeers:     6000,
+		MaxContentMB: 24,
+		MaxPieces:    256,
+		Duration:     600,
+		Warmup:       300,
+		Seed:         42,
+	}
+}
+
+// HugeSwarmScenario is the 10k-peer-class benchmark: Table I's torrent 24
+// (11038 peers in the paper) capped at HugeSwarmScale, with batched
+// choke-round lanes on. BENCH_*.json tracks it from PR 4 on.
+func HugeSwarmScenario() Scenario {
+	return Scenario{Label: "huge-swarm", TorrentID: 24, Scale: HugeSwarmScale(), ChokeLanes: true}
+}
+
 // PerfCase names one benchmark scenario of the trajectory harness.
 type PerfCase struct {
 	Name     string
@@ -34,11 +56,13 @@ type PerfCase struct {
 }
 
 // PerfCases returns the harness's scenario set: the large-swarm stress
-// case plus bench-scale steady and transient runs (cheap canaries that
-// catch regressions the big run would hide in noise).
+// case, the huge-swarm lane-sharded case, plus bench-scale steady and
+// transient runs (cheap canaries that catch regressions the big runs
+// would hide in noise).
 func PerfCases() []PerfCase {
 	return []PerfCase{
 		{Name: "LargeSwarm", Scenario: LargeSwarmScenario()},
+		{Name: "HugeSwarm", Scenario: HugeSwarmScenario()},
 		{Name: "SteadyT7Bench", Scenario: Scenario{Label: "steady-t7", TorrentID: 7, Scale: BenchScale()}},
 		{Name: "TransientT8Bench", Scenario: Scenario{Label: "transient-t8", TorrentID: 8, Scale: BenchScale()}},
 	}

@@ -139,6 +139,17 @@ type Scenario struct {
 	// reproduces the same run.
 	SeedOverride int64
 
+	// ChokeLanes aligns every simulated peer's choke rounds to the global
+	// 10-second grid and executes each instant's rounds as one parallel
+	// lane batch (decisions computed concurrently, transitions applied
+	// serially in peer-id order) — the intra-swarm sharding that makes
+	// 10k-peer single runs tractable. Runs stay bit-reproducible and are
+	// identical for any worker count, but the round schedule differs from
+	// the default staggered rounds, so this is off unless a scenario opts
+	// in (the huge-swarm perf cases do). The omitempty tag keeps existing
+	// report serializations unchanged.
+	ChokeLanes bool `json:",omitempty"`
+
 	// Workload variants beyond the paper's ablation switches: multipliers
 	// applied after the Table I scaling rules. 0 means "unchanged", so the
 	// zero Scenario still reproduces the catalog exactly.
@@ -170,6 +181,7 @@ func (sc Scenario) toSpec() scenario.Spec {
 		BoostNewcomers:      sc.BoostNewcomers,
 		InitialSeedLeavesAt: sc.InitialSeedLeavesAt,
 		SeedOverride:        sc.SeedOverride,
+		ChokeLanes:          sc.ChokeLanes,
 		ChurnScale:          sc.ChurnScale,
 		SeedUpScale:         sc.SeedUpScale,
 		AbortScale:          sc.AbortScale,
@@ -194,6 +206,7 @@ func fromSpec(sp scenario.Spec) Scenario {
 		BoostNewcomers:      sp.BoostNewcomers,
 		InitialSeedLeavesAt: sp.InitialSeedLeavesAt,
 		SeedOverride:        sp.SeedOverride,
+		ChokeLanes:          sp.ChokeLanes,
 		ChurnScale:          sp.ChurnScale,
 		SeedUpScale:         sp.SeedUpScale,
 		AbortScale:          sp.AbortScale,

@@ -127,6 +127,14 @@ type EventHeapStats struct {
 	// Compactions counts lazy-deletion sweeps.
 	TimersReused uint64
 	Compactions  uint64
+	// PeakLaneWidth is the widest same-instant batch of lane choke
+	// rounds the scheduler executed (0 unless Scenario.ChokeLanes) —
+	// the observable measure of intra-swarm parallelism. LaneBatches
+	// and LaneEvents count the batches and the rounds they carried.
+	// omitempty keeps pre-lane report serializations byte-identical.
+	PeakLaneWidth int    `json:",omitempty"`
+	LaneBatches   uint64 `json:",omitempty"`
+	LaneEvents    uint64 `json:",omitempty"`
 }
 
 // buildReport derives every figure's statistics from the run result.
@@ -149,11 +157,14 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 		FinishedFree:         res.FinishedFree,
 		MsgCounts:            col.MsgCounts,
 		Events: EventHeapStats{
-			HeapSize:     res.Events.HeapSize,
-			Live:         res.Events.Live,
-			Cancelled:    res.Events.Cancelled,
-			TimersReused: res.Events.Reused,
-			Compactions:  res.Events.Compactions,
+			HeapSize:      res.Events.HeapSize,
+			Live:          res.Events.Live,
+			Cancelled:     res.Events.Cancelled,
+			TimersReused:  res.Events.Reused,
+			Compactions:   res.Events.Compactions,
+			PeakLaneWidth: res.Events.PeakLaneWidth,
+			LaneBatches:   res.Events.LaneBatches,
+			LaneEvents:    res.Events.LaneEvents,
 		},
 	}
 	for _, e := range col.Events {
