@@ -65,6 +65,33 @@ func BenchmarkHugeSwarm(b *testing.B) {
 	b.ReportMetric(float64(rep.Events.LaneEvents), "lane-rounds")
 }
 
+// BenchmarkFlashCrowd20k is the deferred-retiming stress benchmark: over
+// 20k peers flood one torrent-24 swarm within minutes (PR 5). It reports
+// total peers (arrived leechers + initial seeds), the widest dirty-node
+// retime shard one flush fanned out, and the flush count — the direct
+// measure of how much redundant per-churn retiming the dirty set elides.
+// Like HugeSwarm, -short skips it (each iteration is minutes of wall
+// clock; the benchtraj snapshot measures the same workload).
+func BenchmarkFlashCrowd20k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("flash-crowd iteration is minutes long; benchtraj covers it")
+	}
+	b.ReportAllocs()
+	sc := FlashCrowd20kScenario()
+	rep := benchRun(b, sc)
+	cfg, _, err := buildConfig(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := rep.Arrivals + cfg.InitialSeeds
+	if peers < 20000 {
+		b.Fatalf("flash crowd only reached %d peers, want >= 20000", peers)
+	}
+	b.ReportMetric(float64(peers), "peers")
+	b.ReportMetric(float64(rep.Events.PeakShardWidth), "peak-retime-shard")
+	b.ReportMetric(float64(rep.Events.DirtyFlushes), "dirty-flushes")
+}
+
 // BenchmarkTableI regenerates Table I: it checks the catalog and reports
 // how many of the 26 torrents are runnable end to end at bench scale.
 func BenchmarkTableI(b *testing.B) {

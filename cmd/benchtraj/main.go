@@ -61,6 +61,11 @@ type Result struct {
 	// exposed.
 	PeakLaneWidth int    `json:"peak_lane_width,omitempty"`
 	LaneBatches   uint64 `json:"lane_batches,omitempty"`
+	// Deferred-retiming stats (PR 5): flush passes with work, the node
+	// shards they processed and the widest single-flush dirty set.
+	DirtyFlushes   uint64 `json:"dirty_flushes,omitempty"`
+	RetimeBatches  uint64 `json:"retime_batches,omitempty"`
+	PeakShardWidth int    `json:"peak_shard_width,omitempty"`
 }
 
 // Snapshot is the whole BENCH_*.json document.
@@ -84,6 +89,7 @@ func main() {
 	baseline := flag.String("baseline", "", "prior snapshot whose results to embed as the baseline")
 	check := flag.String("check", "", "validate an existing snapshot file and exit")
 	casesFlag := flag.String("cases", "", "comma-separated substrings selecting perf cases (default all)")
+	benchFlag := flag.String("bench", "", "regexp selecting benchmarks by name, like `go test -bench`: restricts which perf cases record measures AND which rows -trajectory prints and gates (default all)")
 	minTime := flag.Duration("mintime", time.Second, "minimum measurement time per case")
 	maxIters := flag.Int("maxiters", 100, "iteration cap per case")
 	trajectory := flag.Bool("trajectory", false, "print the committed BENCH_PR*.json history with deltas; exit 1 on wall-time regression")
@@ -94,6 +100,15 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the measurement loop to this file")
 	flag.Parse()
 
+	var benchRE *regexp.Regexp
+	if *benchFlag != "" {
+		var err error
+		if benchRE, err = regexp.Compile(*benchFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: bad -bench regexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *check != "" {
 		if err := checkSnapshot(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtraj: %s: %v\n", *check, err)
@@ -103,7 +118,7 @@ func main() {
 		return
 	}
 	if *trajectory {
-		if err := runTrajectory(*trajDir, *latest, *regress); err != nil {
+		if err := runTrajectory(*trajDir, *latest, *regress, benchRE); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
 			os.Exit(1)
 		}
@@ -111,7 +126,7 @@ func main() {
 	}
 	// record uses defers for the profile teardown, so every error path
 	// flushes a valid CPU profile before the exit below.
-	if err := record(*out, *label, *baseline, *casesFlag, *cpuProfile, *memProfile, *minTime, *maxIters); err != nil {
+	if err := record(*out, *label, *baseline, *casesFlag, benchRE, *cpuProfile, *memProfile, *minTime, *maxIters); err != nil {
 		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
 		os.Exit(1)
 	}
@@ -119,7 +134,7 @@ func main() {
 
 // record measures the selected perf cases and writes the snapshot,
 // optionally under a CPU profile and followed by a heap profile.
-func record(out, label, baseline, casesFlag, cpuProfile, memProfile string, minTime time.Duration, maxIters int) error {
+func record(out, label, baseline, casesFlag string, benchRE *regexp.Regexp, cpuProfile, memProfile string, minTime time.Duration, maxIters int) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -156,6 +171,9 @@ func record(out, label, baseline, casesFlag, cpuProfile, memProfile string, minT
 
 	for _, pc := range rarestfirst.PerfCases() {
 		if !selected(pc.Name, casesFlag) {
+			continue
+		}
+		if benchRE != nil && !benchRE.MatchString(pc.Name) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "benchtraj: running %s...\n", pc.Name)
@@ -205,8 +223,10 @@ var prLabel = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
 // BENCH_CI.json) as the newest entry — prints each benchmark's ns/op and
 // allocs/op history with deltas between consecutive snapshots, and
 // returns an error if any benchmark in the newest snapshot is more than
-// tol slower than in the previous one.
-func runTrajectory(dir, latest string, tol float64) error {
+// tol slower than in the previous one. A non-nil benchRE restricts both
+// the printout and the gate to matching benchmark names (the bench-smoke
+// job uses it to gate only the swarm-scale benchmarks).
+func runTrajectory(dir, latest string, tol float64, benchRE *regexp.Regexp) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -269,11 +289,17 @@ func runTrajectory(dir, latest string, tol float64) error {
 	var names []string
 	for _, ce := range chain {
 		for name := range ce.rows {
+			if benchRE != nil && !benchRE.MatchString(name) {
+				continue
+			}
 			if !seen[name] {
 				seen[name] = true
 				names = append(names, name)
 			}
 		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmark matches -bench")
 	}
 	sort.Strings(names)
 
@@ -381,17 +407,20 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 
 	n := float64(iters)
 	return Result{
-		Name:          pc.Name,
-		Iterations:    iters,
-		NsPerOp:       float64(elapsed.Nanoseconds()) / n,
-		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / n,
-		PeakHeapBytes: peak.Load(),
-		EventHeapSize: last.Events.HeapSize,
-		EventLive:     last.Events.Live,
-		TimersReused:  last.Events.TimersReused,
-		PeakLaneWidth: last.Events.PeakLaneWidth,
-		LaneBatches:   last.Events.LaneBatches,
+		Name:           pc.Name,
+		Iterations:     iters,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / n,
+		PeakHeapBytes:  peak.Load(),
+		EventHeapSize:  last.Events.HeapSize,
+		EventLive:      last.Events.Live,
+		TimersReused:   last.Events.TimersReused,
+		PeakLaneWidth:  last.Events.PeakLaneWidth,
+		LaneBatches:    last.Events.LaneBatches,
+		DirtyFlushes:   last.Events.DirtyFlushes,
+		RetimeBatches:  last.Events.RetimeBatches,
+		PeakShardWidth: last.Events.PeakShardWidth,
 	}, nil
 }
 

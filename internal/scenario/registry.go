@@ -202,6 +202,33 @@ func init() {
 		},
 	})
 	Register(Def{
+		Name: "flash-crowd-20k",
+		Description: "torrent 8 under a 48x churn stream: one slow seed takes " +
+			">20k arrivals in four simulated minutes (deferred-retime stress, PR 5)",
+		Build: func(o Options) []Spec {
+			scale := o.Scale
+			if scale == (torrents.Scale{}) {
+				// Mirrors the public FlashCrowdScale (perf.go), which cannot
+				// be imported from here without a cycle.
+				scale = torrents.Scale{
+					MaxPeers:     20000,
+					MaxContentMB: 24,
+					MaxPieces:    256,
+					Duration:     180,
+					Warmup:       60,
+					Seed:         42,
+				}
+			}
+			return []Spec{{
+				Label:      "torrent=8 flash-crowd",
+				TorrentID:  8,
+				Scale:      scale,
+				ChokeLanes: true,
+				ChurnScale: 48,
+			}}
+		},
+	})
+	Register(Def{
 		Name: "livetransfer",
 		Description: "simulator twin of the loopback TCP demo: a four-peer swarm " +
 			"(one fast seed, three leechers) at miniature scale",

@@ -101,6 +101,11 @@ type EngineStats struct {
 	Cancelled int
 	// FreeListSize is the number of recycled timers ready for reuse.
 	FreeListSize int
+	// TimerPoolCap is the high-water-derived bound on FreeListSize: popped
+	// timers beyond it are dropped for the GC instead of pooled, so a
+	// flash-crowd peak does not pin a peak-sized free list for the rest of
+	// a long run.
+	TimerPoolCap int
 	// Reused counts scheduling calls served from the free list.
 	Reused uint64
 	// Compactions counts lazy-deletion sweeps of the heap.
@@ -123,11 +128,20 @@ type Engine struct {
 	rng  *rand.Rand
 
 	// dead counts cancelled entries still occupying heap slots (lazy
-	// deletion); free is the timer recycling pool.
+	// deletion); free is the timer recycling pool, capped at a fraction of
+	// peakHeap (the heap-occupancy high-water mark) so a burst of churn
+	// does not pin a burst-sized pool forever.
 	dead        int
 	free        []*Timer
+	peakHeap    int
 	reused      uint64
 	compactions uint64
+
+	// postEvent, when set, runs after every fired event (after a whole
+	// batch, for batched lane events) and before the next pop in
+	// Step/Run — the deferred-work flush point clients like Net use to
+	// settle rate retiming exactly once per event.
+	postEvent func()
 
 	// Lane execution state: laneWorkers bounds the compute pool (<=1 runs
 	// computes inline), laneBatch/laneApply are per-batch scratch, and the
@@ -162,6 +176,7 @@ func (e *Engine) Stats() EngineStats {
 		Live:          len(e.heap) - e.dead,
 		Cancelled:     e.dead,
 		FreeListSize:  len(e.free),
+		TimerPoolCap:  e.timerPoolCap(),
 		Reused:        e.reused,
 		Compactions:   e.compactions,
 		PeakLaneWidth: e.peakLane,
@@ -191,6 +206,27 @@ func (e *Engine) LaneParallelism() int {
 	return e.laneWorkers
 }
 
+// SetPostEventHook installs fn to run after every fired event (once per
+// whole batch for batched lane events) and before the next pop in Step and
+// Run. It is the deferred-work flush point: Net registers its dirty-node
+// retime flush here, so flow churn inside one event settles exactly once
+// no matter how many flows the event touched. fn must not fire events but
+// may schedule, reschedule and cancel timers freely. Only one hook is
+// supported; installing a new one replaces the old.
+func (e *Engine) SetPostEventHook(fn func()) { e.postEvent = fn }
+
+// timerPoolCap bounds the free list at a quarter of the heap-occupancy
+// high-water mark (plus a small floor so tiny runs still pool).
+func (e *Engine) timerPoolCap() int { return e.peakHeap/4 + 64 }
+
+// notePush records heap growth for the pool cap's high-water mark; call
+// after every heap.Push.
+func (e *Engine) notePush() {
+	if len(e.heap) > e.peakHeap {
+		e.peakHeap = len(e.heap)
+	}
+}
+
 // alloc returns a zeroed timer, reusing a recycled one when available.
 func (e *Engine) alloc() *Timer {
 	if n := len(e.free); n > 0 {
@@ -205,9 +241,13 @@ func (e *Engine) alloc() *Timer {
 }
 
 // recycle returns a popped timer to the free list unless its fn
-// re-scheduled it back into the heap.
+// re-scheduled it back into the heap; beyond the high-water cap the timer
+// is dropped for the GC instead.
 func (e *Engine) recycle(t *Timer) {
 	if t.index != -1 {
+		return
+	}
+	if len(e.free) >= e.timerPoolCap() {
 		return
 	}
 	t.fn = nil
@@ -230,6 +270,7 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 	timer.seq = e.seq
 	timer.fn = fn
 	heap.Push(&e.heap, timer)
+	e.notePush()
 	return timer
 }
 
@@ -268,6 +309,7 @@ func (e *Engine) AtLane(t float64, key int64, compute func() func()) *Timer {
 	timer.compute = compute
 	timer.laneKey = key
 	heap.Push(&e.heap, timer)
+	e.notePush()
 	return timer
 }
 
@@ -304,6 +346,7 @@ func (e *Engine) Reschedule(t *Timer, at float64) {
 		return
 	}
 	heap.Push(&e.heap, t)
+	e.notePush()
 }
 
 // maybeCompact sweeps cancelled entries out of the heap once they occupy
@@ -423,16 +466,24 @@ func (e *Engine) fire(t *Timer) {
 	e.now = t.at
 	if t.compute != nil {
 		e.runLaneBatch(t)
-		return
+	} else {
+		fn := t.fn
+		fn()
+		e.recycle(t)
 	}
-	fn := t.fn
-	fn()
-	e.recycle(t)
+	if e.postEvent != nil {
+		e.postEvent()
+	}
 }
 
 // Step executes the next event (a whole batch, for batched lane events).
-// It reports false when the queue is empty.
+// It reports false when the queue is empty. Deferred work queued outside
+// event context (e.g. flows started before the first event) is flushed via
+// the post-event hook before the pop.
 func (e *Engine) Step() bool {
+	if e.postEvent != nil {
+		e.postEvent()
+	}
 	for len(e.heap) > 0 {
 		t := heap.Pop(&e.heap).(*Timer)
 		if t.cancelled {
@@ -449,6 +500,9 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue is empty or the next event is after
 // `until`; the clock is finally advanced to `until` if it got that far.
 func (e *Engine) Run(until float64) {
+	if e.postEvent != nil {
+		e.postEvent()
+	}
 	for len(e.heap) > 0 {
 		next := e.heap[0]
 		if next.cancelled {

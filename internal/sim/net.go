@@ -3,6 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node (peer) in the fluid network.
@@ -36,12 +39,28 @@ type link struct {
 	attached   bool
 }
 
-// node carries a peer's access-link capacities and its active flows.
+// node carries a peer's access-link capacities, its active flow lists and
+// its dirty-set membership epoch. The per-direction fair shares — the only
+// node state the retime compute phase reads per flow — live in the
+// separate dense Net.shares slice so a flush's inner loop walks a compact
+// array instead of dragging the flow-list headers through the cache.
 type node struct {
 	upCap   float64 // bytes/second; math.Inf(1) = uncapped
 	downCap float64
 	upFlows flowList
 	dnFlows flowList
+	// dirtyAt == Net.epoch marks the node as a member of the current
+	// dirty set (deferred mode only).
+	dirtyAt uint64
+}
+
+// nodeShare is the hot per-node retiming state: the per-flow fair share of
+// each direction's capacity (cap / live flow count), maintained
+// incrementally on every attach/detach. A flow's rate is
+// min(shares[from].up, shares[to].dn) — two loads and a min, no division,
+// which is what the parallel retime flush spends its time on.
+type nodeShare struct {
+	up, dn float64
 }
 
 func (l *flowList) pushBack(f *Flow) {
@@ -98,6 +117,14 @@ type Flow struct {
 	// links are the intrusive hooks in the endpoints' flow lists
 	// (dirUp = uploader's list, dirDn = downloader's list).
 	links [2]link
+	// eta is the flush scratch: the compute phase stores the freshly
+	// computed time-to-completion here and the serial apply phase turns it
+	// into a timer (re)schedule.
+	eta float64
+	// flushedAt == Net.epoch once the current flush has (re)scheduled this
+	// flow's timer — the apply-phase dedupe for flows whose two endpoints
+	// are both dirty.
+	flushedAt uint64
 	// finishFn is the completion-timer callback, bound once per Flow
 	// object and reused across pool recycles.
 	finishFn func()
@@ -118,17 +145,72 @@ func (f *Flow) Remaining(now float64) float64 {
 	return rem
 }
 
-// Rate returns the flow's current fluid rate in bytes/second.
+// Rate returns the flow's current fluid rate in bytes/second. In the
+// default deferred-retime mode the value is exact as of the last flush
+// (the end of the previous event); same-instant churn lands at the next
+// flush, before simulated time advances.
 func (f *Flow) Rate() float64 { return f.rate }
+
+// NetStats exposes the fluid model's deferred-retiming counters for the
+// benchmark harness: how often the dirty set was flushed, how much work
+// each flush carried, and the flow-pool occupancy bounds.
+type NetStats struct {
+	// DirtyFlushes counts flush passes that retimed at least one node
+	// (clean per-event flushes are free and uncounted).
+	DirtyFlushes uint64
+	// RetimeBatches counts node shards processed across all flushes: each
+	// dirty node is one batch whose flows are re-timed as a unit.
+	// RetimeBatches/DirtyFlushes is the mean shard width.
+	RetimeBatches uint64
+	// PeakShardWidth is the widest dirty-node set a single flush fanned
+	// across the retime workers — the per-event parallelism upper bound.
+	PeakShardWidth int
+	// PeakLiveFlows is the high-water mark of concurrently active flows.
+	PeakLiveFlows int
+	// FlowPoolCap is the high-water-derived bound on the flow free list:
+	// recycled flows beyond it are dropped for the GC, so a flash-crowd
+	// peak does not pin a peak-sized pool for the rest of a long run.
+	FlowPoolCap int
+	// FlowPoolSize is the current free-list occupancy.
+	FlowPoolSize int
+}
 
 // Net is the fluid bandwidth model. All methods must be called from engine
 // event context (single-threaded).
+//
+// Retiming is deferred by default: flow churn (StartFlow, Cancel, natural
+// completion) only marks the two endpoints dirty, and the engine's
+// post-event hook flushes the dirty set once per event — recomputing every
+// affected flow's rate exactly once no matter how many times its endpoints
+// were touched, then (re)scheduling completion timers serially in node-ID
+// order so heap sequence assignment is deterministic for any worker count.
+// SetEagerRetime(true) restores the PR 2 retime-on-every-churn behaviour;
+// it exists as the property-test oracle.
 type Net struct {
-	eng   *Engine
-	nodes []*node
-	// free is the Flow recycling pool (see the Flow lifetime contract).
-	free []*Flow
+	eng    *Engine
+	nodes  []node
+	shares []nodeShare
+	// free is the Flow recycling pool (see the Flow lifetime contract),
+	// capped at a fraction of peakLive.
+	free     []*Flow
+	live     int
+	peakLive int
+
+	// Deferred-retime state: the dirty node set of the current epoch and
+	// the flush counters behind Stats.
+	eager         bool
+	epoch         uint64
+	dirty         []NodeID
+	dirtyFlushes  uint64
+	retimeBatches uint64
+	peakShard     int
 }
+
+// laneRetimeMinShards is the dirty-set width below which a flush runs
+// inline even when the engine has a lane worker pool: per-event flushes
+// are typically two to four nodes wide and goroutine fan-out would cost
+// more than the walk.
+const laneRetimeMinShards = 64
 
 // allocFlow returns a reset flow, reusing a recycled one when available.
 func (n *Net) allocFlow() *Flow {
@@ -143,15 +225,51 @@ func (n *Net) allocFlow() *Flow {
 	return f
 }
 
-// recycleFlow returns a detached, done flow to the pool.
+// flowPoolCap bounds the free list at a quarter of the live-flow
+// high-water mark (plus a small floor so tiny runs still pool).
+func (n *Net) flowPoolCap() int { return n.peakLive/4 + 64 }
+
+// recycleFlow returns a detached, done flow to the pool, or drops it for
+// the GC once the pool is at its high-water cap.
 func (n *Net) recycleFlow(f *Flow) {
 	f.onDone = nil
+	if len(n.free) >= n.flowPoolCap() {
+		return
+	}
 	n.free = append(n.free, f)
 }
 
-// NewNet returns an empty network bound to the engine.
+// NewNet returns an empty network bound to the engine and registers its
+// deferred-retime flush as the engine's post-event hook.
 func NewNet(eng *Engine) *Net {
-	return &Net{eng: eng}
+	n := &Net{eng: eng, epoch: 1}
+	eng.SetPostEventHook(n.Flush)
+	return n
+}
+
+// SetEagerRetime toggles the retained eager retiming path: every churn
+// immediately re-times all flows at both endpoints, exactly as before the
+// deferred flush existed. It is the reference oracle for the
+// deferred-mode property and fuzz tests, not a production mode. Toggling
+// with flows in flight is a programming error (pending dirty marks would
+// be stranded), so it panics unless the network is idle.
+func (n *Net) SetEagerRetime(eager bool) {
+	if n.live != 0 || len(n.dirty) != 0 {
+		panic("sim: SetEagerRetime with active flows")
+	}
+	n.eager = eager
+}
+
+// Stats returns the deferred-retiming and pool counters.
+func (n *Net) Stats() NetStats {
+	return NetStats{
+		DirtyFlushes:   n.dirtyFlushes,
+		RetimeBatches:  n.retimeBatches,
+		PeakShardWidth: n.peakShard,
+		PeakLiveFlows:  n.peakLive,
+		FlowPoolCap:    n.flowPoolCap(),
+		FlowPoolSize:   len(n.free),
+	}
 }
 
 // AddNode registers a node with the given up/down capacities in
@@ -163,12 +281,13 @@ func (n *Net) AddNode(upCap, downCap float64) NodeID {
 	if downCap <= 0 {
 		downCap = math.Inf(1)
 	}
-	n.nodes = append(n.nodes, &node{
+	n.nodes = append(n.nodes, node{
 		upCap:   upCap,
 		downCap: downCap,
 		upFlows: flowList{dir: dirUp},
 		dnFlows: flowList{dir: dirDn},
 	})
+	n.shares = append(n.shares, nodeShare{})
 	return NodeID(len(n.nodes) - 1)
 }
 
@@ -180,6 +299,54 @@ func (n *Net) ActiveUploads(id NodeID) int { return n.nodes[id].upFlows.n }
 
 // ActiveDownloads returns the number of flows currently entering id.
 func (n *Net) ActiveDownloads(id NodeID) int { return n.nodes[id].dnFlows.n }
+
+// attach links f into both endpoints' lists and refreshes their shares.
+func (n *Net) attach(f *Flow) {
+	up := &n.nodes[f.from]
+	dn := &n.nodes[f.to]
+	up.upFlows.pushBack(f)
+	dn.dnFlows.pushBack(f)
+	n.shares[f.from].up = up.upCap / float64(up.upFlows.n)
+	n.shares[f.to].dn = dn.downCap / float64(dn.dnFlows.n)
+}
+
+// detachFlow unlinks f from both endpoints' lists and refreshes their
+// shares (a direction with zero flows keeps a stale share; it is never
+// read, because rates are only computed for attached flows).
+func (n *Net) detachFlow(f *Flow) {
+	up := &n.nodes[f.from]
+	dn := &n.nodes[f.to]
+	up.upFlows.remove(f)
+	dn.dnFlows.remove(f)
+	if k := up.upFlows.n; k > 0 {
+		n.shares[f.from].up = up.upCap / float64(k)
+	}
+	if k := dn.dnFlows.n; k > 0 {
+		n.shares[f.to].dn = dn.downCap / float64(k)
+	}
+}
+
+// markDirty adds id to the current epoch's dirty set (deferred mode).
+func (n *Net) markDirty(id NodeID) {
+	if n.nodes[id].dirtyAt == n.epoch {
+		return
+	}
+	n.nodes[id].dirtyAt = n.epoch
+	n.dirty = append(n.dirty, id)
+}
+
+// churn records flow-count change at both endpoints: eager mode re-times
+// immediately (the oracle path), deferred mode marks dirty for the
+// post-event flush.
+func (n *Net) churn(f *Flow) {
+	if n.eager {
+		n.retimeNode(f.from)
+		n.retimeNode(f.to)
+		return
+	}
+	n.markDirty(f.from)
+	n.markDirty(f.to)
+}
 
 // StartFlow begins transferring bytes from one node to another, invoking
 // onDone (in event context) when the last byte arrives.
@@ -198,10 +365,12 @@ func (n *Net) StartFlow(from, to NodeID, bytes float64, onDone func()) *Flow {
 	f.lastUpdate = n.eng.Now()
 	f.onDone = onDone
 	f.done = false
-	n.nodes[from].upFlows.pushBack(f)
-	n.nodes[to].dnFlows.pushBack(f)
-	n.retimeNode(from)
-	n.retimeNode(to)
+	n.live++
+	if n.live > n.peakLive {
+		n.peakLive = n.live
+	}
+	n.attach(f)
+	n.churn(f)
 	return f
 }
 
@@ -211,9 +380,7 @@ func (f *Flow) detach() {
 		f.timer.Cancel()
 		f.timer = nil
 	}
-	n := f.net
-	n.nodes[f.from].upFlows.remove(f)
-	n.nodes[f.to].dnFlows.remove(f)
+	f.net.detachFlow(f)
 }
 
 // Cancel aborts the flow; onDone is not invoked. Safe on completed flows.
@@ -224,8 +391,8 @@ func (f *Flow) Cancel() {
 	f.done = true
 	f.detach()
 	n := f.net
-	n.retimeNode(f.from)
-	n.retimeNode(f.to)
+	n.live--
+	n.churn(f)
 	n.recycleFlow(f)
 }
 
@@ -240,11 +407,145 @@ func (f *Flow) settle(now float64) {
 	}
 }
 
-// retimeNode recomputes the rate and completion time of every flow touching
-// id. Counts at the far endpoints are unchanged by definition, so only
-// these flows need work.
+// Flush re-times every flow touching a dirty node and clears the dirty
+// set. The engine invokes it as the post-event hook — once per plain
+// event and once per same-instant lane batch — so it normally needs no
+// explicit calls; tests and direct Net drivers may call it to settle
+// timers before inspecting engine state. A clean flush is a nil check.
+//
+// The pass has two phases. The compute phase settles each affected flow
+// at the current instant and recomputes its rate and ETA — pure per-flow
+// writes with read-only shared state, fanned across the engine's lane
+// worker pool sharded by NodeID for wide flushes (a flow whose endpoints
+// are both dirty is owned by its uploader's shard, so no flow is touched
+// by two workers). The apply phase then (re)schedules completion timers
+// serially in ascending node-ID order, walking each node's flow lists in
+// insertion order with epoch-based dedupe, so heap sequence assignment —
+// and with it same-instant tie-breaking — is byte-identical for any
+// worker count.
+func (n *Net) Flush() {
+	if len(n.dirty) == 0 {
+		return
+	}
+	now := n.eng.Now()
+	slices.Sort(n.dirty)
+	n.dirtyFlushes++
+	n.retimeBatches += uint64(len(n.dirty))
+	if len(n.dirty) > n.peakShard {
+		n.peakShard = len(n.dirty)
+	}
+
+	if workers := min(n.eng.LaneParallelism(), len(n.dirty)); workers > 1 && len(n.dirty) >= laneRetimeMinShards {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(n.dirty) {
+						return
+					}
+					n.computeShard(n.dirty[i], now)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, id := range n.dirty {
+			nd := &n.nodes[id]
+			for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
+				n.applyRetime(f, now)
+			}
+			for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
+				n.applyRetime(f, now)
+			}
+		}
+	} else {
+		// Serial fast path: fuse compute and apply into one walk. The
+		// visit order and dedupe are exactly the two-phase apply's, and
+		// computeFlow's result does not depend on when it runs within the
+		// flush (shares are fixed, settle is idempotent at one instant),
+		// so the schedule — and the run — is bit-identical to the
+		// parallel path.
+		for _, id := range n.dirty {
+			nd := &n.nodes[id]
+			for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
+				n.retimeFused(f, now)
+			}
+			for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
+				n.retimeFused(f, now)
+			}
+		}
+	}
+	n.dirty = n.dirty[:0]
+	n.epoch++
+}
+
+// retimeFused is the serial flush's one-pass compute+apply for a single
+// flow, with the same epoch dedupe applyRetime uses.
+func (n *Net) retimeFused(f *Flow, now float64) {
+	if f.flushedAt == n.epoch {
+		return
+	}
+	f.flushedAt = n.epoch
+	n.computeFlow(f, now)
+	if f.timer == nil {
+		f.timer = n.eng.After(f.eta, f.finishFn)
+		return
+	}
+	n.eng.Reschedule(f.timer, now+f.eta)
+}
+
+// computeShard is one dirty node's compute phase: settle, new rate and
+// ETA for every flow the shard owns. A download whose uploader is also
+// dirty belongs to the uploader's shard (skip here), so each flow is
+// written by exactly one worker.
+func (n *Net) computeShard(id NodeID, now float64) {
+	nd := &n.nodes[id]
+	for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
+		n.computeFlow(f, now)
+	}
+	for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
+		if n.nodes[f.from].dirtyAt == n.epoch {
+			continue
+		}
+		n.computeFlow(f, now)
+	}
+}
+
+// computeFlow settles f at now and refreshes its rate and ETA from the
+// precomputed endpoint shares.
+func (n *Net) computeFlow(f *Flow, now float64) {
+	f.settle(now)
+	f.rate = math.Min(n.shares[f.from].up, n.shares[f.to].dn)
+	if math.IsInf(f.rate, 1) {
+		f.eta = 0
+		return
+	}
+	f.eta = f.remaining / f.rate
+}
+
+// applyRetime (re)schedules f's completion timer from the ETA the compute
+// phase stored, once per flush (flows with two dirty endpoints appear in
+// two walks).
+func (n *Net) applyRetime(f *Flow, now float64) {
+	if f.flushedAt == n.epoch {
+		return
+	}
+	f.flushedAt = n.epoch
+	if f.timer == nil {
+		f.timer = n.eng.After(f.eta, f.finishFn)
+		return
+	}
+	n.eng.Reschedule(f.timer, now+f.eta)
+}
+
+// retimeNode is the eager oracle: recompute the rate and completion time
+// of every flow touching id, immediately. Counts at the far endpoints are
+// unchanged by definition, so only these flows need work.
 func (n *Net) retimeNode(id NodeID) {
-	nd := n.nodes[id]
+	nd := &n.nodes[id]
 	for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
 		n.retimeFlow(f)
 	}
@@ -258,21 +559,12 @@ func (n *Net) retimeNode(id NodeID) {
 // allocates nor leaves cancelled entries in the event heap.
 func (n *Net) retimeFlow(f *Flow) {
 	now := n.eng.Now()
-	f.settle(now)
-	up := n.nodes[f.from]
-	dn := n.nodes[f.to]
-	upShare := up.upCap / float64(up.upFlows.n)
-	dnShare := dn.downCap / float64(dn.dnFlows.n)
-	f.rate = math.Min(upShare, dnShare)
-	var eta float64
-	if !math.IsInf(f.rate, 1) {
-		eta = f.remaining / f.rate
-	}
+	n.computeFlow(f, now)
 	if f.timer == nil {
-		f.timer = n.eng.After(eta, f.finishFn)
+		f.timer = n.eng.After(f.eta, f.finishFn)
 		return
 	}
-	n.eng.Reschedule(f.timer, now+eta)
+	n.eng.Reschedule(f.timer, now+f.eta)
 }
 
 func (n *Net) finish(f *Flow) {
@@ -285,8 +577,8 @@ func (n *Net) finish(f *Flow) {
 	// it) and unlink from both endpoints.
 	f.timer = nil
 	f.detach()
-	n.retimeNode(f.from)
-	n.retimeNode(f.to)
+	n.live--
+	n.churn(f)
 	if f.onDone != nil {
 		f.onDone()
 	}

@@ -523,6 +523,8 @@ func TestFlowListOrderAfterRemovals(t *testing.T) {
 
 // TestFlowRetimingLeavesNoGarbage checks the heap does not accumulate
 // cancelled entries under steady rate churn (the PR 2 zero-churn goal).
+// Timer scheduling is deferred to the flush, so the heap is inspected
+// after an explicit Flush (the engine runs one per event on its own).
 func TestFlowRetimingLeavesNoGarbage(t *testing.T) {
 	e := NewEngine(1)
 	n := NewNet(e)
@@ -531,6 +533,7 @@ func TestFlowRetimingLeavesNoGarbage(t *testing.T) {
 		dst := n.AddNode(0, 0)
 		n.StartFlow(up, dst, 1e8, nil) // long flows: lots of retiming
 	}
+	n.Flush()
 	st := e.Stats()
 	if st.Cancelled != 0 {
 		t.Fatalf("retiming left %d cancelled entries in the heap", st.Cancelled)

@@ -31,6 +31,55 @@ func nextChokeInstant(now float64) float64 {
 	return (math.Floor(now/core.ChokeInterval) + 1) * core.ChokeInterval
 }
 
+// Lane key spaces. Choke rounds use the bare peer id (>= 0). The local
+// peer's availability sample rides the same batch under laneKeySample, a
+// negative key, so its read-only snapshot is taken against pre-batch
+// state and commits before any choke apply. Tracker re-announces queued
+// during a batch use reannounceLaneKey — peer id offset past every
+// possible choke key — so when a re-announce lands in a batch with choke
+// rounds (scheduled by an earlier plain event at the same instant) it
+// applies after all of them, in peer-id order.
+const (
+	laneKeySample        = int64(-1)
+	laneKeyReannounceOff = int64(1) << 40
+)
+
+func reannounceLaneKey(id core.PeerID) int64 { return laneKeyReannounceOff + int64(id) }
+
+// sampleLaneCompute is the read-only half of a lane-mode availability
+// sample (local-peer viewpoint stats + global transient/steady
+// indicators, all pure reads); the apply half commits it to the collector
+// and re-arms. Riding the sample on the lane batch instead of a plain
+// timer keeps the 10-second sample tick from splitting the same-instant
+// choke batch in two (a plain event interleaved between lane events ends
+// the batch), which would halve the exposed parallelism at exactly the
+// widest instants.
+func (s *Swarm) sampleLaneCompute() func() {
+	if s.local == nil || s.local.departed {
+		return nil
+	}
+	s.sampleScratch = s.gatherSample()
+	return s.sampleApplyFn
+}
+
+// applySample commits the compute-phase snapshot and re-arms the sampler.
+func (s *Swarm) applySample() {
+	s.col.Sample(s.sampleScratch)
+	s.eng.AtLane(s.eng.Now()+s.cfg.SampleEvery, laneKeySample, s.sampleLaneFn)
+}
+
+// reannounceCompute is trivially read-only: tracker sampling draws from
+// the shared engine RNG, so the whole re-announce belongs in the serial
+// apply phase.
+func (p *Peer) reannounceCompute() func() { return p.reannounceApplyFn }
+
+// applyReannounce clears the queue mark and runs the deferred tracker
+// re-contact (rate-limited and departure-guarded by maybeReannounce).
+func (p *Peer) applyReannounce() {
+	p.reannouncePending = false
+	p.s.maybeReannounce(p)
+}
+
 // laneSource is a splitmix64 rand.Source64. Each peer owns one for its
 // choke decisions in lane mode: 8 bytes of state instead of the ~5 kB a
 // default rand.NewSource carries, which matters when 10k peers each hold
@@ -84,7 +133,7 @@ func (c *conn) pendingOut(now float64) int64 {
 	if c.outFlow == nil {
 		return 0
 	}
-	if rc := c.remote.conns[c.owner.id]; rc != nil {
+	if rc := c.mirror; rc != nil {
 		return rc.pendingIn(now)
 	}
 	return 0
@@ -144,7 +193,7 @@ func (p *Peer) applyLaneRound() {
 	for _, c := range p.connList {
 		p.settleDown(c)
 		if c.outFlow != nil {
-			if rc := c.remote.conns[p.id]; rc != nil {
+			if rc := c.mirror; rc != nil {
 				c.remote.settleDown(rc)
 			}
 		}

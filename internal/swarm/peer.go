@@ -17,6 +17,13 @@ type conn struct {
 	owner  *Peer
 	remote *Peer
 
+	// mirror is the remote side's conn for the same pair, bound at connect
+	// time and nilled at disconnect. Every mirrored state change used to
+	// look it up through remote.conns[owner.id]; at 10k-peer scale those
+	// map probes were ~25% of the run, so the hot paths take this pointer
+	// instead (the map remains the membership/lookup-by-id structure).
+	mirror *conn
+
 	initiatedByOwner bool
 
 	amInterested   bool // owner is interested in remote
@@ -106,6 +113,11 @@ type Peer struct {
 	laneFn      func() func()
 	laneApplyFn func()
 	laneUnchoke []core.PeerID
+	// Deferred tracker re-contact (lane mode): the bound compute/apply
+	// halves and the at-most-one-pending-per-peer mark.
+	reannounceFn      func() func()
+	reannounceApplyFn func()
+	reannouncePending bool
 }
 
 // hasPiece reports whether the peer owns piece i (requester-backed for the
@@ -134,7 +146,7 @@ func (p *Peer) setInterest(c *conn, v bool) {
 	}
 	c.amInterested = v
 	now := p.s.eng.Now()
-	if rc := c.remote.conns[p.id]; rc != nil {
+	if rc := c.mirror; rc != nil {
 		rc.peerInterested = v
 	}
 	if p.isLocal {
@@ -233,7 +245,7 @@ func (p *Peer) requestPiece(c *conn) {
 	c.flowBytes = bytes
 	c.flowSettled = 0
 	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, c.onFlowDone)
-	if uc := u.conns[p.id]; uc != nil {
+	if uc := c.mirror; uc != nil {
 		uc.outFlow = c.inFlow
 	}
 }
@@ -260,7 +272,7 @@ func (p *Peer) requestBlock(c *conn) {
 	c.flowBytes = bytes
 	c.flowSettled = 0
 	c.inFlow = s.net.StartFlow(u.node, p.node, bytes, c.onFlowDone)
-	if uc := u.conns[p.id]; uc != nil {
+	if uc := c.mirror; uc != nil {
 		uc.outFlow = c.inFlow
 	}
 }
@@ -282,7 +294,7 @@ func (p *Peer) settleDown(c *conn) {
 	c.flowSettled += float64(delta)
 	c.bytesIn += delta
 	c.inEst.Update(now, delta)
-	if uc := c.remote.conns[p.id]; uc != nil {
+	if uc := c.mirror; uc != nil {
 		uc.bytesOut += delta
 		uc.outEst.Update(now, delta)
 	}
@@ -296,7 +308,7 @@ func (p *Peer) settleDown(c *conn) {
 
 // clearFlow drops the flow pointers on both ends after settle.
 func (p *Peer) clearFlow(c *conn) {
-	if uc := c.remote.conns[p.id]; uc != nil && uc.outFlow == c.inFlow {
+	if uc := c.mirror; uc != nil && uc.outFlow == c.inFlow {
 		uc.outFlow = nil
 	}
 	c.inFlow = nil
@@ -394,7 +406,7 @@ func (p *Peer) completePiece(idx int) {
 	p.connScratch = snapshot
 	for _, c := range snapshot {
 		n := c.remote
-		nc := n.conns[p.id]
+		nc := c.mirror
 		if nc == nil {
 			continue
 		}
@@ -502,7 +514,7 @@ func (p *Peer) runChokeRound() {
 	for _, c := range p.connList {
 		p.settleDown(c)
 		if c.outFlow != nil {
-			if rc := c.remote.conns[p.id]; rc != nil {
+			if rc := c.mirror; rc != nil {
 				c.remote.settleDown(rc)
 			}
 		}
@@ -551,7 +563,7 @@ func (p *Peer) applyChoke(c *conn, unchoke bool) {
 	s := p.s
 	now := s.eng.Now()
 	c.amUnchoking = unchoke
-	rc := c.remote.conns[p.id]
+	rc := c.mirror
 	if rc != nil {
 		rc.peerUnchoking = unchoke
 	}

@@ -35,6 +35,12 @@ type Swarm struct {
 	// availCache memoises availablePieces.
 	availCache []int
 
+	// Lane-mode sampling state: the compute/apply halves bound once and
+	// the snapshot parked between them (see lanes.go).
+	sampleLaneFn  func() func()
+	sampleApplyFn func()
+	sampleScratch trace.AvailSample
+
 	// seedServeCount[i] counts initial-seed serve STARTS of piece i; it
 	// drives the smart-serve policy. seedServeDone[i] counts COMPLETED
 	// deliveries and feeds the A4 duplicate metric (resumed transfers
@@ -75,6 +81,9 @@ type Result struct {
 	// run (heap size vs live events, timer-pool reuse) — the benchmark
 	// harness's view of the PR 2 hot-path rewrite.
 	Events sim.EngineStats
+	// Net is the fluid model's deferred-retiming and flow-pool counters
+	// (dirty flushes, retime batches, peak shard width) — the PR 5 view.
+	Net sim.NetStats
 }
 
 // New builds a swarm from cfg; call Run to execute it.
@@ -249,6 +258,8 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 		p.chokeRNG = rand.New(&laneSource{state: laneSeed(s.cfg.Seed, id)})
 		p.laneFn = p.chokeLaneCompute
 		p.laneApplyFn = p.applyLaneRound
+		p.reannounceFn = p.reannounceCompute
+		p.reannounceApplyFn = p.applyReannounce
 		p.chokeTimer = s.eng.AtLane(nextChokeInstant(s.eng.Now()), int64(id), p.laneFn)
 	} else {
 		// Stagger the first choke round within the interval so rounds
@@ -300,6 +311,27 @@ func (s *Swarm) maybeReannounce(p *Peer) {
 	s.announce(p)
 }
 
+// queueReannounce is the lane-aware entry point for tracker re-contacts
+// triggered by connection teardown. Outside lane mode it runs the
+// re-announce synchronously, exactly as before. In lane mode it defers
+// the re-announce onto its own same-instant lane batch: a choke apply
+// that disconnects dozens of peers would otherwise interleave announce
+// work (engine-RNG tracker samples, connects) into the middle of the
+// round sequence; queued as lane events, the re-announces of one instant
+// execute as one batch after the rounds, in peer-id order, at most once
+// per peer per instant.
+func (s *Swarm) queueReannounce(p *Peer) {
+	if !s.cfg.ChokeLanes {
+		s.maybeReannounce(p)
+		return
+	}
+	if p.departed || p.reannouncePending {
+		return
+	}
+	p.reannouncePending = true
+	s.eng.AtLane(s.eng.Now(), reannounceLaneKey(p.id), p.reannounceFn)
+}
+
 // connect establishes the bidirectional connection a->b (a initiates).
 func (s *Swarm) connect(a, b *Peer) {
 	if a == b || a.departed || b.departed || a.connectedTo(b) {
@@ -320,6 +352,7 @@ func (s *Swarm) connect(a, b *Peer) {
 	cb := &conn{owner: b, remote: a}
 	cb.inEst.Init(0)
 	cb.outEst.Init(0)
+	ca.mirror, cb.mirror = cb, ca
 	// Bind each side's flow-completion callback once; every request on the
 	// connection reuses it (block granularity for the local peer, piece
 	// granularity for remote peers).
@@ -380,14 +413,17 @@ func (s *Swarm) disconnect(a, b *Peer) {
 	delete(b.conns, a.id)
 	removeConn(&a.connList, ca)
 	removeConn(&b.connList, cb)
+	// Sever the mirror pointers so a stale handle (e.g. in a teardown
+	// snapshot) degrades to the same nil the map lookup used to return.
+	ca.mirror, cb.mirror = nil, nil
 	if a.isLocal {
 		s.col.PeerLeft(int(b.id), now)
 	}
 	if b.isLocal {
 		s.col.PeerLeft(int(a.id), now)
 	}
-	s.maybeReannounce(a)
-	s.maybeReannounce(b)
+	s.queueReannounce(a)
+	s.queueReannounce(b)
 	// A cancelled in-flight piece is requestable again from other peers.
 	a.retryRequests()
 	b.retryRequests()
@@ -526,6 +562,7 @@ func (s *Swarm) Run() *Result {
 	res := &Result{
 		Collector:       s.col,
 		Events:          s.eng.Stats(),
+		Net:             s.net.Stats(),
 		Arrivals:        s.arrivals,
 		FinishedContrib: s.finishedContrib,
 		FinishedFree:    s.finishedFree,
@@ -567,25 +604,45 @@ func (s *Swarm) RareCount() int {
 	return n
 }
 
+// gatherSample reads one availability snapshot from the local peer's
+// viewpoint plus the global transient/steady indicators. Pure reads: it
+// is safe to call from a lane compute phase.
+func (s *Swarm) gatherSample() trace.AvailSample {
+	min, mean, max := s.local.avail.Stats()
+	return trace.AvailSample{
+		T:          s.eng.Now(),
+		Min:        min,
+		Mean:       mean,
+		Max:        max,
+		RarestSize: s.local.avail.RarestSetSize(),
+		PeerSet:    len(s.local.connList),
+		GlobalMin:  s.globalAvail.MinCount(),
+		GlobalRare: s.RareCount(),
+	}
+}
+
 // scheduleSample records periodic availability snapshots from the local
-// peer's viewpoint (Figs 2–6) plus global transient/steady indicators.
+// peer's viewpoint (Figs 2–6) plus global transient/steady indicators. In
+// lane mode the tick rides the engine's lane batches (sampleLaneCompute)
+// so a sample falling on a choke-grid instant joins that instant's batch
+// instead of splitting it.
 func (s *Swarm) scheduleSample() {
+	if s.cfg.ChokeLanes {
+		s.sampleLaneFn = s.sampleLaneCompute
+		s.sampleApplyFn = s.applySample
+		if s.local == nil || s.local.departed {
+			return
+		}
+		s.col.Sample(s.gatherSample()) // join-instant sample, as in plain mode
+		s.eng.AtLane(s.eng.Now()+s.cfg.SampleEvery, laneKeySample, s.sampleLaneFn)
+		return
+	}
 	var tick func()
 	tick = func() {
 		if s.local == nil || s.local.departed {
 			return
 		}
-		min, mean, max := s.local.avail.Stats()
-		s.col.Sample(trace.AvailSample{
-			T:          s.eng.Now(),
-			Min:        min,
-			Mean:       mean,
-			Max:        max,
-			RarestSize: s.local.avail.RarestSetSize(),
-			PeerSet:    len(s.local.connList),
-			GlobalMin:  s.globalAvail.MinCount(),
-			GlobalRare: s.RareCount(),
-		})
+		s.col.Sample(s.gatherSample())
 		s.eng.After(s.cfg.SampleEvery, tick)
 	}
 	tick()

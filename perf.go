@@ -49,6 +49,42 @@ func HugeSwarmScenario() Scenario {
 	return Scenario{Label: "huge-swarm", TorrentID: 24, Scale: HugeSwarmScale(), ChokeLanes: true}
 }
 
+// FlashCrowdScale is the deferred-retiming stress scale: a four-minute
+// window into which a churn-scaled Poisson stream pours over twenty
+// thousand peers. Built on torrent 8 — the paper's flash-crowd /
+// transient case study — whose config keeps the warmup as given (steady
+// torrents floor it at two download generations, which would stretch one
+// iteration into a ~100k-peer hour-long run).
+func FlashCrowdScale() Scale {
+	return Scale{
+		MaxPeers:     20000,
+		MaxContentMB: 24,
+		MaxPieces:    256,
+		Duration:     180,
+		Warmup:       60,
+		Seed:         42,
+	}
+}
+
+// flashCrowdChurnScale multiplies torrent 8's transient arrival rate
+// (~1.8/s at FlashCrowdScale) up to a genuine flash crowd: ~86 peers/s,
+// >20k total arrivals inside the four simulated minutes.
+const flashCrowdChurnScale = 48
+
+// FlashCrowd20kScenario is the 100k-peer-direction benchmark: one slow
+// initial seed against a flash-crowd arrival of >20k leechers, lane mode
+// on — the workload whose per-instant flow churn the deferred retime
+// flush exists for. BENCH_*.json tracks it from PR 5 on.
+func FlashCrowd20kScenario() Scenario {
+	return Scenario{
+		Label:      "flash-crowd-20k",
+		TorrentID:  8,
+		Scale:      FlashCrowdScale(),
+		ChokeLanes: true,
+		ChurnScale: flashCrowdChurnScale,
+	}
+}
+
 // PerfCase names one benchmark scenario of the trajectory harness.
 type PerfCase struct {
 	Name     string
@@ -63,6 +99,7 @@ func PerfCases() []PerfCase {
 	return []PerfCase{
 		{Name: "LargeSwarm", Scenario: LargeSwarmScenario()},
 		{Name: "HugeSwarm", Scenario: HugeSwarmScenario()},
+		{Name: "FlashCrowd20k", Scenario: FlashCrowd20kScenario()},
 		{Name: "SteadyT7Bench", Scenario: Scenario{Label: "steady-t7", TorrentID: 7, Scale: BenchScale()}},
 		{Name: "TransientT8Bench", Scenario: Scenario{Label: "transient-t8", TorrentID: 8, Scale: BenchScale()}},
 	}

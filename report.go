@@ -102,6 +102,10 @@ type Report struct {
 	MeanDownloadFree    float64
 	FinishedContrib     int
 	FinishedFree        int
+	// Arrivals counts every leecher that ever joined (initial population
+	// plus the churn stream) — the flash-crowd benchmarks' population
+	// measure.
+	Arrivals int
 
 	// MsgCounts tallies the local peer's control-plane events (interest
 	// transitions, choke transitions, HAVEs observed) — the message-log
@@ -135,6 +139,19 @@ type EventHeapStats struct {
 	PeakLaneWidth int    `json:",omitempty"`
 	LaneBatches   uint64 `json:",omitempty"`
 	LaneEvents    uint64 `json:",omitempty"`
+	// Deferred-retiming counters from the fluid model (sim.NetStats):
+	// DirtyFlushes counts post-event flush passes that re-timed at least
+	// one node, RetimeBatches the node shards they processed (mean shard
+	// width = RetimeBatches/DirtyFlushes), and PeakShardWidth the widest
+	// dirty-node set one flush fanned across the retime workers.
+	DirtyFlushes   uint64 `json:",omitempty"`
+	RetimeBatches  uint64 `json:",omitempty"`
+	PeakShardWidth int    `json:",omitempty"`
+	// TimerPoolCap / FlowPoolCap are the high-water-derived bounds on the
+	// scheduler's timer free list and the fluid model's flow free list —
+	// what keeps a flash-crowd peak from pinning peak-sized pools.
+	TimerPoolCap int `json:",omitempty"`
+	FlowPoolCap  int `json:",omitempty"`
 }
 
 // buildReport derives every figure's statistics from the run result.
@@ -155,16 +172,22 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 		MeanDownloadFree:     res.MeanDownloadFree,
 		FinishedContrib:      res.FinishedContrib,
 		FinishedFree:         res.FinishedFree,
+		Arrivals:             res.Arrivals,
 		MsgCounts:            col.MsgCounts,
 		Events: EventHeapStats{
-			HeapSize:      res.Events.HeapSize,
-			Live:          res.Events.Live,
-			Cancelled:     res.Events.Cancelled,
-			TimersReused:  res.Events.Reused,
-			Compactions:   res.Events.Compactions,
-			PeakLaneWidth: res.Events.PeakLaneWidth,
-			LaneBatches:   res.Events.LaneBatches,
-			LaneEvents:    res.Events.LaneEvents,
+			HeapSize:       res.Events.HeapSize,
+			Live:           res.Events.Live,
+			Cancelled:      res.Events.Cancelled,
+			TimersReused:   res.Events.Reused,
+			Compactions:    res.Events.Compactions,
+			PeakLaneWidth:  res.Events.PeakLaneWidth,
+			LaneBatches:    res.Events.LaneBatches,
+			LaneEvents:     res.Events.LaneEvents,
+			DirtyFlushes:   res.Net.DirtyFlushes,
+			RetimeBatches:  res.Net.RetimeBatches,
+			PeakShardWidth: res.Net.PeakShardWidth,
+			TimerPoolCap:   res.Events.TimerPoolCap,
+			FlowPoolCap:    res.Net.FlowPoolCap,
 		},
 	}
 	for _, e := range col.Events {
