@@ -92,6 +92,36 @@ func BenchmarkFlashCrowd20k(b *testing.B) {
 	b.ReportMetric(float64(rep.Events.DirtyFlushes), "dirty-flushes")
 }
 
+// BenchmarkMegaSwarm is the 100k-peer milestone benchmark (PR 6): a
+// flash-crowd stream pours over one hundred thousand leechers into one
+// torrent-8 swarm with every large-scale lever on — choke lanes, the
+// sharded event heap and batched HAVE availability updates. It reports
+// total peers, the largest single keyed subheap (the number sharding
+// keeps flat while a monolithic heap's peak would scale with the swarm)
+// and the loser-tree merge pop count. Each iteration is minutes of wall
+// clock and tens of GB of heap, so -short skips it and CI's bench-smoke
+// and fresh-record steps never run it (7 GB runners); the BENCH_*.json
+// snapshot is recorded on a large-memory host via cmd/benchtraj.
+func BenchmarkMegaSwarm(b *testing.B) {
+	if testing.Short() {
+		b.Skip("mega-swarm iteration needs minutes and ~10 GB; benchtraj on a big host covers it")
+	}
+	b.ReportAllocs()
+	sc := MegaSwarmScenario()
+	rep := benchRun(b, sc)
+	cfg, _, err := buildConfig(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := rep.Arrivals + cfg.InitialSeeds
+	if peers < 100000 {
+		b.Fatalf("mega swarm only reached %d peers, want >= 100000", peers)
+	}
+	b.ReportMetric(float64(peers), "peers")
+	b.ReportMetric(float64(rep.Events.PeakShardHeap), "peak-shard-heap")
+	b.ReportMetric(float64(rep.Events.MergePops), "merge-pops")
+}
+
 // BenchmarkTableI regenerates Table I: it checks the catalog and reports
 // how many of the 26 torrents are runnable end to end at bench scale.
 func BenchmarkTableI(b *testing.B) {

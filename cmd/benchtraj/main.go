@@ -66,6 +66,19 @@ type Result struct {
 	DirtyFlushes   uint64 `json:"dirty_flushes,omitempty"`
 	RetimeBatches  uint64 `json:"retime_batches,omitempty"`
 	PeakShardWidth int    `json:"peak_shard_width,omitempty"`
+	// PeakRSSBytes is the process's high-water resident set (getrusage)
+	// after the case ran — the memory number the 100k-peer milestone is
+	// gated on. Cumulative across a run of cases (RSS never shrinks on
+	// Linux), so only the growth between consecutive rows is attributable
+	// to one case; recorded per row because the case order is fixed.
+	// 0 on platforms without a usable ru_maxrss.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
+	// Sharded-heap stats (PR 6): keyed subheap count, the largest single
+	// keyed subheap, and the events delivered through the loser-tree
+	// merge.
+	Shards        int    `json:"shards,omitempty"`
+	PeakShardHeap int    `json:"peak_shard_heap,omitempty"`
+	MergePops     uint64 `json:"merge_pops,omitempty"`
 }
 
 // Snapshot is the whole BENCH_*.json document.
@@ -96,6 +109,7 @@ func main() {
 	trajDir := flag.String("dir", ".", "directory -trajectory scans for BENCH_PR*.json snapshots")
 	latest := flag.String("latest", "", "extra snapshot file -trajectory appends as the newest chain entry (e.g. a freshly measured BENCH_CI.json)")
 	regress := flag.Float64("regress", 0.20, "wall-time regression tolerance for -trajectory (0.20 = +20%)")
+	regressHeap := flag.Float64("regress-heap", 0.20, "peak-heap regression tolerance for -trajectory (0.20 = +20%); rows without a peak-heap measurement are skipped")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement loop to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the measurement loop to this file")
 	flag.Parse()
@@ -118,7 +132,7 @@ func main() {
 		return
 	}
 	if *trajectory {
-		if err := runTrajectory(*trajDir, *latest, *regress, benchRE); err != nil {
+		if err := runTrajectory(*trajDir, *latest, *regress, *regressHeap, benchRE); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
 			os.Exit(1)
 		}
@@ -223,10 +237,13 @@ var prLabel = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
 // BENCH_CI.json) as the newest entry — prints each benchmark's ns/op and
 // allocs/op history with deltas between consecutive snapshots, and
 // returns an error if any benchmark in the newest snapshot is more than
-// tol slower than in the previous one. A non-nil benchRE restricts both
-// the printout and the gate to matching benchmark names (the bench-smoke
-// job uses it to gate only the swarm-scale benchmarks).
-func runTrajectory(dir, latest string, tol float64, benchRE *regexp.Regexp) error {
+// tol slower — or holds more than tolHeap more peak heap — than in the
+// previous one. Peak-heap rows of 0 (snapshots predating the column, or
+// sampler misses) skip the heap comparison rather than fake a baseline. A
+// non-nil benchRE restricts both the printout and the gate to matching
+// benchmark names (the bench-smoke job uses it to gate only the
+// swarm-scale benchmarks).
+func runTrajectory(dir, latest string, tol, tolHeap float64, benchRE *regexp.Regexp) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -314,6 +331,9 @@ func runTrajectory(dir, latest string, tol float64, benchRE *regexp.Regexp) erro
 				continue
 			}
 			line := fmt.Sprintf("  %-12s %14.0f ns/op %12.0f allocs/op", ce.name, r.NsPerOp, r.AllocsPerOp)
+			if r.PeakHeapBytes > 0 {
+				line += fmt.Sprintf(" %8d MB-peak", r.PeakHeapBytes>>20)
+			}
 			if prev != nil && prev.NsPerOp > 0 {
 				dNs := r.NsPerOp/prev.NsPerOp - 1
 				dAl := 0.0
@@ -326,6 +346,13 @@ func runTrajectory(dir, latest string, tol float64, benchRE *regexp.Regexp) erro
 						fmt.Sprintf("%s: %s is %.1f%% slower than %s (tolerance %.0f%%)",
 							name, ce.name, 100*dNs, prevName, 100*tol))
 				}
+				if i == len(chain)-1 && r.PeakHeapBytes > 0 && prev.PeakHeapBytes > 0 {
+					if dHeap := float64(r.PeakHeapBytes)/float64(prev.PeakHeapBytes) - 1; dHeap > tolHeap {
+						regressions = append(regressions,
+							fmt.Sprintf("%s: %s peak heap is %.1f%% above %s (tolerance %.0f%%)",
+								name, ce.name, 100*dHeap, prevName, 100*tolHeap))
+					}
+				}
 			}
 			fmt.Println(line)
 			rr := r
@@ -333,10 +360,10 @@ func runTrajectory(dir, latest string, tol float64, benchRE *regexp.Regexp) erro
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("wall-time regression:\n  %s", strings.Join(regressions, "\n  "))
+		return fmt.Errorf("perf regression:\n  %s", strings.Join(regressions, "\n  "))
 	}
-	fmt.Printf("trajectory: %d snapshots, %d benchmarks, newest within %.0f%% of baseline\n",
-		len(chain), len(names), 100*tol)
+	fmt.Printf("trajectory: %d snapshots, %d benchmarks, newest within %.0f%% ns / %.0f%% peak-heap of baseline\n",
+		len(chain), len(names), 100*tol, 100*tolHeap)
 	return nil
 }
 
@@ -358,6 +385,10 @@ func selected(name, filter string) bool {
 // sampler observed, a lower bound that is accurate for runs much longer
 // than the sampling period.
 func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Result, error) {
+	// Collect the previous case's garbage before the sampler starts: its
+	// first ticks would otherwise observe the prior case's uncollected
+	// heap and credit this case with a phantom peak.
+	runtime.GC()
 	var peak atomic.Uint64
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -379,7 +410,6 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 		}
 	}()
 
-	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -421,6 +451,10 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 		DirtyFlushes:   last.Events.DirtyFlushes,
 		RetimeBatches:  last.Events.RetimeBatches,
 		PeakShardWidth: last.Events.PeakShardWidth,
+		PeakRSSBytes:   peakRSSBytes(),
+		Shards:         last.Events.Shards,
+		PeakShardHeap:  last.Events.PeakShardHeap,
+		MergePops:      last.Events.MergePops,
 	}, nil
 }
 

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes is unavailable off Linux (ru_maxrss units differ per OS and
+// some platforms lack getrusage); snapshots recorded there simply omit the
+// peak_rss_bytes column.
+func peakRSSBytes() uint64 { return 0 }

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"rarestfirst/internal/bitfield"
@@ -24,6 +25,21 @@ import (
 // Stats O(1) too (amortized for the cursor maintenance) — at 10k-peer
 // scale, copy counts reach the peer-set cap and the old scan from bucket 0
 // walked ~80 empty buckets per query and per pick.
+// The index has two maintenance modes. The default (eager) mode keeps the
+// buckets exact on every update via move — the mode the golden-pinned
+// scenarios run, whose within-bucket iteration order is part of their
+// reproducibility contract. SetLazy switches to flat-count maintenance:
+// Inc/Dec touch only the count array (one increment, nothing else — the
+// HAVE fan-out hot path is ~one cache line per call), and every derived
+// view is recomputed on demand. The min/max/rarest-count cursors refresh
+// with one scan the next time a stats query runs after updates, and
+// PickRarest/RarestSet answer with direct scans over the flat counts in
+// ascending piece order — exactly the order an eager index freshly built
+// from the counts would hold, so the two modes' query contracts coincide.
+// Batched-HAVE swarms use lazy mode to make the per-HAVE hot path,
+// whole-bitfield RemovePeer churn storms and the per-peer memory
+// footprint (no bucket/pos arrays) cheap; stats queries there are
+// per-sample-instant, thousands of updates apart.
 type Availability struct {
 	counts []int   // copy count per piece
 	bucket [][]int // bucket[c] = piece indices with count c (unordered)
@@ -32,6 +48,13 @@ type Availability struct {
 	minC   int     // lowest non-empty bucket (0 when empty/no pieces)
 	maxC   int     // highest non-empty bucket (0 when empty/no pieces)
 	sum    int64   // sum of all copy counts
+
+	// Lazy-mode state (bucket and pos are nil in lazy mode): statsDirty
+	// marks minC/maxC/sum/nMin as behind the counts; refresh recomputes
+	// all four in one scan.
+	lazy       bool
+	statsDirty bool
+	nMin       int // number of pieces at minC (lazy mode only)
 }
 
 // NewAvailability returns an all-zero availability index over n pieces.
@@ -47,6 +70,39 @@ func NewAvailability(n int) *Availability {
 		a.pos[i] = i
 	}
 	return a
+}
+
+// SetLazy switches bucket maintenance between eager (exact on every
+// update; the default and the golden-run mode) and lazy (bare count
+// updates, every derived view recomputed by scan on demand). The
+// candidate order lazy scans produce differs from the eager move order,
+// which changes which piece a PickRarest draw selects — so lazy mode is
+// opted into per scenario, never silently. Switching with peers folded in
+// would strand the cursors, so that panics. Lazy mode drops the
+// bucket/pos arrays entirely (they are rebuilt fresh on a switch back to
+// eager, which the empty-index precondition makes trivial).
+func (a *Availability) SetLazy(lazy bool) {
+	a.refresh() // settle a deferred lazy sum so the emptiness guard sees the truth
+	if a.peers != 0 || a.sum != 0 {
+		panic("core: SetLazy on a non-empty availability index")
+	}
+	a.lazy = lazy
+	a.statsDirty = false
+	a.nMin = len(a.counts) // empty index: every piece sits at count zero
+	if lazy {
+		a.bucket, a.pos = nil, nil
+		return
+	}
+	if a.bucket == nil {
+		n := len(a.counts)
+		a.bucket = make([][]int, 1, 8)
+		a.pos = make([]int, n)
+		a.bucket[0] = make([]int, n)
+		for i := 0; i < n; i++ {
+			a.bucket[0][i] = i
+			a.pos[i] = i
+		}
+	}
 }
 
 // NumPieces returns the number of pieces indexed.
@@ -98,15 +154,60 @@ func (a *Availability) move(i, c int) {
 	}
 }
 
+// refresh recomputes lazy mode's derived stats — min/max cursors, count
+// sum and rarest-set size — in one pass over the counts. Cost is
+// amortized across every Inc/Dec since the last stats query; the batched
+// swarms that run lazy mode query stats once per sample instant,
+// thousands of HAVE updates apart.
+func (a *Availability) refresh() {
+	if !a.statsDirty {
+		return
+	}
+	a.statsDirty = false
+	if len(a.counts) == 0 {
+		return
+	}
+	min, max, nMin := a.counts[0], a.counts[0], 0
+	var sum int64
+	for _, c := range a.counts {
+		sum += int64(c)
+		switch {
+		case c < min:
+			min, nMin = c, 1
+		case c == min:
+			nMin++
+		case c > max:
+			max = c
+		}
+	}
+	a.minC, a.maxC, a.sum, a.nMin = min, max, sum, nMin
+}
+
 // Inc records one more copy of piece i in the peer set (a HAVE message or
-// one bit of a joining peer's bitfield).
-func (a *Availability) Inc(i int) { a.move(i, a.counts[i]+1) }
+// one bit of a joining peer's bitfield). Lazy mode makes this the bare
+// count increment — the HAVE fan-out at huge-swarm scale calls Inc once
+// per (receiver, completion) pair, hundreds of millions of times per run,
+// so every deferred byte of maintenance here is paid back at refresh
+// time instead.
+func (a *Availability) Inc(i int) {
+	if a.lazy {
+		a.counts[i]++
+		a.statsDirty = true
+		return
+	}
+	a.move(i, a.counts[i]+1)
+}
 
 // Dec records one fewer copy of piece i (a peer with the piece left the
 // peer set). It panics if the count would go negative.
 func (a *Availability) Dec(i int) {
 	if a.counts[i] == 0 {
 		panic(fmt.Sprintf("core: availability of piece %d below zero", i))
+	}
+	if a.lazy {
+		a.counts[i]--
+		a.statsDirty = true
+		return
 	}
 	a.move(i, a.counts[i]-1)
 }
@@ -130,6 +231,9 @@ func (a *Availability) MinCount() int {
 	if len(a.counts) == 0 {
 		return 0
 	}
+	if a.lazy {
+		a.refresh()
+	}
 	return a.minC
 }
 
@@ -139,12 +243,27 @@ func (a *Availability) RarestSetSize() int {
 	if len(a.counts) == 0 {
 		return 0
 	}
+	if a.lazy {
+		a.refresh()
+		return a.nMin
+	}
 	return len(a.bucket[a.minC])
 }
 
 // RarestSet appends the indices of the rarest pieces to dst and returns it.
+// In lazy mode the result comes from one ascending scan over the counts —
+// the same order an eager index freshly built from the counts would hold.
 func (a *Availability) RarestSet(dst []int) []int {
 	if len(a.counts) == 0 {
+		return dst
+	}
+	if a.lazy {
+		a.refresh()
+		for i, c := range a.counts {
+			if c == a.minC {
+				dst = append(dst, i)
+			}
+		}
 		return dst
 	}
 	return append(dst, a.bucket[a.minC]...)
@@ -158,6 +277,9 @@ func (a *Availability) Stats() (min int, mean float64, max int) {
 	n := len(a.counts)
 	if n == 0 {
 		return 0, 0, 0
+	}
+	if a.lazy {
+		a.refresh()
 	}
 	return a.minC, float64(a.sum) / float64(n), a.maxC
 }
@@ -175,6 +297,9 @@ func (a *Availability) Stats() (min int, mean float64, max int) {
 // per candidate — same distribution, different RNG stream than the old
 // reservoir (a documented reproducibility-contract bump).
 func (a *Availability) PickRarest(rng *rand.Rand, s *PickState) int {
+	if a.lazy {
+		return a.pickRarestScan(rng, s)
+	}
 	for ci := a.minC; ci < len(a.bucket); ci++ {
 		// Buckets below the min cursor are empty by invariant, so starting
 		// the walk at minC visits exactly the buckets the full scan did.
@@ -202,4 +327,47 @@ func (a *Availability) PickRarest(rng *rand.Rand, s *PickState) int {
 		}
 	}
 	return -1
+}
+
+// pickRarestScan is lazy mode's PickRarest: two word-parallel passes over
+// the wanted set, with no bucket materialization. The first pass finds the
+// minimal copy count among wanted pieces and sizes the tie set, one
+// rng.Intn draw picks a rank, the second pass locates it in ascending
+// piece order. Draw-for-draw identical to the bucket walk over freshly
+// rebuilt (ascending-piece-order) buckets: both consume exactly one Intn,
+// at the first count level containing a wanted piece, over the same
+// candidate sequence — so replacing the old rebuild-then-walk lazy path
+// with this scan changed no trajectory.
+func (a *Availability) pickRarestScan(rng *rand.Rand, s *PickState) int {
+	nw := s.Remote.NumWords()
+	best, k := 0, 0
+	for wi := 0; wi < nw; wi++ {
+		for w := s.wantWord(wi); w != 0; {
+			b := bits.LeadingZeros64(w)
+			w &^= 1 << (63 - uint(b))
+			switch c := a.counts[wi<<6+b]; {
+			case k == 0 || c < best:
+				best, k = c, 1
+			case c == best:
+				k++
+			}
+		}
+	}
+	if k == 0 {
+		return -1
+	}
+	j := rng.Intn(k)
+	for wi := 0; wi < nw; wi++ {
+		for w := s.wantWord(wi); w != 0; {
+			b := bits.LeadingZeros64(w)
+			w &^= 1 << (63 - uint(b))
+			if i := wi<<6 + b; a.counts[i] == best {
+				if j == 0 {
+					return i
+				}
+				j--
+			}
+		}
+	}
+	return -1 // unreachable: j < k
 }

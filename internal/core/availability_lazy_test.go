@@ -1,0 +1,209 @@
+package core
+
+// Lazy-mode availability (SetLazy, PR 6) property tests: the flat-count +
+// histogram implementation must answer every query exactly like the eager
+// bucketed mode and the scan-based oracle — only the within-bucket
+// iteration order (and hence which equal-rarest piece a PickRarest draw
+// lands on) is allowed to differ, which is why lazy mode is opt-in per
+// scenario. These reuse the oracle harness from
+// availability_oracle_test.go.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rarestfirst/internal/bitfield"
+)
+
+// newLazyAvailability returns a lazy-mode index over n pieces.
+func newLazyAvailability(n int) *Availability {
+	a := NewAvailability(n)
+	a.SetLazy(true)
+	return a
+}
+
+// TestLazyAvailabilityMatchesOracle drives random Inc/Dec/AddPeer/
+// RemovePeer sequences through a lazy index, the scan oracle AND an eager
+// twin, comparing all query surfaces after every operation. RemovePeer is
+// exercised deliberately: churn-storm departures ride the same lazy path
+// (satellite 6), so whole-bitfield removal must stay exact.
+func TestLazyAvailabilityMatchesOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 257} {
+		rng := rand.New(rand.NewSource(int64(2000 + n)))
+		a := newLazyAvailability(n)
+		o := newAvailOracle(n)
+		eager := NewAvailability(n)
+		st := &opState{extra: make([]int, n)}
+		checkAgainstOracle(t, a, o)
+		for step := 0; step < 600; step++ {
+			op := applyRandomOp(rng, a, o, st)
+			// Mirror the op onto the eager twin via the oracle-visible
+			// deltas: Inc/Dec/AddPeer/RemovePeer all reduce to per-piece
+			// count edits, so replaying counts is enough to compare the
+			// O(1) query surfaces of the two modes directly.
+			for i := 0; i < n; i++ {
+				for eager.Count(i) < o.counts[i] {
+					eager.Inc(i)
+				}
+				for eager.Count(i) > o.counts[i] {
+					eager.Dec(i)
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("n=%d step=%d after %s", n, step, op)
+			}
+			checkAgainstOracle(t, a, o)
+			le, _, _ := a.Stats()
+			ee, _, _ := eager.Stats()
+			if le != ee || a.MinCount() != eager.MinCount() || a.RarestSetSize() != eager.RarestSetSize() {
+				t.Fatalf("n=%d step=%d: lazy (min %d, rarest %d) != eager (min %d, rarest %d)",
+					n, step, a.MinCount(), a.RarestSetSize(), eager.MinCount(), eager.RarestSetSize())
+			}
+		}
+	}
+}
+
+// TestLazyAvailabilityFlashCrowdChurn replays the churn-heavy
+// mass-join/mass-depart sequence in lazy mode — the exact workload
+// BatchHaves swarms route through shift, with the cursors dragged across
+// their full range in both directions.
+func TestLazyAvailabilityFlashCrowdChurn(t *testing.T) {
+	const n, crowd = 128, 400
+	rng := rand.New(rand.NewSource(7))
+	a := newLazyAvailability(n)
+	o := newAvailOracle(n)
+	var held []*bitfield.Bitfield
+	for k := 0; k < crowd; k++ {
+		p := 0.05 + 0.9*rng.Float64()
+		if k%10 == 0 {
+			p = 1.0
+		}
+		b := randomBitfield(rng, n, p)
+		held = append(held, b)
+		a.AddPeer(b)
+		o.AddPeer(b)
+		if k%37 == 0 {
+			checkAgainstOracle(t, a, o)
+		}
+	}
+	checkAgainstOracle(t, a, o)
+	rng.Shuffle(len(held), func(i, j int) { held[i], held[j] = held[j], held[i] })
+	for k, b := range held {
+		a.RemovePeer(b)
+		o.RemovePeer(b)
+		if k%37 == 0 {
+			checkAgainstOracle(t, a, o)
+		}
+	}
+	checkAgainstOracle(t, a, o)
+	if a.MinCount() != 0 || a.RarestSetSize() != n {
+		t.Fatalf("drained swarm: MinCount = %d, RarestSetSize = %d", a.MinCount(), a.RarestSetSize())
+	}
+}
+
+// TestLazyPickRarestAgainstOracle checks PickRarest's contract in lazy
+// mode: the pick must be wanted and minimal-count among wanted pieces —
+// the bucket-free count scan must never surface a stale count.
+func TestLazyPickRarestAgainstOracle(t *testing.T) {
+	const n = 96
+	rng := rand.New(rand.NewSource(11))
+	pick := rand.New(rand.NewSource(12))
+	a := newLazyAvailability(n)
+	o := newAvailOracle(n)
+	st := &opState{extra: make([]int, n)}
+	for step := 0; step < 400; step++ {
+		applyRandomOp(rng, a, o, st)
+		s := &PickState{
+			Have:     randomBitfield(rng, n, 0.4),
+			InFlight: randomBitfield(rng, n, 0.1),
+			Remote:   randomBitfield(rng, n, 0.6),
+		}
+		got := a.PickRarest(pick, s)
+		wantMin, any := 0, false
+		for i := 0; i < n; i++ {
+			if s.Remote.Has(i) && !s.Have.Has(i) && !s.InFlight.Has(i) {
+				if !any || o.counts[i] < wantMin {
+					wantMin, any = o.counts[i], true
+				}
+			}
+		}
+		if !any {
+			if got != -1 {
+				t.Fatalf("step %d: picked %d with nothing wanted", step, got)
+			}
+			continue
+		}
+		if got < 0 || !s.Remote.Has(got) || s.Have.Has(got) || s.InFlight.Has(got) {
+			t.Fatalf("step %d: picked unwanted piece %d", step, got)
+		}
+		if o.counts[got] != wantMin {
+			t.Fatalf("step %d: picked count %d, rarest wanted count is %d", step, o.counts[got], wantMin)
+		}
+	}
+}
+
+// TestSetLazyGuards pins the mode-switch contract: switching with peers
+// or counts folded in panics (the histogram would be stranded), and an
+// empty index can flip freely.
+func TestSetLazyGuards(t *testing.T) {
+	a := NewAvailability(8)
+	a.SetLazy(true)
+	a.SetLazy(false)
+	a.SetLazy(true)
+	a.Inc(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLazy on a non-empty index did not panic")
+		}
+	}()
+	a.SetLazy(false)
+}
+
+// FuzzLazyAvailabilityOps is the byte-driven fuzz twin of
+// FuzzAvailabilityOps running in lazy mode.
+func FuzzLazyAvailabilityOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 130, 7, 7, 9})
+	f.Add([]byte{255, 255, 0, 0, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%130 + 1
+		a := newLazyAvailability(n)
+		o := newAvailOracle(n)
+		extra := make([]int, n)
+		var held []*bitfield.Bitfield
+		rng := rand.New(rand.NewSource(int64(len(data))))
+		for _, by := range data[1:] {
+			switch by % 4 {
+			case 0:
+				i := int(by/4) % n
+				extra[i]++
+				a.Inc(i)
+				o.Inc(i)
+			case 1:
+				i := int(by/4) % n
+				if extra[i] > 0 {
+					extra[i]--
+					a.Dec(i)
+					o.Dec(i)
+				}
+			case 2:
+				b := randomBitfield(rng, n, float64(by)/255)
+				held = append(held, b)
+				a.AddPeer(b)
+				o.AddPeer(b)
+			case 3:
+				if len(held) > 0 {
+					k := int(by/4) % len(held)
+					b := held[k]
+					held[k] = held[len(held)-1]
+					held = held[:len(held)-1]
+					a.RemovePeer(b)
+					o.RemovePeer(b)
+				}
+			}
+		}
+		checkAgainstOracle(t, a, o)
+	})
+}

@@ -125,7 +125,34 @@ func checkAgainstOracle(t *testing.T, a *Availability, o *availOracle) {
 		t.Fatalf("Stats = (%d, %v, %d), want (%d, %v, %d)", amin, amean, amax, omin, omean, omax)
 	}
 
-	// Internal invariants.
+	// Internal invariants. Lazy mode has no bucket/pos arrays at all: its
+	// only structure is the count array, with min/max/sum/rarest-count
+	// recomputed by refresh — and the query comparisons above already
+	// checked those four against the oracle's scans. Verify only that no
+	// buckets ever materialize; refreshed cursors must also match a fresh
+	// scan exactly (not merely be stale-but-consistent).
+	if a.lazy {
+		if a.bucket != nil || a.pos != nil {
+			t.Fatalf("lazy index materialized buckets: %v %v", a.bucket, a.pos)
+		}
+		if n > 0 {
+			a.refresh()
+			omin, _, omax := o.Stats()
+			if a.minC != omin || a.maxC != omax {
+				t.Fatalf("refreshed cursors (%d, %d), want (%d, %d)", a.minC, a.maxC, omin, omax)
+			}
+			nMin := 0
+			for _, c := range o.counts {
+				if c == omin {
+					nMin++
+				}
+			}
+			if a.nMin != nMin {
+				t.Fatalf("refreshed nMin = %d, want %d", a.nMin, nMin)
+			}
+		}
+		return
+	}
 	total := 0
 	for c, b := range a.bucket {
 		for j, i := range b {

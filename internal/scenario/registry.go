@@ -198,7 +198,14 @@ func init() {
 					Seed:         42,
 				}
 			}
-			return []Spec{{Label: "torrent=24 lanes", TorrentID: 24, Scale: scale, ChokeLanes: true}}
+			return []Spec{{
+				Label:      "torrent=24 lanes",
+				TorrentID:  24,
+				Scale:      scale,
+				ChokeLanes: true,
+				HeapShards: 32,
+				BatchHaves: true,
+			}}
 		},
 	})
 	Register(Def{
@@ -225,6 +232,37 @@ func init() {
 				Scale:      scale,
 				ChokeLanes: true,
 				ChurnScale: 48,
+				HeapShards: 32,
+				BatchHaves: true,
+			}}
+		},
+	})
+	Register(Def{
+		Name: "mega-swarm",
+		Description: "torrent 8 under a 240x churn stream capped at 100k peers: " +
+			"the sharded-heap + batched-HAVE milestone workload (PR 6)",
+		Build: func(o Options) []Spec {
+			scale := o.Scale
+			if scale == (torrents.Scale{}) {
+				// Mirrors the public MegaSwarmScale (perf.go), which cannot
+				// be imported from here without a cycle.
+				scale = torrents.Scale{
+					MaxPeers:     100000,
+					MaxContentMB: 24,
+					MaxPieces:    256,
+					Duration:     180,
+					Warmup:       60,
+					Seed:         42,
+				}
+			}
+			return []Spec{{
+				Label:      "torrent=8 mega-swarm",
+				TorrentID:  8,
+				Scale:      scale,
+				ChokeLanes: true,
+				ChurnScale: 240,
+				HeapShards: 32,
+				BatchHaves: true,
 			}}
 		},
 	})

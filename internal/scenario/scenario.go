@@ -87,6 +87,15 @@ type Spec struct {
 	// mode for very large populations. Bit-reproducible, but a different
 	// round schedule than the default staggered rounds.
 	ChokeLanes bool
+	// HeapShards shards the engine's event heap into this many keyed
+	// subheaps (swarm.Config.HeapShards); 0 keeps the single heap.
+	// Trajectory-preserving — same run either way.
+	HeapShards int
+	// BatchHaves batches per-piece HAVE reactions and switches the
+	// availability indices to lazy bucket maintenance
+	// (swarm.Config.BatchHaves). Bit-reproducible, but a different
+	// trajectory than the default eager mode.
+	BatchHaves bool
 
 	// Workload variants beyond the paper's ablation switches. All three
 	// are multipliers applied after the Table I scaling rules; 0 means
@@ -185,6 +194,8 @@ func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
 		cfg.AbortRate *= s.AbortScale
 	}
 	cfg.ChokeLanes = s.ChokeLanes
+	cfg.HeapShards = s.HeapShards
+	cfg.BatchHaves = s.BatchHaves
 	cfg.FreeRiderFraction = s.FreeRiderFraction
 	cfg.LocalFreeRider = s.LocalFreeRider
 	cfg.SmartSeedServe = s.SmartSeedServe

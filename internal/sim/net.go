@@ -125,6 +125,10 @@ type Flow struct {
 	// flow's timer — the apply-phase dedupe for flows whose two endpoints
 	// are both dirty.
 	flushedAt uint64
+	// stagedSeq is the event sequence number the staging phase of a
+	// sharded flush pre-assigned to this flow's completion timer; the
+	// shard-parallel apply phase installs it verbatim.
+	stagedSeq uint64
 	// finishFn is the completion-timer callback, bound once per Flow
 	// object and reused across pool recycles.
 	finishFn func()
@@ -204,6 +208,12 @@ type Net struct {
 	dirtyFlushes  uint64
 	retimeBatches uint64
 	peakShard     int
+
+	// Sharded-apply scratch: stage[s] collects the flows whose completion
+	// timers land in engine shard s (keyed by uploader), stagedShards the
+	// shards with staged work this flush.
+	stage        [][]*Flow
+	stagedShards []int32
 }
 
 // laneRetimeMinShards is the dirty-set width below which a flush runs
@@ -452,13 +462,17 @@ func (n *Net) Flush() {
 			}()
 		}
 		wg.Wait()
-		for _, id := range n.dirty {
-			nd := &n.nodes[id]
-			for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
-				n.applyRetime(f, now)
-			}
-			for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
-				n.applyRetime(f, now)
+		if n.eng.sharded() {
+			n.applyStaged(now)
+		} else {
+			for _, id := range n.dirty {
+				nd := &n.nodes[id]
+				for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
+					n.applyRetime(f, now)
+				}
+				for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
+					n.applyRetime(f, now)
+				}
 			}
 		}
 	} else {
@@ -483,7 +497,9 @@ func (n *Net) Flush() {
 }
 
 // retimeFused is the serial flush's one-pass compute+apply for a single
-// flow, with the same epoch dedupe applyRetime uses.
+// flow, with the same epoch dedupe applyRetime uses. Completion timers are
+// keyed by uploader, so on a sharded engine they allocate from — and push
+// into — the uploader's subheap, exactly like the staged parallel apply.
 func (n *Net) retimeFused(f *Flow, now float64) {
 	if f.flushedAt == n.epoch {
 		return
@@ -491,10 +507,113 @@ func (n *Net) retimeFused(f *Flow, now float64) {
 	f.flushedAt = n.epoch
 	n.computeFlow(f, now)
 	if f.timer == nil {
-		f.timer = n.eng.After(f.eta, f.finishFn)
+		f.timer = n.eng.AfterKey(f.eta, int64(f.from), f.finishFn)
 		return
 	}
 	n.eng.Reschedule(f.timer, now+f.eta)
+}
+
+// applyStaged is the sharded-engine apply phase, replacing the serial
+// timer-(re)schedule walk with two phases that together are bit-identical
+// to it for any worker count:
+//
+// Phase A (serial, cheap) walks the dirty nodes in exactly the serial
+// apply's order — ascending node ID, upload list then download list,
+// insertion order, epoch dedupe — and assigns each flow the sequence
+// number the serial walk would have given its timer, staging the flow into
+// the engine shard that owns its completion timer (keyed by uploader, the
+// same owner rule the compute phase shards by).
+//
+// Phase B installs the staged (at, seq) pairs with heapPush/heapFix, one
+// shard at a time — in parallel across the lane worker pool when the
+// flush is wide, since shards share no heap, free list or counter state.
+// Cross-shard pop order is already fixed by the pre-assigned global
+// (when, seq) total order, so the merge tree simply rebuilds at the next
+// peek.
+func (n *Net) applyStaged(now float64) {
+	e := n.eng
+	if len(n.stage) != len(e.shards) {
+		n.stage = make([][]*Flow, len(e.shards))
+	}
+	for _, id := range n.dirty {
+		nd := &n.nodes[id]
+		for f := nd.upFlows.head; f != nil; f = f.links[dirUp].next {
+			n.stageRetime(f)
+		}
+		for f := nd.dnFlows.head; f != nil; f = f.links[dirDn].next {
+			n.stageRetime(f)
+		}
+	}
+	if workers := min(e.LaneParallelism(), len(n.stagedShards)); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(n.stagedShards) {
+						return
+					}
+					n.applyStagedShard(n.stagedShards[i], now)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, s := range n.stagedShards {
+			n.applyStagedShard(s, now)
+		}
+	}
+	n.stagedShards = n.stagedShards[:0]
+	e.treeDirty = true
+}
+
+// stageRetime assigns f's completion timer its sequence number and parks
+// the flow on its owning shard's stage list (phase A).
+func (n *Net) stageRetime(f *Flow) {
+	if f.flushedAt == n.epoch {
+		return
+	}
+	f.flushedAt = n.epoch
+	e := n.eng
+	e.seq++
+	f.stagedSeq = e.seq
+	s := e.shardFor(int64(f.from))
+	if len(n.stage[s]) == 0 {
+		n.stagedShards = append(n.stagedShards, s)
+	}
+	n.stage[s] = append(n.stage[s], f)
+}
+
+// applyStagedShard installs one shard's staged timers (phase B). Safe to
+// run concurrently for different shards: every touched structure — the
+// subheap, its free list, its high-water marks, the flows themselves — is
+// owned by exactly this shard during the apply.
+func (n *Net) applyStagedShard(s int32, now float64) {
+	e := n.eng
+	sh := &e.shards[s]
+	for i, f := range n.stage[s] {
+		at := now + f.eta
+		if t := f.timer; t != nil {
+			t.at = at
+			t.seq = f.stagedSeq
+			heapFix(sh.heap, t.index)
+		} else {
+			t := e.alloc(s)
+			t.at = at
+			t.seq = f.stagedSeq
+			t.fn = f.finishFn
+			heapPush(&sh.heap, t)
+			if len(sh.heap) > sh.peak {
+				sh.peak = len(sh.heap)
+			}
+			f.timer = t
+		}
+		n.stage[s][i] = nil
+	}
+	n.stage[s] = n.stage[s][:0]
 }
 
 // computeShard is one dirty node's compute phase: settle, new rate and
@@ -535,7 +654,7 @@ func (n *Net) applyRetime(f *Flow, now float64) {
 	}
 	f.flushedAt = n.epoch
 	if f.timer == nil {
-		f.timer = n.eng.After(f.eta, f.finishFn)
+		f.timer = n.eng.AfterKey(f.eta, int64(f.from), f.finishFn)
 		return
 	}
 	n.eng.Reschedule(f.timer, now+f.eta)
@@ -561,7 +680,7 @@ func (n *Net) retimeFlow(f *Flow) {
 	now := n.eng.Now()
 	n.computeFlow(f, now)
 	if f.timer == nil {
-		f.timer = n.eng.After(f.eta, f.finishFn)
+		f.timer = n.eng.AfterKey(f.eta, int64(f.from), f.finishFn)
 		return
 	}
 	n.eng.Reschedule(f.timer, now+f.eta)

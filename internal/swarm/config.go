@@ -181,6 +181,27 @@ type Config struct {
 	// LaneWorkers bounds the lane compute pool; 0 means runtime.NumCPU().
 	// It is pure scheduling — never part of the reproducibility contract.
 	LaneWorkers int
+
+	// HeapShards splits the engine's event heap into this many keyed
+	// subheaps (rounded up to a power of two) plus a global shard, merged
+	// at pop time by a loser tree — see sim.Engine.SetHeapShards. 0 keeps
+	// the single monolithic heap, which doubles as the determinism oracle.
+	// Sharding is trajectory-preserving (pop order is identical), so any
+	// scenario may turn it on without a reproducibility-contract bump;
+	// what it buys is per-shard timer pools and a shard-parallel flush
+	// apply phase on multi-core hosts.
+	HeapShards int
+
+	// BatchHaves batches completePiece's per-neighbor HAVE reactions into
+	// a per-instant pending set flushed once per event (riding the
+	// post-event hook), and switches the availability indices to lazy
+	// bucket maintenance — killing the per-HAVE bucket-shuffle hot spot at
+	// flash-crowd scale. Copy counts still update synchronously (so
+	// departures can never underflow them); only the interest/request
+	// reactions defer, and the lazy buckets rebuild in ascending piece
+	// order, so runs differ from the default mode — like ChokeLanes, this
+	// is off everywhere the goldens cover and on for the 100k-peer runs.
+	BatchHaves bool
 }
 
 // DefaultConfig returns mainline defaults on a small steady torrent.
@@ -234,5 +255,7 @@ func (c *Config) validate() {
 		panic("swarm: bad arrival rate")
 	case c.LaneWorkers < 0:
 		panic("swarm: negative lane workers")
+	case c.HeapShards < 0:
+		panic("swarm: negative heap shards")
 	}
 }

@@ -397,6 +397,30 @@ func (p *Peer) completePiece(idx int) {
 	}
 	p.downloaded++
 	p.s.globalAvail.Inc(idx)
+	if p.s.cfg.BatchHaves {
+		// Batched mode: copy counts still update synchronously — a
+		// neighbour disconnecting before the flush removes the whole
+		// bitfield including this piece, so deferring the Incs would
+		// underflow the index — but with lazy buckets each Inc is a few
+		// O(1) writes. The expensive half (per-neighbour interest and
+		// request reactions) parks on the pending-HAVE set until the
+		// post-event flush.
+		for _, c := range p.connList {
+			n := c.remote
+			if c.mirror == nil {
+				continue
+			}
+			n.avail.Inc(idx)
+			if n.isLocal {
+				p.s.col.CountMsg("have_received")
+			}
+		}
+		p.s.pendingHaves = append(p.s.pendingHaves, pendingHave{p: p, piece: idx})
+		if p.have.Complete() {
+			p.becomeSeed()
+		}
+		return
+	}
 	// Snapshot: interest updates may trigger requests but never
 	// connect/disconnect, so iterating a copy is about robustness only.
 	// The scratch buffer is reused across completions; no code path
@@ -430,6 +454,49 @@ func (p *Peer) completePiece(idx int) {
 	if p.have.Complete() {
 		p.becomeSeed()
 	}
+}
+
+// flushHaves runs the deferred HAVE reactions queued by completePiece in
+// BatchHaves mode — once per event, from the post-event hook, before the
+// Net flush (reactions may start flows whose rates that flush settles).
+//
+// Reactions run in completion order, each against the owner's CURRENT
+// connection list: a neighbour that disconnected since the completion is
+// simply gone (its copy counts were already corrected by RemovePeer), and
+// one that connected since sees the piece via the normal bitfield
+// exchange, so the extra reaction is idempotent. Reactions never complete
+// a piece synchronously (completions arrive via flow timers, i.e. later
+// events), so the set cannot grow while it drains — the index walk is
+// still re-checked against len for robustness.
+func (s *Swarm) flushHaves() {
+	if len(s.pendingHaves) == 0 {
+		return
+	}
+	for i := 0; i < len(s.pendingHaves); i++ {
+		ph := s.pendingHaves[i]
+		p, idx := ph.p, ph.piece
+		if p.departed {
+			continue
+		}
+		snapshot := append(p.connScratch[:0], p.connList...)
+		p.connScratch = snapshot
+		for _, c := range snapshot {
+			n := c.remote
+			nc := c.mirror
+			if nc == nil {
+				continue
+			}
+			// Same reaction set as the eager walk in completePiece.
+			if !nc.amInterested && !n.seed && !n.hasPiece(idx) {
+				n.setInterest(nc, true)
+			}
+			if c.amInterested && n.hasPiece(idx) {
+				p.refreshInterest(c)
+			}
+			n.maybeRequest(nc)
+		}
+	}
+	s.pendingHaves = s.pendingHaves[:0]
 }
 
 // becomeSeed switches the peer to seed state: it stops being interested,

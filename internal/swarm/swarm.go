@@ -52,6 +52,18 @@ type Swarm struct {
 	finishedContrib, finishedFree   int
 	totalTimeContrib, totalTimeFree float64
 	arrivals                        int
+
+	// pendingHaves queues deferred HAVE reactions (BatchHaves mode): each
+	// entry is one piece completion whose neighbor interest/request
+	// updates run at the post-event flush instead of inline (see
+	// Peer.completePiece and Swarm.flushHaves).
+	pendingHaves []pendingHave
+}
+
+// pendingHave is one deferred HAVE broadcast: peer p completed piece.
+type pendingHave struct {
+	p     *Peer
+	piece int
 }
 
 // Result summarises one experiment run.
@@ -93,6 +105,9 @@ func New(cfg Config) *Swarm {
 		cfg.BlockSize = metainfo.BlockSize
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.HeapShards > 0 {
+		eng.SetHeapShards(cfg.HeapShards)
+	}
 	if cfg.ChokeLanes {
 		w := cfg.LaneWorkers
 		if w <= 0 {
@@ -110,6 +125,17 @@ func New(cfg Config) *Swarm {
 		globalAvail:    core.NewAvailability(cfg.NumPieces),
 		seedServeCount: make([]int, cfg.NumPieces),
 		seedServeDone:  make([]int, cfg.NumPieces),
+	}
+	if cfg.BatchHaves {
+		s.globalAvail.SetLazy(true)
+		// Chain the deferred flush points: HAVE reactions first (they may
+		// start flows whose rates the retime flush must then settle),
+		// Net's dirty-node flush second. NewNet installed n.Flush as the
+		// engine's post-event hook; this replaces it with the chain.
+		eng.SetPostEventHook(func() {
+			s.flushHaves()
+			s.net.Flush()
+		})
 	}
 	return s
 }
@@ -208,6 +234,9 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 	s.nextID++
 	have := bitfield.New(s.cfg.NumPieces)
 	avail := core.NewAvailability(s.cfg.NumPieces)
+	if s.cfg.BatchHaves {
+		avail.SetLazy(true)
+	}
 	p := &Peer{
 		s:              s,
 		id:             id,

@@ -59,7 +59,8 @@ func TestHugeSwarmSuiteMatchesPerfCase(t *testing.T) {
 	if got.Scale != want.Scale {
 		t.Fatalf("registry scale %+v != HugeSwarmScale %+v", got.Scale, want.Scale)
 	}
-	if got.TorrentID != want.TorrentID || !got.ChokeLanes {
+	if got.TorrentID != want.TorrentID || !got.ChokeLanes ||
+		got.HeapShards != want.HeapShards || got.BatchHaves != want.BatchHaves {
 		t.Fatalf("registry spec %+v drifted from HugeSwarmScenario %+v", got, want)
 	}
 }

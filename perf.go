@@ -42,11 +42,26 @@ func HugeSwarmScale() Scale {
 	}
 }
 
+// perfHeapShards is the keyed-subheap count the sharded perf cases run
+// with: enough shards that per-shard heaps stay cache-sized at 100k-peer
+// scale, few enough that the loser-tree merge stays a handful of
+// comparisons per pop.
+const perfHeapShards = 32
+
 // HugeSwarmScenario is the 10k-peer-class benchmark: Table I's torrent 24
 // (11038 peers in the paper) capped at HugeSwarmScale, with batched
-// choke-round lanes on. BENCH_*.json tracks it from PR 4 on.
+// choke-round lanes on. BENCH_*.json tracks it from PR 4 on; from PR 6 it
+// runs with the sharded event heap and batched HAVE availability updates
+// (HeapShards + BatchHaves), which is where its ns/op step lands.
 func HugeSwarmScenario() Scenario {
-	return Scenario{Label: "huge-swarm", TorrentID: 24, Scale: HugeSwarmScale(), ChokeLanes: true}
+	return Scenario{
+		Label:      "huge-swarm",
+		TorrentID:  24,
+		Scale:      HugeSwarmScale(),
+		ChokeLanes: true,
+		HeapShards: perfHeapShards,
+		BatchHaves: true,
+	}
 }
 
 // FlashCrowdScale is the deferred-retiming stress scale: a four-minute
@@ -82,6 +97,45 @@ func FlashCrowd20kScenario() Scenario {
 		Scale:      FlashCrowdScale(),
 		ChokeLanes: true,
 		ChurnScale: flashCrowdChurnScale,
+		HeapShards: perfHeapShards,
+		BatchHaves: true,
+	}
+}
+
+// MegaSwarmScale is the 100k-peer milestone scale: the same four-minute
+// flash-crowd window as FlashCrowdScale with the population cap raised to
+// one hundred thousand peers. At this scale memory layout — peak heap and
+// peak RSS, which BENCH_*.json records as first-class columns from PR 6 —
+// is the wall, not CPU.
+func MegaSwarmScale() Scale {
+	return Scale{
+		MaxPeers:     100000,
+		MaxContentMB: 24,
+		MaxPieces:    256,
+		Duration:     180,
+		Warmup:       60,
+		Seed:         42,
+	}
+}
+
+// megaSwarmChurnScale multiplies torrent 8's transient arrival rate
+// (~1.8/s at MegaSwarmScale) up to ~450 peers/s: >100k total arrivals
+// inside the four simulated minutes — five times the FlashCrowd20k storm.
+const megaSwarmChurnScale = 240
+
+// MegaSwarmScenario is the 100k-peer milestone benchmark: the paper's
+// flash-crowd case study (torrent 8) at MegaSwarmScale, with every
+// large-scale lever on — choke lanes, the sharded event heap and batched
+// HAVE availability updates. BENCH_*.json tracks it from PR 6 on.
+func MegaSwarmScenario() Scenario {
+	return Scenario{
+		Label:      "mega-swarm",
+		TorrentID:  8,
+		Scale:      MegaSwarmScale(),
+		ChokeLanes: true,
+		ChurnScale: megaSwarmChurnScale,
+		HeapShards: perfHeapShards,
+		BatchHaves: true,
 	}
 }
 
@@ -92,14 +146,15 @@ type PerfCase struct {
 }
 
 // PerfCases returns the harness's scenario set: the large-swarm stress
-// case, the huge-swarm lane-sharded case, plus bench-scale steady and
-// transient runs (cheap canaries that catch regressions the big runs
-// would hide in noise).
+// case, the huge-swarm lane-sharded case, the flash-crowd and mega-swarm
+// churn storms, plus bench-scale steady and transient runs (cheap
+// canaries that catch regressions the big runs would hide in noise).
 func PerfCases() []PerfCase {
 	return []PerfCase{
 		{Name: "LargeSwarm", Scenario: LargeSwarmScenario()},
 		{Name: "HugeSwarm", Scenario: HugeSwarmScenario()},
 		{Name: "FlashCrowd20k", Scenario: FlashCrowd20kScenario()},
+		{Name: "MegaSwarm", Scenario: MegaSwarmScenario()},
 		{Name: "SteadyT7Bench", Scenario: Scenario{Label: "steady-t7", TorrentID: 7, Scale: BenchScale()}},
 		{Name: "TransientT8Bench", Scenario: Scenario{Label: "transient-t8", TorrentID: 8, Scale: BenchScale()}},
 	}

@@ -150,6 +150,29 @@ type Scenario struct {
 	// report serializations unchanged.
 	ChokeLanes bool `json:",omitempty"`
 
+	// HeapShards shards the simulation engine's event heap into this many
+	// keyed subheaps (rounded up to a power of two) plus a global shard,
+	// merged at pop time by a loser tree over the shard heads. Sharding is
+	// trajectory-preserving — sequence numbers stay globally ordered, so
+	// the merged pop order is exactly the single-heap order and any
+	// scenario may enable it without changing its results; what it buys is
+	// per-shard timer pools and a shard-parallel retime apply phase on
+	// multi-core hosts. 0 (the default, and the omitempty zero) keeps the
+	// single monolithic heap, which doubles as the determinism oracle the
+	// shard tests compare against.
+	HeapShards int `json:",omitempty"`
+
+	// BatchHaves defers the per-neighbour interest/request reactions of
+	// each piece completion into a per-instant pending-HAVE set flushed
+	// once per event, and switches the availability indices to lazily
+	// rebuilt rarity buckets — the flat-count mode that removes the
+	// per-HAVE bucket shuffle from the hot path at flash-crowd scale.
+	// Runs stay bit-reproducible but differ from the default eager mode
+	// (lazy buckets rebuild in ascending piece order, which changes which
+	// piece a rarest-first draw selects), so like ChokeLanes this is off
+	// everywhere the goldens cover and on for the huge/mega perf cases.
+	BatchHaves bool `json:",omitempty"`
+
 	// Workload variants beyond the paper's ablation switches: multipliers
 	// applied after the Table I scaling rules. 0 means "unchanged", so the
 	// zero Scenario still reproduces the catalog exactly.
@@ -182,6 +205,8 @@ func (sc Scenario) toSpec() scenario.Spec {
 		InitialSeedLeavesAt: sc.InitialSeedLeavesAt,
 		SeedOverride:        sc.SeedOverride,
 		ChokeLanes:          sc.ChokeLanes,
+		HeapShards:          sc.HeapShards,
+		BatchHaves:          sc.BatchHaves,
 		ChurnScale:          sc.ChurnScale,
 		SeedUpScale:         sc.SeedUpScale,
 		AbortScale:          sc.AbortScale,
@@ -207,6 +232,8 @@ func fromSpec(sp scenario.Spec) Scenario {
 		InitialSeedLeavesAt: sp.InitialSeedLeavesAt,
 		SeedOverride:        sp.SeedOverride,
 		ChokeLanes:          sp.ChokeLanes,
+		HeapShards:          sp.HeapShards,
+		BatchHaves:          sp.BatchHaves,
 		ChurnScale:          sp.ChurnScale,
 		SeedUpScale:         sp.SeedUpScale,
 		AbortScale:          sp.AbortScale,

@@ -152,6 +152,14 @@ type EventHeapStats struct {
 	// what keeps a flash-crowd peak from pinning peak-sized pools.
 	TimerPoolCap int `json:",omitempty"`
 	FlowPoolCap  int `json:",omitempty"`
+	// Sharded-heap counters (sim.EngineStats, PR 6): Shards is the keyed
+	// subheap count the run scheduled into (0 = single heap),
+	// PeakShardHeap the largest single keyed subheap — the number that
+	// stays flat as swarms grow while a single heap's peak would not —
+	// and MergePops the events the loser-tree merge delivered.
+	Shards        int    `json:",omitempty"`
+	PeakShardHeap int    `json:",omitempty"`
+	MergePops     uint64 `json:",omitempty"`
 }
 
 // buildReport derives every figure's statistics from the run result.
@@ -188,6 +196,9 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 			PeakShardWidth: res.Net.PeakShardWidth,
 			TimerPoolCap:   res.Events.TimerPoolCap,
 			FlowPoolCap:    res.Net.FlowPoolCap,
+			Shards:         res.Events.Shards,
+			PeakShardHeap:  res.Events.PeakShardHeap,
+			MergePops:      res.Events.MergePops,
 		},
 	}
 	for _, e := range col.Events {

@@ -95,7 +95,8 @@ func TestFlashCrowdSuiteMatchesPerfCase(t *testing.T) {
 	if got.Scale != want.Scale {
 		t.Fatalf("registry scale %+v != FlashCrowdScale %+v", got.Scale, want.Scale)
 	}
-	if got.TorrentID != want.TorrentID || !got.ChokeLanes || got.ChurnScale != want.ChurnScale {
+	if got.TorrentID != want.TorrentID || !got.ChokeLanes || got.ChurnScale != want.ChurnScale ||
+		got.HeapShards != want.HeapShards || got.BatchHaves != want.BatchHaves {
 		t.Fatalf("registry spec %+v drifted from FlashCrowd20kScenario %+v", got, want)
 	}
 }
