@@ -34,6 +34,7 @@ import (
 
 	"rarestfirst"
 	"rarestfirst/internal/cliutil"
+	"rarestfirst/internal/netem"
 )
 
 func main() {
@@ -44,9 +45,10 @@ func main() {
 	seedList := flag.String("seeds", "", "comma-separated RNG seeds for multi-seed repeats (empty = catalog seed)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
 	suiteName := flag.String("suite", "", "run only this scenario suite (see -list)")
-	liveOnly := flag.Bool("live", false, "run the live-* families: real-TCP loopback swarms vs their sim twins")
+	liveOnly := flag.Bool("live", false, "run the live-* and chaos-* families: real-TCP loopback swarms vs their sim twins")
 	list := flag.Bool("list", false, "list the registered scenario suites and exit")
 	jsonPath := flag.String("json", "", "also write one JSON line per run to this file")
+	faults := flag.String("faults", "", "apply this named netem fault plan ("+netem.PlanNamesString()+") to every scenario that has none")
 	flag.Parse()
 
 	if *list {
@@ -79,27 +81,37 @@ func main() {
 	}
 
 	if *liveOnly && (*suiteName != "" || *torrentList != "all") {
-		fmt.Fprintln(os.Stderr, "-live runs the whole live-* family; it cannot be combined with -suite or -torrents")
+		fmt.Fprintln(os.Stderr, "-live runs the whole live-*/chaos-* family; it cannot be combined with -suite or -torrents")
 		os.Exit(2)
+	}
+	if *faults != "" {
+		if _, ok := netem.PlanByName(*faults); !ok {
+			fmt.Fprintf(os.Stderr, "unknown fault plan %q (have: %s)\n", *faults, netem.PlanNamesString())
+			os.Exit(2)
+		}
+		if *suiteName == "" && !*liveOnly {
+			fmt.Fprintln(os.Stderr, "-faults applies to registry scenarios; combine it with -suite or -live")
+			os.Exit(2)
+		}
 	}
 
 	runner := rarestfirst.Runner{Workers: *workers}
 	sink := &jsonSink{path: *jsonPath}
 	if *liveOnly {
 		for _, name := range rarestfirst.SuiteNames() {
-			if !strings.HasPrefix(name, "live-") {
+			if !strings.HasPrefix(name, "live-") && !strings.HasPrefix(name, "chaos-") {
 				continue
 			}
 			// Live suites carry their own wall-clock scales; only the
 			// seed fan-out applies.
-			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, sink); err != nil {
+			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, *faults, sink); err != nil {
 				break
 			}
 		}
 	} else if *suiteName != "" {
 		err = runSuite(*outDir, runner, *suiteName, rarestfirst.SuiteOptions{
 			Scale: scale, Seeds: seeds, Torrents: ids,
-		}, sink)
+		}, *faults, sink)
 	} else {
 		err = run(*outDir, runner, scale, ids, seeds, !*skipAblations, sink)
 	}
@@ -170,11 +182,21 @@ func (s *jsonSink) flush() error {
 
 // runSuite runs one named scenario suite and writes its aggregate table
 // plus every per-run report. A nil o.Torrents (the -torrents default)
-// leaves the suite's own torrent selection in place.
-func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, sink *jsonSink) error {
+// leaves the suite's own torrent selection in place. A non-empty faults
+// plan is applied to every scenario that does not already carry one, so
+// -faults chaos turns any registry family into its chaos variant without
+// clobbering the chaos-* suites' built-in plans.
+func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, faults string, sink *jsonSink) error {
 	suite, err := rarestfirst.NewSuite(name, o)
 	if err != nil {
 		return err
+	}
+	if faults != "" {
+		for i := range suite.Scenarios {
+			if suite.Scenarios[i].Faults == "" {
+				suite.Scenarios[i].Faults = faults
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "suite %s: %d scenarios...\n", suite.Name, len(suite.Scenarios))
 	sr, err := runner.RunSuite(suite)

@@ -22,6 +22,7 @@ import (
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/netem"
 	mrate "rarestfirst/internal/rate"
 	"rarestfirst/internal/trace"
 	"rarestfirst/internal/tracker"
@@ -74,6 +75,41 @@ type Options struct {
 	// the number of rare pieces (held only by the initial seed). Only the
 	// lab orchestrating the swarm can see them; nil leaves both at zero.
 	GlobalAvail func() (globalMin, globalRare int)
+
+	// DialTimeout bounds each outgoing dial attempt (0 = 5s, the
+	// historical hardcoded value).
+	DialTimeout time.Duration
+	// DialRetries is how many times a failed outgoing dial is retried
+	// (0 = none, the historical behavior). Retries back off exponentially
+	// from DialBackoff with ±50% jitter drawn from the client RNG.
+	DialRetries int
+	// DialBackoff is the base retry delay (0 = 250ms).
+	DialBackoff time.Duration
+	// RequestTimeout, when positive, re-requests blocks a peer has not
+	// delivered within it: the block returns to the request pool and the
+	// pipelines of other unchoked peers are topped up immediately
+	// (endgame-style reissue). Each scan that expires requests counts one
+	// fault against the peer, toward snubbing. 0 disables the scanner.
+	RequestTimeout time.Duration
+	// SnubAfter is the fault count at which a peer is snubbed — its
+	// connection closed and its address banned for BanFor (0 = 3; only
+	// active with RequestTimeout > 0).
+	SnubAfter int
+	// BanFor is how long a snubbed peer's address is refused by AddPeer
+	// and the announce loop (0 = 30s).
+	BanFor time.Duration
+	// AnnounceRetryBase / AnnounceRetryMax bound the jittered exponential
+	// backoff between announce attempts after tracker failures
+	// (0 = 1s / 30s). Announce failures never touch existing
+	// connections: a client that loses the tracker keeps serving.
+	AnnounceRetryBase time.Duration
+	AnnounceRetryMax  time.Duration
+	// Faults, when non-nil, routes every outgoing dial through the netem
+	// injector: injected dial failures, per-connection WAN emulation and
+	// scheduled resets/stalls. The injector must not be shared across
+	// clients; its Observe hook is wired into this client's fault
+	// counters.
+	Faults *netem.Injector
 }
 
 // Client is a single-torrent BitTorrent peer.
@@ -101,6 +137,21 @@ type Client struct {
 
 	bucket   *mrate.Bucket
 	bucketMu sync.Mutex
+
+	// banned maps a snubbed peer's host:port to the ban expiry; entries
+	// are pruned lazily on lookup. Guarded by mu.
+	banned map[string]time.Time
+
+	// Resilience policy (immutable after New).
+	dialTimeout  time.Duration
+	dialRetries  int
+	dialBackoff  time.Duration
+	reqTimeout   time.Duration
+	snubAfter    int
+	banFor       time.Duration
+	annRetryBase time.Duration
+	annRetryMax  time.Duration
+	inj          *netem.Injector
 
 	ln         net.Listener
 	wg         sync.WaitGroup
@@ -139,21 +190,60 @@ func New(opts Options) (*Client, error) {
 	if sampleEvery <= 0 {
 		sampleEvery = 500 * time.Millisecond
 	}
+	dialTimeout := opts.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	dialBackoff := opts.DialBackoff
+	if dialBackoff <= 0 {
+		dialBackoff = 250 * time.Millisecond
+	}
+	snubAfter := opts.SnubAfter
+	if snubAfter <= 0 {
+		snubAfter = 3
+	}
+	banFor := opts.BanFor
+	if banFor <= 0 {
+		banFor = 30 * time.Second
+	}
+	annRetryBase := opts.AnnounceRetryBase
+	if annRetryBase <= 0 {
+		annRetryBase = time.Second
+	}
+	annRetryMax := opts.AnnounceRetryMax
+	if annRetryMax <= 0 {
+		annRetryMax = 30 * time.Second
+	}
 	c := &Client{
-		meta:        opts.Meta,
-		geo:         geo,
-		conns:       map[core.PeerID]*peerConn{},
-		bucket:      mrate.NewBucket(up, up),
-		stopCh:      make(chan struct{}),
-		start:       time.Now(),
-		rng:         newLockedRand(opts.Seed),
-		chokerL:     &core.LeecherChoker{Slots: slots},
-		chokerS:     &core.SeedChoker{Slots: slots},
-		chokeEvery:  chokeEvery,
-		sampleEvery: sampleEvery,
-		globalAvail: opts.GlobalAvail,
+		meta:         opts.Meta,
+		geo:          geo,
+		conns:        map[core.PeerID]*peerConn{},
+		banned:       map[string]time.Time{},
+		bucket:       mrate.NewBucket(up, up),
+		stopCh:       make(chan struct{}),
+		start:        time.Now(),
+		rng:          newLockedRand(opts.Seed),
+		chokerL:      &core.LeecherChoker{Slots: slots},
+		chokerS:      &core.SeedChoker{Slots: slots},
+		chokeEvery:   chokeEvery,
+		sampleEvery:  sampleEvery,
+		globalAvail:  opts.GlobalAvail,
+		dialTimeout:  dialTimeout,
+		dialRetries:  opts.DialRetries,
+		dialBackoff:  dialBackoff,
+		reqTimeout:   opts.RequestTimeout,
+		snubAfter:    snubAfter,
+		banFor:       banFor,
+		annRetryBase: annRetryBase,
+		annRetryMax:  annRetryMax,
+		inj:          opts.Faults,
 	}
 	c.tr = newTracer(opts.Trace, c.start)
+	if c.inj != nil {
+		// Injected faults (resets, stalls, dial failures) land in the same
+		// counter family as the client's own detections.
+		c.inj.Observe = func(kind string) { c.tr.fault(kind) }
+	}
 	copy(c.peerID[:8], "-RF0100-")
 	if opts.Seed != 0 {
 		// Deterministic identity: the suffix derives from the seed so a
@@ -254,6 +344,10 @@ func (c *Client) Start(listenAddr, announceURL string) error {
 		c.wg.Add(1)
 		go c.sampleLoop(c.sampleEvery, c.globalAvail)
 	}
+	if c.reqTimeout > 0 {
+		c.wg.Add(1)
+		go c.requestTimeoutLoop()
+	}
 	return nil
 }
 
@@ -292,16 +386,36 @@ func (c *Client) acceptLoop() {
 	}
 }
 
-// AddPeer dials addr and joins the swarm through it.
+// AddPeer dials addr and joins the swarm through it, retrying failed
+// dials with jittered exponential backoff up to the configured budget
+// (Options.DialRetries; zero keeps the historical single attempt).
 func (c *Client) AddPeer(addr string) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
-			return
+		for attempt := 0; ; attempt++ {
+			c.mu.Lock()
+			skip := c.closed || c.bannedLocked(addr)
+			c.mu.Unlock()
+			if skip {
+				return
+			}
+			conn, err := c.dialPeer(addr)
+			if err == nil {
+				c.handleConn(conn, true)
+				return
+			}
+			c.tr.fault("dial_fail")
+			if attempt >= c.dialRetries {
+				return
+			}
+			c.tr.fault("dial_retry")
+			select {
+			case <-c.stopCh:
+				return
+			case <-time.After(c.backoffDelay(c.dialBackoff, attempt+1, 30*time.Second)):
+			}
 		}
-		c.handleConn(conn, true)
 	}()
 }
 
@@ -309,6 +423,7 @@ func (c *Client) announceLoop(announceURL string) {
 	defer c.wg.Done()
 	interval := 30 * time.Second
 	event := "started"
+	fails := 0
 	for {
 		c.mu.Lock()
 		left := int64(c.geo.NumPieces-c.req.Downloaded()) * int64(c.geo.PieceLength)
@@ -328,8 +443,18 @@ func (c *Client) announceLoop(announceURL string) {
 			Event:      event,
 			Compact:    true,
 		})
-		event = ""
-		if err == nil {
+		var wait time.Duration
+		if err != nil {
+			// Tracker unreachable or blacked out: back off and retry. The
+			// "started" event (and any other pending one) stays queued for
+			// the next attempt, and existing connections are untouched —
+			// losing the tracker degrades peer discovery, not transfers.
+			fails++
+			c.tr.fault("announce_fail")
+			wait = c.backoffDelay(c.annRetryBase, fails, c.annRetryMax)
+		} else {
+			event = ""
+			fails = 0
 			if resp.Interval > 0 {
 				interval = time.Duration(resp.Interval) * time.Second
 			}
@@ -340,17 +465,19 @@ func (c *Client) announceLoop(announceURL string) {
 				addr := p.Addr()
 				c.mu.Lock()
 				dup := c.hasConnTo(addr)
+				banned := c.bannedLocked(addr)
 				n := len(c.connOrder)
 				c.mu.Unlock()
-				if !dup && n < 80 {
+				if !dup && !banned && n < 80 {
 					c.AddPeer(addr)
 				}
 			}
+			wait = interval
 		}
 		select {
 		case <-c.stopCh:
 			return
-		case <-time.After(interval):
+		case <-time.After(wait):
 		}
 	}
 }

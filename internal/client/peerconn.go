@@ -53,6 +53,12 @@ type peerConn struct {
 	outEst         *mrate.Estimator
 	bytesIn        int64
 	bytesOut       int64
+
+	// Request-timeout accounting, guarded by c.mu; pending is only
+	// populated when Options.RequestTimeout is positive.
+	pending map[core.BlockRef]time.Time
+	faults  int
+	snubbed bool
 }
 
 // send serialises one message to the peer; errors (including a 30-second
@@ -202,6 +208,7 @@ func (c *Client) handleMessage(pc *peerConn, m *wire.Message) bool {
 	case wire.MsgChoke:
 		c.mu.Lock()
 		pc.peerUnchoking = false
+		pc.pending = nil
 		c.req.OnPeerGone(pc.id) // requeue pending blocks for other peers
 		c.mu.Unlock()
 		return true
@@ -253,6 +260,12 @@ func (c *Client) fillPipeline(pc *peerConn) {
 		if !ok {
 			c.mu.Unlock()
 			return
+		}
+		if c.reqTimeout > 0 {
+			if pc.pending == nil {
+				pc.pending = map[core.BlockRef]time.Time{}
+			}
+			pc.pending[ref] = time.Now()
 		}
 		length := c.geo.BlockSize(ref.Piece, ref.Block)
 		c.mu.Unlock()
@@ -334,6 +347,7 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 	pc.inEst.Update(now, int64(len(m.Block)))
 	c.downloaded += int64(len(m.Block))
 	done, cancels := c.req.OnBlock(pc.id, ref)
+	delete(pc.pending, ref)
 	endgameEntered := false
 	if c.req.InEndGame() && !c.endgameMarked {
 		c.endgameMarked = true
@@ -361,6 +375,7 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 	var cmsgs []cancelMsg
 	for _, cb := range cancels {
 		if other := c.conns[cb.Peer]; other != nil {
+			delete(other.pending, cb.Ref) // cancelled, so never times out
 			cmsgs = append(cmsgs, cancelMsg{
 				pc:     other,
 				piece:  uint32(cb.Ref.Piece),

@@ -1,0 +1,135 @@
+package client
+
+// Fault tolerance: dial retry/backoff, snub bans, request timeouts with
+// endgame-style reissue, and the shared backoff schedule the announce
+// loop uses against a blacked-out tracker. Everything here is policy on
+// top of the ordinary client paths — with the options at their zero
+// values the only change from the historical client is that dial
+// timeouts are configurable.
+
+import (
+	"net"
+	"time"
+)
+
+// backoffDelay is the jittered exponential backoff for the n-th
+// consecutive failure (n >= 1): base·2^(n-1) capped at max, then scaled
+// by a uniform factor in [0.5, 1.5) so a swarm's retries decorrelate.
+func (c *Client) backoffDelay(base time.Duration, n int, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	c.mu.Lock()
+	f := 0.5 + c.rng.Rand().Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// dialPeer runs one dial attempt through the fault injector when one is
+// configured, wrapping the resulting connection for WAN emulation.
+func (c *Client) dialPeer(addr string) (net.Conn, error) {
+	if c.inj != nil {
+		if err := c.inj.DialFault(); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if c.inj != nil {
+		conn = c.inj.WrapConn(conn)
+	}
+	return conn, nil
+}
+
+// bannedLocked reports whether addr is currently banned, pruning the
+// entry once expired. Caller holds c.mu.
+func (c *Client) bannedLocked(addr string) bool {
+	until, ok := c.banned[addr]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(c.banned, addr)
+		return false
+	}
+	return true
+}
+
+// banLocked bans addr for the configured window. Caller holds c.mu.
+func (c *Client) banLocked(addr string) {
+	c.banned[addr] = time.Now().Add(c.banFor)
+}
+
+// requestTimeoutLoop scans pending requests a few times per timeout
+// window. Only started when Options.RequestTimeout is positive.
+func (c *Client) requestTimeoutLoop() {
+	defer c.wg.Done()
+	tick := c.reqTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			c.expireRequests()
+		}
+	}
+}
+
+// expireRequests returns timed-out blocks to the request pool, counts a
+// fault against each offending peer (snubbing and banning it at
+// snubAfter), and immediately reissues the freed blocks on other peers'
+// pipelines.
+func (c *Client) expireRequests() {
+	now := time.Now()
+	var snubbed []*peerConn
+	expired := 0
+	c.mu.Lock()
+	for _, pc := range c.connOrder {
+		if pc.snubbed || len(pc.pending) == 0 {
+			continue
+		}
+		n := 0
+		for ref, at := range pc.pending {
+			if now.Sub(at) < c.reqTimeout {
+				continue
+			}
+			delete(pc.pending, ref)
+			c.req.OnRequestTimeout(pc.id, ref)
+			c.tr.fault("request_timeout")
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		expired += n
+		pc.faults++
+		if pc.faults >= c.snubAfter {
+			pc.snubbed = true
+			c.banLocked(pc.remoteAddr)
+			c.tr.fault("peer_snubbed")
+			snubbed = append(snubbed, pc)
+		}
+	}
+	c.mu.Unlock()
+	// Close outside the lock; dropConn runs on the reader goroutine.
+	for _, pc := range snubbed {
+		pc.conn.Close()
+	}
+	if expired > 0 {
+		// Endgame-style reissue: the expired blocks are back in the pool,
+		// so top up every other pipeline right away instead of waiting for
+		// the next piece completion.
+		c.refreshAllInterest()
+	}
+}

@@ -159,6 +159,15 @@ func (t *tracer) countMsg(name string) {
 	t.mu.Unlock()
 }
 
+func (t *tracer) fault(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.CountFault(kind)
+	t.mu.Unlock()
+}
+
 func (t *tracer) sample(s trace.AvailSample) {
 	if t == nil {
 		return

@@ -328,6 +328,29 @@ func (r *Requester) OnPeerGone(peer PeerID) {
 	delete(r.pending, peer)
 }
 
+// OnRequestTimeout requeues one block pending on peer that the peer never
+// delivered (the client's request-timeout scanner). Unlike OnPeerGone the
+// peer keeps its other pending blocks; like it, a block with no remaining
+// pending copy becomes requestable again. A ref not actually pending on
+// peer (late delivery raced the scan) is a no-op.
+func (r *Requester) OnRequestTimeout(peer PeerID, ref BlockRef) {
+	refs := r.pending[peer]
+	if _, ok := refs[ref]; !ok {
+		return
+	}
+	delete(refs, ref)
+	r.dropHolder(peer, ref)
+	if len(r.holders[ref]) == 0 {
+		if p := r.progress[ref.Piece]; p != nil && !p.received[ref.Block] && p.requested[ref.Block] {
+			p.requested[ref.Block] = false
+			p.nRequest--
+			if p.nReceived == 0 && p.nRequest == 0 {
+				r.dropPiece(ref.Piece)
+			}
+		}
+	}
+}
+
 // PendingOf returns the blocks currently pending on peer (for tests and
 // instrumentation).
 func (r *Requester) PendingOf(peer PeerID) []BlockRef {

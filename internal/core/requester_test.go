@@ -156,6 +156,64 @@ func TestRequesterPendingAndPeerGone(t *testing.T) {
 	}
 }
 
+func TestRequesterOnRequestTimeout(t *testing.T) {
+	r := newTestRequester(6)
+	rng := rand.New(rand.NewSource(11))
+	remote := fullRemote(6)
+
+	// Time out one of three in-flight requests: the block must become
+	// requestable again while the other two stay pending.
+	var refs []BlockRef
+	for i := 0; i < 3; i++ {
+		ref, ok := r.Next(rng, 1, remote)
+		if !ok {
+			t.Fatal("no block")
+		}
+		refs = append(refs, ref)
+	}
+	r.OnRequestTimeout(1, refs[1])
+	if r.Pending(1) != 2 {
+		t.Fatalf("pending after timeout = %d, want 2", r.Pending(1))
+	}
+	// Strict priority re-offers the timed-out block (lowest unrequested
+	// block of the in-flight piece) — possibly to a different peer.
+	ref, ok := r.Next(rng, 2, remote)
+	if !ok || ref != refs[1] {
+		t.Fatalf("reissue got %+v ok=%v, want %+v", ref, ok, refs[1])
+	}
+
+	// Timing out a ref the peer does not hold is a no-op.
+	before := r.Pending(1)
+	r.OnRequestTimeout(1, BlockRef{Piece: 5, Block: 3})
+	r.OnRequestTimeout(99, refs[0])
+	if r.Pending(1) != before {
+		t.Fatalf("no-op timeout changed pending: %d -> %d", before, r.Pending(1))
+	}
+
+	// A piece whose only requests all time out with nothing received must
+	// be dropped from the in-flight set entirely (like OnPeerGone).
+	r2 := newTestRequester(6)
+	ref0, _ := r2.Next(rng, 1, remote)
+	r2.OnRequestTimeout(1, ref0)
+	if r2.inflight.Has(ref0.Piece) {
+		t.Fatalf("piece %d still in flight after its only request timed out", ref0.Piece)
+	}
+	if r2.Pending(1) != 0 {
+		t.Fatalf("pending = %d after only request timed out", r2.Pending(1))
+	}
+
+	// A block delivered by another holder must survive a stale timeout:
+	// in end game two peers can hold the same ref, and one timing out must
+	// not clobber the received state.
+	r3 := newTestRequester(6)
+	refA, _ := r3.Next(rng, 1, remote)
+	r3.OnBlock(1, refA)
+	r3.OnRequestTimeout(1, refA) // stale: already delivered and forgotten
+	if got := r3.Pending(1); got != 0 {
+		t.Fatalf("pending = %d after stale timeout", got)
+	}
+}
+
 func TestRequesterPeerGoneDropsEmptyProgress(t *testing.T) {
 	r := newTestRequester(6)
 	rng := rand.New(rand.NewSource(6))

@@ -24,6 +24,7 @@ import (
 
 	"rarestfirst/internal/client"
 	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/netem"
 	"rarestfirst/internal/scenario"
 	"rarestfirst/internal/trace"
 	"rarestfirst/internal/tracker"
@@ -65,6 +66,23 @@ type Config struct {
 	// MinResidency is the collector's residency filter in seconds (live
 	// swarms live wall-clock seconds, not the paper's hours).
 	MinResidency float64
+
+	// Faults is the netem fault plan the swarm runs under; the zero plan
+	// (no Spec.Faults) emulates nothing. Fractional timing (blackout
+	// window, seed failure) is anchored to Deadline, and each client's
+	// injector seed derives from the run seed.
+	Faults netem.Plan
+
+	// Client resilience policy, zero = the client's own defaults. FromSpec
+	// tightens these for chaos runs so retries fit wall-clock deadlines.
+	DialTimeout       time.Duration
+	DialRetries       int
+	DialBackoff       time.Duration
+	RequestTimeout    time.Duration
+	SnubAfter         int
+	BanFor            time.Duration
+	AnnounceRetryBase time.Duration
+	AnnounceRetryMax  time.Duration
 }
 
 // Defaults for FromSpec, exported so tests and docs agree with the code.
@@ -157,6 +175,30 @@ func FromSpec(sp scenario.Spec) (Config, error) {
 		SeedStopAfter: time.Duration(sp.InitialSeedLeavesAt * float64(time.Second)),
 		MinResidency:  DefaultResidencyS,
 	}
+	if sp.Faults != "" {
+		plan, ok := netem.PlanByName(sp.Faults)
+		if !ok {
+			return Config{}, fmt.Errorf("live: unknown fault plan %q (have: %s)", sp.Faults, netem.PlanNamesString())
+		}
+		cfg.Faults = plan
+		// Chaos runs live on seconds-scale deadlines, so the resilience
+		// schedule tightens accordingly: several dial retries and announce
+		// backoffs must fit inside the run.
+		cfg.DialTimeout = 2 * time.Second
+		cfg.DialRetries = 4
+		cfg.DialBackoff = 100 * time.Millisecond
+		cfg.RequestTimeout = 2 * time.Second
+		cfg.SnubAfter = 3
+		cfg.BanFor = 2 * time.Second
+		cfg.AnnounceRetryBase = 200 * time.Millisecond
+		cfg.AnnounceRetryMax = 2 * time.Second
+		if plan.SeedSlowFactor > 0 {
+			cfg.SeedUploadBps *= plan.SeedSlowFactor
+		}
+		if plan.SeedFailFrac > 0 && cfg.SeedStopAfter == 0 {
+			cfg.SeedStopAfter = time.Duration(plan.SeedFailFrac * float64(cfg.Deadline))
+		}
+	}
 	return cfg, nil
 }
 
@@ -165,6 +207,26 @@ func clampInt(v, def, lo, hi int) int {
 		v = def
 	}
 	return min(max(v, lo), hi)
+}
+
+// applyResilience copies the lab's resilience policy into one client's
+// options and, when a fault plan is active, hands the client a fresh
+// injector. Injector seeds derive from the run seed through an offset
+// stream (101+idx) disjoint from the client-identity stream (1..peers),
+// so fault schedules and client RNGs stay decorrelated but both replay
+// under a fixed run seed.
+func (cfg *Config) applyResilience(opts *client.Options, idx int) {
+	opts.DialTimeout = cfg.DialTimeout
+	opts.DialRetries = cfg.DialRetries
+	opts.DialBackoff = cfg.DialBackoff
+	opts.RequestTimeout = cfg.RequestTimeout
+	opts.SnubAfter = cfg.SnubAfter
+	opts.BanFor = cfg.BanFor
+	opts.AnnounceRetryBase = cfg.AnnounceRetryBase
+	opts.AnnounceRetryMax = cfg.AnnounceRetryMax
+	if cfg.Faults.Enabled() {
+		opts.Faults = netem.NewInjector(cfg.Faults, scenario.MixSeed(cfg.Seed, 101+idx), cfg.Deadline)
+	}
 }
 
 // Result is everything one live swarm produced, mirroring the fields of a
@@ -261,7 +323,16 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: tracker listen: %w", err)
 	}
-	srv := &http.Server{Handler: tracker.NewServer(1).Handler()}
+	handler := tracker.NewServer(1).Handler()
+	if cfg.Faults.Blackout() {
+		// The blackout window anchors to tracker start: announces inside
+		// [startFrac, endFrac)·Deadline fail with 503 and the clients'
+		// announce backoff takes over.
+		handler = netem.BlackoutHandler(handler, time.Now(),
+			time.Duration(cfg.Faults.BlackoutStartFrac*float64(cfg.Deadline)),
+			time.Duration(cfg.Faults.BlackoutEndFrac*float64(cfg.Deadline)))
+	}
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	defer srv.Close()
 	announce := fmt.Sprintf("http://%s/announce", ln.Addr())
@@ -281,12 +352,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Initial seed.
-	seed, err := client.New(client.Options{
+	seedOpts := client.Options{
 		Meta: meta, Content: content,
 		UploadBps:     cfg.SeedUploadBps,
 		ChokeInterval: cfg.ChokeInterval,
 		Seed:          clientSeed(0),
-	})
+	}
+	cfg.applyResilience(&seedOpts, 0)
+	seed, err := client.New(seedOpts)
 	if err != nil {
 		return nil, fmt.Errorf("live: seed client: %w", err)
 	}
@@ -337,6 +410,7 @@ func Run(cfg Config) (*Result, error) {
 			ChokeInterval: cfg.ChokeInterval,
 			Seed:          clientSeed(i + 1),
 		}
+		cfg.applyResilience(&opts, i+1)
 		if i == localIdx {
 			opts.Trace = col
 			opts.SampleEvery = cfg.SampleEvery

@@ -487,4 +487,36 @@ func init() {
 			return out
 		},
 	})
+	Register(Def{
+		Name: "chaos-flashcrowd",
+		Description: "sim-vs-live chaos twin: the torrent 8 flash crowd under the " +
+			"\"chaos\" fault plan — tracker blackout mid-run, 10% connection " +
+			"resets, and a slow initial seed that fails halfway through",
+		Build: func(o Options) []Spec {
+			specs := liveTwin(o, Spec{TorrentID: 8, Label: "chaos-flash-crowd", Faults: "chaos"},
+				torrents.Scale{MaxPeers: 6, MaxContentMB: 1, MaxPieces: 32, Duration: 12})
+			specs[1].SeedUpScale = 0.5
+			return specs
+		},
+	})
+	Register(Def{
+		Name: "chaos-wan",
+		Description: "sim-vs-live chaos twin: the torrent 10 case study on the " +
+			"\"wan\" plan — real propagation delay, jitter and a 1 MiB/s " +
+			"shaped pipe, no faults",
+		Build: func(o Options) []Spec {
+			return liveTwin(o, Spec{TorrentID: 10, Label: "chaos-wan", Faults: "wan"},
+				torrents.Scale{MaxPeers: 5, MaxContentMB: 1, MaxPieces: 32, Duration: 60})
+		},
+	})
+	Register(Def{
+		Name: "chaos-flaky",
+		Description: "sim-vs-live chaos twin: torrent 10 on the \"flaky\" plan — " +
+			"15% failed dials, resets and half-open stalls exercising retry, " +
+			"re-request and snubbing",
+		Build: func(o Options) []Spec {
+			return liveTwin(o, Spec{TorrentID: 10, Label: "chaos-flaky", Faults: "flaky"},
+				torrents.Scale{MaxPeers: 5, MaxContentMB: 1, MaxPieces: 32, Duration: 45})
+		},
+	})
 }

@@ -11,6 +11,7 @@ package scenario
 import (
 	"fmt"
 
+	"rarestfirst/internal/netem"
 	"rarestfirst/internal/swarm"
 	"rarestfirst/internal/torrents"
 )
@@ -96,6 +97,12 @@ type Spec struct {
 	// (swarm.Config.BatchHaves). Bit-reproducible, but a different
 	// trajectory than the default eager mode.
 	BatchHaves bool
+	// Faults names a netem fault plan (netem.PlanByName) applied to the
+	// run: on the live backend it drives the injectors and the tracker
+	// blackout, on the simulator it maps to the swarm.Chaos twin knobs,
+	// with the plan's fractional timing anchored to the run window.
+	// "" (the default, and every golden scenario) injects nothing.
+	Faults string
 
 	// Workload variants beyond the paper's ablation switches. All three
 	// are multipliers applied after the Table I scaling rules; 0 means
@@ -202,5 +209,30 @@ func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
 	cfg.DisableRandomFirst = s.DisableRandomFirst
 	cfg.BoostNewcomers = s.BoostNewcomers
 	cfg.InitialSeedLeaveAt = s.InitialSeedLeavesAt
+	if s.Faults != "" {
+		plan, ok := netem.PlanByName(s.Faults)
+		if !ok {
+			return swarm.Config{}, spec, fmt.Errorf("scenario: unknown fault plan %q (have: %s)", s.Faults, netem.PlanNamesString())
+		}
+		// Anchor the plan's fractional timing to the simulated run window,
+		// mirroring how the live backend anchors it to the deadline.
+		window := cfg.LocalJoinTime + cfg.Duration
+		cfg.Chaos = &swarm.Chaos{
+			// Connection setup is the only place propagation delay can act
+			// in the fluid model (control traffic is instantaneous).
+			ConnSetupDelay:       (plan.DelayMs + plan.JitterMs/2) / 1000,
+			DialFailRate:         plan.DialFailRate,
+			ConnResetRate:        plan.ConnResetRate + plan.ConnStallRate,
+			ConnResetMeanDelay:   plan.FaultDelayFrac * window,
+			TrackerBlackoutStart: plan.BlackoutStartFrac * window,
+			TrackerBlackoutEnd:   plan.BlackoutEndFrac * window,
+		}
+		if plan.SeedSlowFactor > 0 {
+			cfg.InitialSeedUp *= plan.SeedSlowFactor
+		}
+		if plan.SeedFailFrac > 0 && cfg.InitialSeedLeaveAt == 0 {
+			cfg.InitialSeedLeaveAt = plan.SeedFailFrac * window
+		}
+	}
 	return cfg, spec, nil
 }

@@ -192,6 +192,15 @@ type Config struct {
 	// apply phase on multi-core hosts.
 	HeapShards int
 
+	// Chaos, when non-nil, enables fault injection: failed and delayed
+	// connection establishment, scheduled connection resets, and a tracker
+	// blackout window during which announces fail and peers retry with a
+	// fixed backoff. All draws come from the engine RNG, so a chaos run is
+	// as bit-reproducible as a clean one; nil (the default, and every
+	// golden scenario) adds no draws and no behavior change. These are the
+	// sim twins of the live lab's netem fault plans.
+	Chaos *Chaos
+
 	// BatchHaves batches completePiece's per-neighbor HAVE reactions into
 	// a per-instant pending set flushed once per event (riding the
 	// post-event hook), and switches the availability indices to lazy
@@ -202,6 +211,48 @@ type Config struct {
 	// order, so runs differ from the default mode — like ChokeLanes, this
 	// is off everywhere the goldens cover and on for the 100k-peer runs.
 	BatchHaves bool
+}
+
+// Chaos is the simulator's fault-injection plan — the twin of the live
+// lab's netem knobs, in simulated seconds and probabilities.
+type Chaos struct {
+	// ConnSetupDelay defers each connection establishment by this many
+	// simulated seconds (the sim twin of WAN propagation delay, which
+	// only matters at setup since control traffic is instantaneous).
+	ConnSetupDelay float64
+	// DialFailRate is the probability a connection attempt fails outright
+	// (the pair stays disconnected until some later trigger retries).
+	DialFailRate float64
+	// ConnResetRate is the probability an established connection gets a
+	// scheduled reset, after an Exp(ConnResetMeanDelay) delay.
+	ConnResetRate      float64
+	ConnResetMeanDelay float64 // seconds; 0 = 60
+	// Tracker blackout window in simulated time: announces inside
+	// [TrackerBlackoutStart, TrackerBlackoutEnd) fail, and the peer
+	// retries AnnounceRetry seconds later.
+	TrackerBlackoutStart float64
+	TrackerBlackoutEnd   float64
+	AnnounceRetry        float64 // seconds; 0 = 30
+}
+
+// blackedOut reports whether the tracker is inside its blackout window.
+func (ch *Chaos) blackedOut(now float64) bool {
+	return now >= ch.TrackerBlackoutStart && now < ch.TrackerBlackoutEnd
+}
+
+// resetMeanDelay / announceRetry apply the defaults.
+func (ch *Chaos) resetMeanDelay() float64 {
+	if ch.ConnResetMeanDelay > 0 {
+		return ch.ConnResetMeanDelay
+	}
+	return 60
+}
+
+func (ch *Chaos) announceRetry() float64 {
+	if ch.AnnounceRetry > 0 {
+		return ch.AnnounceRetry
+	}
+	return 30
 }
 
 // DefaultConfig returns mainline defaults on a small steady torrent.

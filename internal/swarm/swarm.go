@@ -318,6 +318,17 @@ func (s *Swarm) announce(p *Peer) {
 	if p.departed {
 		return
 	}
+	if ch := s.cfg.Chaos; ch != nil && ch.blackedOut(s.eng.Now()) {
+		// Tracker blackout: this announce fails and the peer retries after
+		// a fixed backoff. Registration happened at join and existing
+		// connections keep transferring — losing the tracker only degrades
+		// peer discovery, mirroring the live client's announce backoff.
+		s.chaosFault("announce_fail", p, nil)
+		retry := ch.announceRetry()
+		p.nextAnnounceOK = s.eng.Now() + retry
+		s.eng.After(retry, func() { s.maybeReannounce(p) })
+		return
+	}
 	cand := s.trk.sample(s.eng.RNG(), s.cfg.TrackerResponse, p.id)
 	for _, q := range cand {
 		if p.initiated >= s.cfg.MaxInitiated || len(p.connList) >= s.cfg.MaxPeerSet {
@@ -361,8 +372,46 @@ func (s *Swarm) queueReannounce(p *Peer) {
 	s.eng.AtLane(s.eng.Now(), reannounceLaneKey(p.id), p.reannounceFn)
 }
 
-// connect establishes the bidirectional connection a->b (a initiates).
+// connect establishes the bidirectional connection a->b (a initiates),
+// routing the attempt through the chaos plan when one is configured.
 func (s *Swarm) connect(a, b *Peer) {
+	ch := s.cfg.Chaos
+	if ch == nil {
+		s.connectNow(a, b)
+		return
+	}
+	// Screen with connectNow's own rejections first so chaos RNG draws
+	// happen only for attempts that could otherwise succeed.
+	if a == b || a.departed || b.departed || a.connectedTo(b) || (a.seed && b.seed) {
+		return
+	}
+	if ch.DialFailRate > 0 && s.eng.RNG().Float64() < ch.DialFailRate {
+		s.chaosFault("dial_fail", a, b)
+		return
+	}
+	if ch.ConnSetupDelay > 0 {
+		// Propagation delay: establishment lands later; caps and departures
+		// are re-checked at fire time.
+		s.eng.After(ch.ConnSetupDelay, func() { s.connectNow(a, b) })
+		return
+	}
+	s.connectNow(a, b)
+}
+
+// chaosFault tallies one injected fault. The swarm_-prefixed counter
+// aggregates every occurrence swarm-wide; faults touching the
+// instrumented local peer additionally land under the bare name, which is
+// the counter comparable with live runs (whose collector only sees the
+// instrumented client).
+func (s *Swarm) chaosFault(name string, a, b *Peer) {
+	s.col.CountFault("swarm_" + name)
+	if (a != nil && a.isLocal) || (b != nil && b.isLocal) {
+		s.col.CountFault(name)
+	}
+}
+
+// connectNow establishes the bidirectional connection a->b (a initiates).
+func (s *Swarm) connectNow(a, b *Peer) {
 	if a == b || a.departed || b.departed || a.connectedTo(b) {
 		return
 	}
@@ -417,6 +466,20 @@ func (s *Swarm) connect(a, b *Peer) {
 	}
 	a.refreshInterest(ca)
 	b.refreshInterest(cb)
+	if ch := s.cfg.Chaos; ch != nil && ch.ConnResetRate > 0 {
+		if s.eng.RNG().Float64() < ch.ConnResetRate {
+			// Scheduled abortive close: the connection dies after an
+			// exponential delay unless it was already torn down (the conn
+			// identity check guards against a reconnect reusing the slot).
+			delay := s.eng.RNG().ExpFloat64() * ch.resetMeanDelay()
+			s.eng.After(delay, func() {
+				if a.conns[b.id] == ca {
+					s.chaosFault("conn_reset", a, b)
+					s.disconnect(a, b)
+				}
+			})
+		}
+	}
 }
 
 // disconnect tears down the connection between a and b, requeueing partial

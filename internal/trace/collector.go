@@ -117,6 +117,12 @@ type Collector struct {
 	// transitions performed by the local peer, and HAVE updates observed
 	// from the peer set.
 	MsgCounts map[string]int
+
+	// FaultCounts tallies resilience events (dial retries, request
+	// timeouts, snubs, injected resets, announce failures). Lazily
+	// allocated so fault-free runs — every golden scenario — keep a nil
+	// map and their Report JSON unchanged.
+	FaultCounts map[string]int
 }
 
 // Event is a notable protocol event (end game entered, seed state, ...).
@@ -138,6 +144,14 @@ func NewCollector(start float64) *Collector {
 
 // CountMsg tallies one control-plane event by name.
 func (c *Collector) CountMsg(name string) { c.MsgCounts[name]++ }
+
+// CountFault tallies one resilience event by kind.
+func (c *Collector) CountFault(kind string) {
+	if c.FaultCounts == nil {
+		c.FaultCounts = map[string]int{}
+	}
+	c.FaultCounts[kind]++
+}
 
 func (c *Collector) rec(id int) *PeerRecord {
 	r := c.peers[id]

@@ -93,6 +93,75 @@ func TestLocalSeedTransitionSplitsOpenIntervals(t *testing.T) {
 	}
 }
 
+// TestFaultChurnNoDoubleCount: the chaos path connect -> reset -> retry
+// -> rejoin. The reset settles every open interval; the rejoin restarts
+// the clocks from the rejoin time. Interest and unchoke numerators must
+// cover exactly the connected spans — the blackout gap between reset and
+// rejoin contributes nothing, and re-declaring interest on rejoin must
+// not re-add the pre-reset interval.
+func TestFaultChurnNoDoubleCount(t *testing.T) {
+	c := NewCollector(0)
+	// First connection: interested both ways and unchoked from t=10.
+	c.PeerJoined(7, 0)
+	c.LocalInterest(7, 5, true)
+	c.RemoteInterest(7, 5, true)
+	c.Unchoke(7, 10)
+	// Injected connection reset at t=30.
+	c.PeerLeft(7, 30)
+	c.CountFault("conn_reset")
+	// Retry lands and the peer rejoins at t=50; state re-declared.
+	c.PeerJoined(7, 50)
+	c.LocalInterest(7, 55, true)
+	c.RemoteInterest(7, 55, true)
+	c.Unchoke(7, 60)
+	c.PeerLeft(7, 90)
+	c.Finalize(100)
+
+	r := c.AllRecords()[0]
+	// Residency: [0,30) + [50,90) = 70, never the 20s gap.
+	approx(t, "Residency", r.Residency, 70)
+	// Interest numerators: [5,30) + [55,90) = 60 on both directions.
+	approx(t, "LocalInterestedTime", r.LocalInterestedTime, 60)
+	approx(t, "RemoteInterestedTime", r.RemoteInterestedTime, 60)
+	approx(t, "InterestedInLocalLS", r.InterestedInLocalLS, 60)
+	// Unchoke numerators: one event per connection epoch, not three (the
+	// rejoin must not replay the settled pre-reset unchoke).
+	if r.UnchokesLS != 2 || r.UnchokesSS != 0 {
+		t.Errorf("unchokes LS/SS = %d/%d, want 2/0", r.UnchokesLS, r.UnchokesSS)
+	}
+	if r.JoinedAt != 0 {
+		t.Errorf("JoinedAt = %v, want first join at 0", r.JoinedAt)
+	}
+}
+
+// TestFaultCountsLazyInit: fault-free collectors keep a nil FaultCounts
+// map (so Report JSON and the golden digests are unchanged), and counting
+// tallies per kind.
+func TestFaultCountsLazyInit(t *testing.T) {
+	c := NewCollector(0)
+	if c.FaultCounts != nil {
+		t.Fatalf("FaultCounts allocated before any fault: %v", c.FaultCounts)
+	}
+	c.Finalize(10)
+	if c.FaultCounts != nil {
+		t.Fatalf("Finalize allocated FaultCounts: %v", c.FaultCounts)
+	}
+
+	c2 := NewCollector(0)
+	c2.CountFault("dial_fail")
+	c2.CountFault("dial_fail")
+	c2.CountFault("announce_fail")
+	if got := c2.FaultCounts["dial_fail"]; got != 2 {
+		t.Errorf("dial_fail = %d, want 2", got)
+	}
+	if got := c2.FaultCounts["announce_fail"]; got != 1 {
+		t.Errorf("announce_fail = %d, want 1", got)
+	}
+	if len(c2.FaultCounts) != 2 {
+		t.Errorf("FaultCounts has %d kinds, want 2: %v", len(c2.FaultCounts), c2.FaultCounts)
+	}
+}
+
 // TestMinResidencyOverride: the live lab lowers the residency filter;
 // zero keeps the paper's 10-second threshold.
 func TestMinResidencyOverride(t *testing.T) {

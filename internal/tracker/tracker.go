@@ -43,11 +43,14 @@ type Server struct {
 	mu       sync.Mutex
 	torrents map[[20]byte]map[string]*peerEntry
 	interval int
+	ttl      time.Duration
 	now      func() time.Time
 }
 
 // NewServer returns a tracker that advertises the given re-announce
-// interval in seconds (0 means DefaultInterval).
+// interval in seconds (0 means DefaultInterval). Peers that do not
+// re-announce within the TTL (default two intervals) are expired; see
+// SetTTL.
 func NewServer(interval int) *Server {
 	if interval <= 0 {
 		interval = DefaultInterval
@@ -55,8 +58,22 @@ func NewServer(interval int) *Server {
 	return &Server{
 		torrents: map[[20]byte]map[string]*peerEntry{},
 		interval: interval,
+		ttl:      2 * time.Duration(interval) * time.Second,
 		now:      time.Now,
 	}
+}
+
+// SetTTL overrides how long a registered peer stays listed without
+// re-announcing. Crashed or partitioned clients never send "stopped", so
+// the TTL is the only mechanism that ages them out of peer lists.
+// Non-positive durations are ignored.
+func (s *Server) SetTTL(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.ttl = d
+	s.mu.Unlock()
 }
 
 // Handler returns the tracker's HTTP handler (routes: /announce, /stats).
@@ -198,10 +215,10 @@ func (s *Server) samplePeers(ih [20]byte, n int, excludeKey string) []*peerEntry
 	return out
 }
 
-// prune drops peers that have not announced within two intervals. Callers
+// prune drops peers whose last announce is older than the TTL. Callers
 // must hold mu.
 func (s *Server) prune(ih [20]byte) {
-	cutoff := s.now().Add(-2 * time.Duration(s.interval) * time.Second)
+	cutoff := s.now().Add(-s.ttl)
 	for k, p := range s.torrents[ih] {
 		if p.lastSeen.Before(cutoff) {
 			delete(s.torrents[ih], k)

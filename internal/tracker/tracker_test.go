@@ -141,6 +141,43 @@ func TestPruneDropsStalePeers(t *testing.T) {
 	}
 }
 
+func TestSetTTLAgesOutDeadClient(t *testing.T) {
+	// A crashed client never sends event=stopped; the TTL must age it out
+	// of peer lists on its own.
+	srv := NewServer(900)
+	srv.SetTTL(5 * time.Second)
+	clock := time.Now()
+	srv.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "ttl-hash-1234567____")
+
+	announceVia(t, url, ih, pid(1), 7001, 10, nil) // the soon-to-die client
+	clock = clock.Add(3 * time.Second)             // inside the TTL: still listed
+	r := announceVia(t, url, ih, pid(2), 7002, 10, nil)
+	if len(r.Peers) != 1 {
+		t.Fatalf("live peer missing before TTL: %+v", r.Peers)
+	}
+	clock = clock.Add(3 * time.Second) // 6s since pid(1)'s last announce: expired
+	r = announceVia(t, url, ih, pid(3), 7003, 10, nil)
+	for _, p := range r.Peers {
+		if p.Port == 7001 {
+			t.Fatalf("dead client survived TTL: %+v", r.Peers)
+		}
+	}
+	if _, inc := srv.Count(ih); inc != 2 {
+		t.Fatalf("incomplete = %d after expiry, want 2 (pid 2 and 3)", inc)
+	}
+
+	// Non-positive TTLs are ignored rather than disabling expiry.
+	srv.SetTTL(0)
+	if srv.ttl != 5*time.Second {
+		t.Fatalf("SetTTL(0) changed ttl to %v", srv.ttl)
+	}
+}
+
 func TestParseAnnounceResponseErrors(t *testing.T) {
 	cases := [][]byte{
 		[]byte("not bencode"),

@@ -173,6 +173,16 @@ type Scenario struct {
 	// everywhere the goldens cover and on for the huge/mega perf cases.
 	BatchHaves bool `json:",omitempty"`
 
+	// Faults names a netem fault plan applied to the run ("wan", "flaky",
+	// "blackout", "chaos"; see the README Robustness section). On the
+	// live backend it drives seeded per-client fault injectors plus the
+	// tracker blackout window; on the simulator it maps to the matching
+	// swarm.Chaos knobs, so a chaos-* suite cross-validates the two. The
+	// fault schedule derives from the run seed; "" (the default, and
+	// every golden scenario) injects nothing, and the omitempty tag keeps
+	// fault-free reports serializing exactly as before.
+	Faults string `json:",omitempty"`
+
 	// Workload variants beyond the paper's ablation switches: multipliers
 	// applied after the Table I scaling rules. 0 means "unchanged", so the
 	// zero Scenario still reproduces the catalog exactly.
@@ -207,6 +217,7 @@ func (sc Scenario) toSpec() scenario.Spec {
 		ChokeLanes:          sc.ChokeLanes,
 		HeapShards:          sc.HeapShards,
 		BatchHaves:          sc.BatchHaves,
+		Faults:              sc.Faults,
 		ChurnScale:          sc.ChurnScale,
 		SeedUpScale:         sc.SeedUpScale,
 		AbortScale:          sc.AbortScale,
@@ -234,6 +245,7 @@ func fromSpec(sp scenario.Spec) Scenario {
 		ChokeLanes:          sp.ChokeLanes,
 		HeapShards:          sp.HeapShards,
 		BatchHaves:          sp.BatchHaves,
+		Faults:              sp.Faults,
 		ChurnScale:          sp.ChurnScale,
 		SeedUpScale:         sp.SeedUpScale,
 		AbortScale:          sp.AbortScale,

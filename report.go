@@ -112,6 +112,13 @@ type Report struct {
 	// summary of the paper's instrumentation.
 	MsgCounts map[string]int
 
+	// Faults tallies resilience events under a chaos scenario: dial
+	// retries, request timeouts, snubs, announce failures and injected
+	// faults (live), and their swarm_-prefixed simulator twins. nil — and
+	// omitted from the JSON, keeping golden digests untouched — on every
+	// fault-free run.
+	Faults map[string]int `json:",omitempty"`
+
 	// Events is the discrete-event scheduler's end-of-run occupancy: how
 	// big the heap got versus how many entries were live, and how much the
 	// timer free list saved. The benchmark trajectory harness records it
@@ -182,6 +189,7 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 		FinishedFree:         res.FinishedFree,
 		Arrivals:             res.Arrivals,
 		MsgCounts:            col.MsgCounts,
+		Faults:               col.FaultCounts,
 		Events: EventHeapStats{
 			HeapSize:       res.Events.HeapSize,
 			Live:           res.Events.Live,
@@ -378,6 +386,19 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "[msgs]")
 		for _, k := range keys {
 			fmt.Fprintf(w, " %s=%d", k, r.MsgCounts[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(r.Faults) > 0 {
+		keys := make([]string, 0, len(r.Faults))
+		for k := range r.Faults {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "[faults]")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, r.Faults[k])
 		}
 		fmt.Fprintln(w)
 	}
@@ -626,6 +647,10 @@ type Aggregate struct {
 	// count — the Figs 2-6 replication curve with a seed-spread band.
 	// The envelope is truncated to the shortest run's series.
 	AvailMeanCopies []AvailBand
+
+	// Faults sums the runs' fault counters (chaos scenarios only; nil —
+	// and omitted — everywhere else).
+	Faults map[string]int `json:",omitempty"`
 }
 
 // scenarioKey identifies a scenario's aggregation group: the full
@@ -661,6 +686,7 @@ func AggregateReports(reports []*Report) []Aggregate {
 		topRecLS  []float64
 		topUpSS   []float64
 		avail     [][]AvailPoint
+		faults    map[string]int
 	}
 	var order []Scenario
 	groups := map[Scenario]*group{}
@@ -704,6 +730,12 @@ func AggregateReports(reports []*Report) []Aggregate {
 		if len(rep.Availability) > 0 {
 			g.avail = append(g.avail, rep.Availability)
 		}
+		for k, v := range rep.Faults {
+			if g.faults == nil {
+				g.faults = map[string]int{}
+			}
+			g.faults[k] += v
+		}
 	}
 	out := make([]Aggregate, 0, len(order))
 	for _, key := range order {
@@ -724,6 +756,7 @@ func AggregateReports(reports []*Report) []Aggregate {
 			TopSetRecipLS:   newMetricStat(g.topRecLS),
 			TopSetUploadSS:  newMetricStat(g.topUpSS),
 			AvailMeanCopies: availEnvelope(g.avail),
+			Faults:          g.faults,
 		})
 	}
 	return out
@@ -816,6 +849,18 @@ func (sr *SuiteReport) WriteText(w io.Writer) {
 				a.Label, backend, a.Runs, a.Completed,
 				fmtStat(a.LocalDownload, 1), fmtStat(a.EntropyAB, 3), fmtStat(a.EntropyCD, 3),
 				fmtStat(a.FirstPieceRatio, 2), fmtStat(a.TopSetUploadLS, 2))
+			if len(a.Faults) > 0 {
+				keys := make([]string, 0, len(a.Faults))
+				for k := range a.Faults {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				fmt.Fprintf(w, "  %-20s %-7s faults:", "", backend)
+				for _, k := range keys {
+					fmt.Fprintf(w, " %s=%d", k, a.Faults[k])
+				}
+				fmt.Fprintln(w)
+			}
 		}
 		for _, p := range sr.CrossValidation {
 			row("sim", p.Sim)
