@@ -36,10 +36,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"rarestfirst"
+	"rarestfirst/internal/obs"
 )
 
 // Result is one benchmark's row of a snapshot.
@@ -381,34 +381,13 @@ func selected(name, filter string) bool {
 
 // measure times repeated runs of one case. Allocation counts come from the
 // runtime's own counters (malloc count / total-alloc deltas across the
-// measurement window); peak heap is the maximum live HeapAlloc a 50 ms
-// sampler observed, a lower bound that is accurate for runs much longer
-// than the sampling period.
+// measurement window); peak heap is the maximum live HeapAlloc the shared
+// obs.MemWatermark 50 ms sampler observed, a lower bound that is accurate
+// for runs much longer than the sampling period. (StartMemWatermark runs
+// a GC first, so the sampler never credits this case with the previous
+// case's uncollected heap.)
 func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Result, error) {
-	// Collect the previous case's garbage before the sampler starts: its
-	// first ticks would otherwise observe the prior case's uncollected
-	// heap and credit this case with a phantom peak.
-	runtime.GC()
-	var peak atomic.Uint64
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		tick := time.NewTicker(50 * time.Millisecond)
-		defer tick.Stop()
-		var ms runtime.MemStats
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				runtime.ReadMemStats(&ms)
-				if ms.HeapAlloc > peak.Load() {
-					peak.Store(ms.HeapAlloc)
-				}
-			}
-		}
-	}()
+	wm := obs.StartMemWatermark(obs.DefaultMemInterval, nil)
 
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -422,8 +401,7 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 		sc.SeedOverride = int64(1000 + iters)
 		rep, err := rarestfirst.Run(sc)
 		if err != nil {
-			close(stop)
-			<-done
+			wm.Stop()
 			return Result{}, err
 		}
 		last = rep
@@ -432,8 +410,7 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 	elapsed := time.Since(start)
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	close(stop)
-	<-done
+	wm.Stop()
 
 	n := float64(iters)
 	return Result{
@@ -442,7 +419,7 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 		NsPerOp:        float64(elapsed.Nanoseconds()) / n,
 		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / n,
 		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / n,
-		PeakHeapBytes:  peak.Load(),
+		PeakHeapBytes:  wm.PeakHeapBytes(),
 		EventHeapSize:  last.Events.HeapSize,
 		EventLive:      last.Events.Live,
 		TimersReused:   last.Events.TimersReused,
@@ -451,7 +428,7 @@ func measure(pc rarestfirst.PerfCase, minTime time.Duration, maxIters int) (Resu
 		DirtyFlushes:   last.Events.DirtyFlushes,
 		RetimeBatches:  last.Events.RetimeBatches,
 		PeakShardWidth: last.Events.PeakShardWidth,
-		PeakRSSBytes:   peakRSSBytes(),
+		PeakRSSBytes:   obs.PeakRSSBytes(),
 		Shards:         last.Events.Shards,
 		PeakShardHeap:  last.Events.PeakShardHeap,
 		MergePops:      last.Events.MergePops,

@@ -12,17 +12,25 @@
 // Download it:
 //
 //	btclient -mode get -torrent data.torrent -out copy.bin [-peer host:port]
+//
+// With -debug addr, an auxiliary HTTP listener serves the runtime
+// observability layer: /metrics (obs registry in Prometheus text format —
+// announce/choke/piece counters, active-conn gauge, fault counters by
+// kind) and /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"time"
 
 	"rarestfirst/internal/client"
 	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/obs"
 )
 
 func main() {
@@ -35,7 +43,24 @@ func main() {
 	peer := flag.String("peer", "", "bootstrap peer host:port (optional)")
 	up := flag.Float64("up", 20480, "upload cap in bytes/second (paper default 20 kB/s)")
 	pieceSize := flag.Int("piecesize", metainfo.DefaultPieceSize, "piece size for -mode make")
+	debugAddr := flag.String("debug", "", "serve /metrics and /debug/pprof/ on this address (empty: off)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// The registry must be live before client.New so the client
+		// caches real metric handles instead of nil no-ops.
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug listener on %s (/metrics, /debug/pprof/)\n", *debugAddr)
+	}
 
 	var err error
 	switch *mode {

@@ -5,15 +5,21 @@
 //	bttracker [-listen :6969] [-interval 1800]
 //
 // The announce endpoint is http://<listen>/announce; /stats shows swarm
-// counts.
+// counts with per-torrent announce rates. The same listener also exposes
+// the runtime observability layer: /metrics serves the obs registry in
+// Prometheus text format (global and per-infohash announce counters,
+// peer-count gauges, windowed announce rates) and /debug/pprof/ serves
+// net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os"
 
+	"rarestfirst/internal/obs"
 	"rarestfirst/internal/tracker"
 )
 
@@ -22,9 +28,18 @@ func main() {
 	interval := flag.Int("interval", 1800, "re-announce interval in seconds")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
 	srv := tracker.NewServer(*interval)
-	fmt.Printf("tracker listening on %s (announce at http://%s/announce)\n", *listen, *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+	srv.SetMetrics(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+
+	fmt.Printf("tracker listening on %s (announce at http://%s/announce, metrics at /metrics, pprof at /debug/pprof/)\n", *listen, *listen)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -10,6 +10,7 @@
 //	experiments [-scale default|bench] [-torrents all|7,8,10] [-seeds 1,2,3]
 //	            [-workers N] [-suite name] [-live] [-list] [-skip-ablations]
 //	            [-out results] [-json runs.jsonl]
+//	            [-progress 10s] [-metrics metrics.jsonl]
 //
 // With -seeds, every configuration repeats once per RNG seed and
 // aggregates.txt reports mean/stddev over the repeats. With -suite, only
@@ -22,6 +23,14 @@
 // sink external plotting consumes without parsing the text tables. Every
 // sim run is deterministic given its seed; live runs are deterministic in
 // everything but real-TCP timing.
+//
+// With -progress, a heartbeat line (elapsed wall time, runs finished,
+// events fired, arrivals, peak lane width) prints to stderr every
+// interval, so long batches like MegaSwarm narrate themselves. With
+// -metrics, the process-wide obs registry is sampled on the same cadence
+// (default 5s) into a JSONL time series. Both flags activate the runtime
+// observability layer (internal/obs); it is off otherwise, and either way
+// run results are byte-identical — metrics are observe-only.
 package main
 
 import (
@@ -31,10 +40,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"rarestfirst"
 	"rarestfirst/internal/cliutil"
 	"rarestfirst/internal/netem"
+	"rarestfirst/internal/obs"
 )
 
 func main() {
@@ -49,6 +60,8 @@ func main() {
 	list := flag.Bool("list", false, "list the registered scenario suites and exit")
 	jsonPath := flag.String("json", "", "also write one JSON line per run to this file")
 	faults := flag.String("faults", "", "apply this named netem fault plan ("+netem.PlanNamesString()+") to every scenario that has none")
+	progress := flag.Duration("progress", 0, "emit a heartbeat line (elapsed, runs, events fired, arrivals, peak lane width) every interval")
+	metricsPath := flag.String("metrics", "", "sample the obs registry into this JSONL time-series file (cadence: -progress interval, default 5s)")
 	flag.Parse()
 
 	if *list {
@@ -95,7 +108,28 @@ func main() {
 		}
 	}
 
-	runner := rarestfirst.Runner{Workers: *workers}
+	// -progress and -metrics both need the runtime observability layer:
+	// install the process-wide registry before any swarm is built so
+	// every layer caches live handles.
+	if *progress > 0 || *metricsPath != "" {
+		obs.SetDefault(obs.NewRegistry())
+	}
+	var stopMetrics func() error
+	var metricsFile *os.File
+	if *metricsPath != "" {
+		metricsFile, err = os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cadence := *progress
+		if cadence <= 0 {
+			cadence = 5 * time.Second
+		}
+		stopMetrics = cliutil.StartMetricsJSONL(metricsFile, obs.Active(), cadence)
+	}
+
+	runner := rarestfirst.Runner{Workers: *workers, Heartbeat: *progress}
 	sink := &jsonSink{path: *jsonPath}
 	if *liveOnly {
 		for _, name := range rarestfirst.SuiteNames() {
@@ -117,6 +151,17 @@ func main() {
 	}
 	if err == nil {
 		err = sink.flush()
+	}
+	if stopMetrics != nil {
+		if merr := stopMetrics(); err == nil {
+			err = merr
+		}
+		if cerr := metricsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsPath)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -199,10 +244,16 @@ func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfir
 		}
 	}
 	fmt.Fprintf(os.Stderr, "suite %s: %d scenarios...\n", suite.Name, len(suite.Scenarios))
+	// Per-suite peak-heap watermark (the sampler benchtraj uses, shared
+	// via internal/obs). The GC it runs at start scopes the watermark to
+	// this suite rather than a predecessor's uncollected garbage.
+	wm := obs.StartMemWatermark(0, obs.Active())
 	sr, err := runner.RunSuite(suite)
+	wm.Stop()
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "suite %s: peak heap %.1f MB\n", suite.Name, float64(wm.PeakHeapBytes())/(1<<20))
 	sink.add(sr.Reports...)
 	sink.addAggregates(sr.Name, sr.Aggregates)
 	return withFile(outDir, "suite_"+name+".txt", func(w io.Writer) error {
@@ -236,10 +287,13 @@ func run(outDir string, runner rarestfirst.Runner, scale rarestfirst.Scale, ids 
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "catalog sweep: %d torrents x %d seeds...\n", len(ids), max(1, len(seeds)))
+	wm := obs.StartMemWatermark(0, obs.Active())
 	sr, err := runner.RunSuite(catalog)
+	wm.Stop()
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "catalog sweep: peak heap %.1f MB\n", float64(wm.PeakHeapBytes())/(1<<20))
 	sink.add(sr.Reports...)
 	sink.addAggregates(sr.Name, sr.Aggregates)
 

@@ -23,6 +23,7 @@ import (
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
 	"rarestfirst/internal/netem"
+	"rarestfirst/internal/obs"
 	mrate "rarestfirst/internal/rate"
 	"rarestfirst/internal/trace"
 	"rarestfirst/internal/tracker"
@@ -159,6 +160,10 @@ type Client struct {
 	start      time.Time
 	chokeEvery time.Duration
 
+	// om caches obs registry handles (metrics.go); all nil/no-op when no
+	// registry was active at New time.
+	om clientMetrics
+
 	// tr is nil unless Options.Trace was set; all hooks are nil-safe.
 	tr          *tracer
 	sampleEvery time.Duration
@@ -239,10 +244,11 @@ func New(opts Options) (*Client, error) {
 		inj:          opts.Faults,
 	}
 	c.tr = newTracer(opts.Trace, c.start)
+	c.om = newClientMetrics(obs.Active())
 	if c.inj != nil {
 		// Injected faults (resets, stalls, dial failures) land in the same
 		// counter family as the client's own detections.
-		c.inj.Observe = func(kind string) { c.tr.fault(kind) }
+		c.inj.Observe = func(kind string) { c.fault(kind) }
 	}
 	copy(c.peerID[:8], "-RF0100-")
 	if opts.Seed != 0 {
@@ -405,11 +411,11 @@ func (c *Client) AddPeer(addr string) {
 				c.handleConn(conn, true)
 				return
 			}
-			c.tr.fault("dial_fail")
+			c.fault("dial_fail")
 			if attempt >= c.dialRetries {
 				return
 			}
-			c.tr.fault("dial_retry")
+			c.fault("dial_retry")
 			select {
 			case <-c.stopCh:
 				return
@@ -450,9 +456,11 @@ func (c *Client) announceLoop(announceURL string) {
 			// the next attempt, and existing connections are untouched —
 			// losing the tracker degrades peer discovery, not transfers.
 			fails++
-			c.tr.fault("announce_fail")
+			c.fault("announce_fail")
+			c.om.announceFails.Inc()
 			wait = c.backoffDelay(c.annRetryBase, fails, c.annRetryMax)
 		} else {
+			c.om.announces.Inc()
 			event = ""
 			fails = 0
 			if resp.Interval > 0 {
@@ -507,6 +515,7 @@ func (c *Client) chokeLoop() {
 }
 
 func (c *Client) runChokeRound() {
+	c.om.chokeRounds.Inc()
 	now := c.now()
 	c.mu.Lock()
 	peers := make([]core.ChokePeer, 0, len(c.connOrder))
@@ -585,6 +594,7 @@ func (c *Client) dropConn(pc *peerConn) {
 	}
 	c.mu.Unlock()
 	if dropped {
+		c.om.conns.Add(-1)
 		c.tr.peerLeft(pc.id)
 	}
 }

@@ -1,0 +1,39 @@
+package client
+
+// Runtime observability wiring for the live client: handles are cached
+// from the process-wide obs registry at New time (nil/no-op without
+// one), mirroring the trace collector but exposed live via /metrics on
+// cmd/btclient instead of only after the run.
+
+import "rarestfirst/internal/obs"
+
+// clientMetrics is the client's cached obs handle set.
+type clientMetrics struct {
+	reg           *obs.Registry
+	announces     *obs.Counter // successful tracker announces
+	announceFails *obs.Counter // failed announce attempts
+	chokeRounds   *obs.Counter // choke rounds executed
+	pieces        *obs.Counter // pieces downloaded and hash-verified
+	conns         *obs.Gauge   // live peer connections
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		reg:           reg,
+		announces:     reg.Counter("client_announces_total"),
+		announceFails: reg.Counter("client_announce_failures_total"),
+		chokeRounds:   reg.Counter("client_choke_rounds_total"),
+		pieces:        reg.Counter("client_piece_completions_total"),
+		conns:         reg.Gauge("client_active_conns"),
+	}
+}
+
+// fault routes one fault kind through the trace collector (post-run
+// counters) and the obs registry (live labeled series). Fault paths are
+// cold, so the labeled lookup's mutex is fine here.
+func (c *Client) fault(kind string) {
+	c.tr.fault(kind)
+	if c.om.reg != nil {
+		c.om.reg.Counter(obs.SeriesName("client_faults_total", "kind", kind)).Inc()
+	}
+}

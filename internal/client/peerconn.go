@@ -117,6 +117,7 @@ func (c *Client) handleConn(conn net.Conn, outgoing bool) {
 	myBits := c.req.Have().ToWire()
 	empty := c.req.Have().Empty()
 	c.mu.Unlock()
+	c.om.conns.Add(1)
 	c.tr.peerJoined(pc.id)
 	defer c.dropConn(pc)
 
@@ -393,6 +394,7 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 		c.tr.markEvent("end_game")
 	}
 	if verifiedPiece >= 0 {
+		c.om.pieces.Inc()
 		c.tr.pieceCompleted(verifiedPiece)
 	}
 	if completed {

@@ -106,7 +106,7 @@ func (c *Client) expireRequests() {
 			}
 			delete(pc.pending, ref)
 			c.req.OnRequestTimeout(pc.id, ref)
-			c.tr.fault("request_timeout")
+			c.fault("request_timeout")
 			n++
 		}
 		if n == 0 {
@@ -117,7 +117,7 @@ func (c *Client) expireRequests() {
 		if pc.faults >= c.snubAfter {
 			pc.snubbed = true
 			c.banLocked(pc.remoteAddr)
-			c.tr.fault("peer_snubbed")
+			c.fault("peer_snubbed")
 			snubbed = append(snubbed, pc)
 		}
 	}

@@ -1,0 +1,78 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"rarestfirst/internal/obs"
+)
+
+// MetricsLine is one sample of an obs registry — the line shape of the
+// -metrics JSONL time-series sink. Kind="metrics" distinguishes the lines
+// from report and aggregate lines sharing a sink file.
+type MetricsLine struct {
+	Kind string `json:"Kind"`
+	// ElapsedS is seconds since the sampler started.
+	ElapsedS float64 `json:"ElapsedS"`
+	// Metrics maps series name to value: counters and gauges directly,
+	// histograms as _sum/_count pairs.
+	Metrics map[string]float64 `json:"Metrics"`
+}
+
+// WriteMetricsLine samples reg and writes one MetricsLine to w.
+func WriteMetricsLine(w io.Writer, reg *obs.Registry, elapsed time.Duration) error {
+	line := MetricsLine{
+		Kind:     "metrics",
+		ElapsedS: elapsed.Seconds(),
+		Metrics:  reg.Values(),
+	}
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}
+
+// StartMetricsJSONL samples reg every interval, writing one JSON line per
+// sample to w, and returns a stop function that takes a final sample and
+// joins the sampler. Write errors stop the sampler silently (the sink is
+// telemetry, not results); the stop function returns the first error seen.
+func StartMetricsJSONL(w io.Writer, reg *obs.Registry, every time.Duration) func() error {
+	start := time.Now()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var mu sync.Mutex
+	var firstErr error
+	sample := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return
+		}
+		firstErr = WriteMetricsLine(w, reg, time.Since(start))
+	}
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	return func() error {
+		close(stop)
+		<-done
+		sample() // final closing sample
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+}

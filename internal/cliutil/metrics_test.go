@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"rarestfirst/internal/obs"
+)
+
+func TestWriteMetricsLine(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total").Add(3)
+	reg.Gauge("demo_gauge").Set(1.5)
+
+	var buf bytes.Buffer
+	if err := WriteMetricsLine(&buf, reg, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var line MetricsLine
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("not one JSON line: %v\n%s", err, buf.String())
+	}
+	if line.Kind != "metrics" || line.ElapsedS != 2 {
+		t.Errorf("line header = %q/%v", line.Kind, line.ElapsedS)
+	}
+	if line.Metrics["demo_total"] != 3 || line.Metrics["demo_gauge"] != 1.5 {
+		t.Errorf("metrics map = %v", line.Metrics)
+	}
+}
+
+func TestStartMetricsJSONL(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("ticks_total")
+
+	var buf bytes.Buffer
+	stop := StartMetricsJSONL(&buf, reg, 5*time.Millisecond)
+	c.Add(7)
+	time.Sleep(30 * time.Millisecond)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// At least one ticker sample plus the final closing sample, every
+	// line valid JSON, and the last one sees the counter's final value.
+	var lines []MetricsLine
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var line MetricsLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("got %d lines, want >= 2 (ticker + final)", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if last.Metrics["ticks_total"] != 7 {
+		t.Errorf("final sample ticks_total = %v, want 7", last.Metrics["ticks_total"])
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i].ElapsedS < lines[i-1].ElapsedS {
+			t.Errorf("ElapsedS not monotonic: %v then %v", lines[i-1].ElapsedS, lines[i].ElapsedS)
+		}
+	}
+}
+
+// errWriter fails every write after the first n bytes worth of calls.
+type errWriter struct{ calls int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("sink broke")
+}
+
+func TestStartMetricsJSONLReportsWriteError(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := &errWriter{}
+	stop := StartMetricsJSONL(w, reg, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	if err := stop(); err == nil {
+		t.Fatal("stop() = nil, want the write error surfaced")
+	}
+	calls := w.calls
+	if calls == 0 {
+		t.Fatal("sampler never attempted a write")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"rarestfirst/internal/client"
 	"rarestfirst/internal/metainfo"
 	"rarestfirst/internal/netem"
+	"rarestfirst/internal/obs"
 	"rarestfirst/internal/scenario"
 	"rarestfirst/internal/trace"
 	"rarestfirst/internal/tracker"
@@ -313,6 +314,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("live: bad config %+v", cfg)
 	}
 
+	// Live-lab obs series (all no-ops without an active registry): how
+	// many swarms are in flight right now, how many ever started, and how
+	// many leecher downloads have completed.
+	reg := obs.Active()
+	gActive := reg.Gauge("live_swarms_active")
+	gActive.Add(1)
+	defer gActive.Add(-1)
+	reg.Counter("live_swarms_total").Inc()
+	cCompletions := reg.Counter("live_leecher_completions_total")
+
 	// Content derives from the run seed, like the simulator's RNG stream.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	content := make([]byte, cfg.NumPieces*cfg.PieceSize)
@@ -323,7 +334,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: tracker listen: %w", err)
 	}
-	handler := tracker.NewServer(1).Handler()
+	trk := tracker.NewServer(1)
+	if reg != nil {
+		trk.SetMetrics(reg)
+	}
+	handler := trk.Handler()
 	if cfg.Faults.Blackout() {
 		// The blackout window anchors to tracker start: announces inside
 		// [startFrac, endFrac)·Deadline fail with 503 and the clients'
@@ -427,6 +442,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		idx := i
 		l.OnComplete(func() {
+			cCompletions.Inc()
 			doneMu.Lock()
 			doneAt[idx] = time.Now()
 			doneMu.Unlock()

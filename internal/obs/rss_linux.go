@@ -1,13 +1,13 @@
 //go:build linux
 
-package main
+package obs
 
 import "syscall"
 
-// peakRSSBytes reads the process's high-water resident set via getrusage.
+// PeakRSSBytes reads the process's high-water resident set via getrusage.
 // Linux reports ru_maxrss in kilobytes. Returns 0 when the syscall fails;
-// callers treat 0 as "not measured" (the column is omitempty).
-func peakRSSBytes() uint64 {
+// callers treat 0 as "not measured".
+func PeakRSSBytes() uint64 {
 	var ru syscall.Rusage
 	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
 		return 0

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// PeakRSSBytes is unavailable off Linux (ru_maxrss units differ per OS and
+// some platforms lack getrusage); consumers there simply omit the value.
+func PeakRSSBytes() uint64 { return 0 }

@@ -12,6 +12,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rarestfirst/internal/obs"
 )
 
 // Timer is a handle to a scheduled event; Cancel prevents a pending event
@@ -218,6 +221,15 @@ type EngineStats struct {
 	// MergePops counts pops routed through the loser-tree head merge of a
 	// sharded engine (0 when unsharded).
 	MergePops uint64
+	// Phase timing (wall-clock nanoseconds), populated only when an
+	// obs.PhaseTimes bundle is attached via SetMetrics — zero otherwise.
+	// Observe-only: these never feed back into the simulation, so runs
+	// with and without timing fire identical event sequences.
+	LaneComputeNs uint64
+	LaneApplyNs   uint64
+	MergeNs       uint64
+	RetimeFlushNs uint64
+	HaveFlushNs   uint64
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -268,6 +280,14 @@ type Engine struct {
 	peakLane    int
 	laneBatches uint64
 	laneEvents  uint64
+
+	// Observability hooks (SetMetrics). All nil by default; hot paths pay
+	// one nil check when disabled. timing is shared with Net (retime
+	// flush) and read by Stats; mEvents/mPeakLane are nil-receiver-safe
+	// obs handles, so fire touches them unconditionally.
+	timing    *obs.PhaseTimes
+	mEvents   *obs.Counter
+	mPeakLane *obs.Gauge
 }
 
 // NewEngine returns an engine whose randomness derives entirely from seed.
@@ -293,11 +313,17 @@ func (e *Engine) Pending() int {
 
 // Stats returns the scheduler's occupancy counters.
 func (e *Engine) Stats() EngineStats {
+	ph := e.timing.Snapshot() // nil-safe: zeros when no bundle attached
 	st := EngineStats{
 		PeakLaneWidth: e.peakLane,
 		LaneBatches:   e.laneBatches,
 		LaneEvents:    e.laneEvents,
 		MergePops:     e.mergePops,
+		LaneComputeNs: ph.LaneComputeNs,
+		LaneApplyNs:   ph.LaneApplyNs,
+		MergeNs:       ph.HeapMergeNs,
+		RetimeFlushNs: ph.RetimeFlushNs,
+		HaveFlushNs:   ph.HaveFlushNs,
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -409,6 +435,32 @@ func (e *Engine) LaneParallelism() int {
 // both chains them in one closure, as the swarm's batched-HAVE flush does).
 func (e *Engine) SetPostEventHook(fn func()) { e.postEvent = fn }
 
+// EngineMetrics bundles the observability hooks an engine can report
+// into. Any field may be nil; obs handles are nil-receiver-safe, so a
+// partial bundle is fine.
+type EngineMetrics struct {
+	// Phases accumulates per-phase wall-clock nanoseconds (lane compute
+	// vs apply, shard-heap merge, retime flush, HAVE flush). The same
+	// bundle is read by Net.Flush and may be shared with the swarm layer
+	// for its HAVE-flush phase.
+	Phases *obs.PhaseTimes
+	// Events counts fired events (one per plain event or lane batch).
+	Events *obs.Counter
+	// PeakLane is a high-watermark gauge of lane batch width.
+	PeakLane *obs.Gauge
+}
+
+// SetMetrics attaches observability hooks. Observe-only by construction:
+// the hooks read the wall clock and bump atomics but never touch engine
+// RNG or event order, so attaching them cannot change a trajectory (the
+// golden-digest tests run with metrics enabled to prove it). Call with
+// the zero EngineMetrics to detach.
+func (e *Engine) SetMetrics(m EngineMetrics) {
+	e.timing = m.Phases
+	e.mEvents = m.Events
+	e.mPeakLane = m.PeakLane
+}
+
 // headLess orders two shards by their current heads under (at, seq);
 // empty shards and -1 sentinel leaves order last (lose every match).
 func (e *Engine) headLess(a, b int32) bool {
@@ -498,10 +550,17 @@ func (e *Engine) popTop() *Timer {
 	if len(e.shards) == 1 {
 		return heapPop(&e.shards[0].heap)
 	}
+	var t0 time.Time
+	if e.timing != nil {
+		t0 = time.Now()
+	}
 	w := e.tree[0]
 	t := heapPop(&e.shards[w].heap)
 	e.mergePops++
 	e.replayWinner(w)
+	if e.timing != nil {
+		e.timing.HeapMerge.Add(time.Since(t0).Nanoseconds())
+	}
 	return t
 }
 
@@ -710,6 +769,10 @@ func (e *Engine) maybeCompact(s int32) {
 // cancel freely — including cancelling a later member of the same batch,
 // whose apply is then skipped.
 func (e *Engine) runLaneBatch(first *Timer) {
+	var t0 time.Time
+	if e.timing != nil {
+		t0 = time.Now()
+	}
 	batch := append(e.laneBatch[:0], first)
 	for {
 		top := e.peekTop()
@@ -773,6 +836,11 @@ func (e *Engine) runLaneBatch(first *Timer) {
 	e.laneEvents += uint64(len(batch))
 	if len(batch) > e.peakLane {
 		e.peakLane = len(batch)
+		e.mPeakLane.Max(float64(len(batch))) // nil-safe; only on a new high-water mark
+	}
+	if e.timing != nil {
+		e.timing.LaneCompute.Add(time.Since(t0).Nanoseconds())
+		t0 = time.Now()
 	}
 	for i, t := range batch {
 		if fn := applies[i]; fn != nil && !t.cancelled {
@@ -781,6 +849,9 @@ func (e *Engine) runLaneBatch(first *Timer) {
 		applies[i] = nil
 		e.laneBatch[i] = nil
 		e.recycle(t)
+	}
+	if e.timing != nil {
+		e.timing.LaneApply.Add(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -795,6 +866,7 @@ func (e *Engine) fire(t *Timer) {
 		fn()
 		e.recycle(t)
 	}
+	e.mEvents.Inc() // nil-safe no-op when observability is off
 	if e.postEvent != nil {
 		e.postEvent()
 	}

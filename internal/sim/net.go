@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // NodeID identifies a node (peer) in the fluid network.
@@ -437,6 +438,11 @@ func (n *Net) Flush() {
 	if len(n.dirty) == 0 {
 		return
 	}
+	var t0 time.Time
+	timing := n.eng.timing
+	if timing != nil {
+		t0 = time.Now()
+	}
 	now := n.eng.Now()
 	slices.Sort(n.dirty)
 	n.dirtyFlushes++
@@ -494,6 +500,9 @@ func (n *Net) Flush() {
 	}
 	n.dirty = n.dirty[:0]
 	n.epoch++
+	if timing != nil {
+		timing.RetimeFlush.Add(time.Since(t0).Nanoseconds())
+	}
 }
 
 // retimeFused is the serial flush's one-pass compute+apply for a single

@@ -190,6 +190,7 @@ func (p *Peer) applyLaneRound() {
 	if p.departed {
 		return
 	}
+	p.s.metrics.chokeRounds.Inc()
 	for _, c := range p.connList {
 		p.settleDown(c)
 		if c.outFlow != nil {

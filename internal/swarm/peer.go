@@ -2,6 +2,7 @@ package swarm
 
 import (
 	"math/rand"
+	"time"
 
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
@@ -396,6 +397,7 @@ func (p *Peer) completePiece(idx int) {
 		p.have.Set(idx)
 	}
 	p.downloaded++
+	p.s.metrics.pieces.Inc()
 	p.s.globalAvail.Inc(idx)
 	if p.s.cfg.BatchHaves {
 		// Batched mode: copy counts still update synchronously — a
@@ -472,6 +474,10 @@ func (s *Swarm) flushHaves() {
 	if len(s.pendingHaves) == 0 {
 		return
 	}
+	var t0 time.Time
+	if s.phases != nil {
+		t0 = time.Now()
+	}
 	for i := 0; i < len(s.pendingHaves); i++ {
 		ph := s.pendingHaves[i]
 		p, idx := ph.p, ph.piece
@@ -497,6 +503,9 @@ func (s *Swarm) flushHaves() {
 		}
 	}
 	s.pendingHaves = s.pendingHaves[:0]
+	if s.phases != nil {
+		s.phases.HaveFlush.Add(time.Since(t0).Nanoseconds())
+	}
 }
 
 // becomeSeed switches the peer to seed state: it stops being interested,
@@ -575,6 +584,7 @@ func (p *Peer) runChokeRound() {
 	if len(p.connList) == 0 {
 		return
 	}
+	p.s.metrics.chokeRounds.Inc()
 	s := p.s
 	now := s.eng.Now()
 	// Settle estimators so rate ordering reflects in-flight progress.

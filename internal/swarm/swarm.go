@@ -8,6 +8,7 @@ import (
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/obs"
 	"rarestfirst/internal/sim"
 	"rarestfirst/internal/trace"
 )
@@ -58,6 +59,11 @@ type Swarm struct {
 	// updates run at the post-event flush instead of inline (see
 	// Peer.completePiece and Swarm.flushHaves).
 	pendingHaves []pendingHave
+
+	// Observability (metrics.go): cached obs handles plus the phase-timing
+	// bundle shared with the engine; both nil/no-op without a registry.
+	metrics swarmMetrics
+	phases  *obs.PhaseTimes
 }
 
 // pendingHave is one deferred HAVE broadcast: peer p completed piece.
@@ -125,6 +131,15 @@ func New(cfg Config) *Swarm {
 		globalAvail:    core.NewAvailability(cfg.NumPieces),
 		seedServeCount: make([]int, cfg.NumPieces),
 		seedServeDone:  make([]int, cfg.NumPieces),
+	}
+	if reg := obs.Active(); reg != nil {
+		s.metrics = newSwarmMetrics(reg)
+		s.phases = &obs.PhaseTimes{}
+		eng.SetMetrics(sim.EngineMetrics{
+			Phases:   s.phases,
+			Events:   reg.Counter("sim_events_total"),
+			PeakLane: reg.Gauge("sim_peak_lane_width"),
+		})
 	}
 	if cfg.BatchHaves {
 		s.globalAvail.SetLazy(true)
@@ -273,6 +288,7 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 	}
 	if !isSeed {
 		s.arrivals++
+		s.metrics.arrivals.Inc()
 	}
 	p.chokeFn = p.chokeRound // bound once; re-arms reuse it
 	s.peers[id] = p
@@ -329,6 +345,7 @@ func (s *Swarm) announce(p *Peer) {
 		s.eng.After(retry, func() { s.maybeReannounce(p) })
 		return
 	}
+	s.metrics.announces.Inc()
 	cand := s.trk.sample(s.eng.RNG(), s.cfg.TrackerResponse, p.id)
 	for _, q := range cand {
 		if p.initiated >= s.cfg.MaxInitiated || len(p.connList) >= s.cfg.MaxPeerSet {
@@ -404,6 +421,7 @@ func (s *Swarm) connect(a, b *Peer) {
 // the counter comparable with live runs (whose collector only sees the
 // instrumented client).
 func (s *Swarm) chaosFault(name string, a, b *Peer) {
+	s.metrics.fault(name)
 	s.col.CountFault("swarm_" + name)
 	if (a != nil && a.isLocal) || (b != nil && b.isLocal) {
 		s.col.CountFault(name)
@@ -449,6 +467,7 @@ func (s *Swarm) connectNow(a, b *Peer) {
 	b.conns[a.id] = cb
 	b.connList = append(b.connList, cb)
 	a.initiated++
+	s.metrics.conns.Add(1)
 	// Bitfield exchange (instantaneous).
 	a.avail.AddPeer(b.have)
 	b.avail.AddPeer(a.have)
@@ -505,6 +524,7 @@ func (s *Swarm) disconnect(a, b *Peer) {
 	delete(b.conns, a.id)
 	removeConn(&a.connList, ca)
 	removeConn(&b.connList, cb)
+	s.metrics.conns.Add(-1)
 	// Sever the mirror pointers so a stale handle (e.g. in a teardown
 	// snapshot) degrades to the same nil the map lookup used to return.
 	ca.mirror, cb.mirror = nil, nil

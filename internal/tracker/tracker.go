@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rarestfirst/internal/bencode"
+	"rarestfirst/internal/obs"
 )
 
 // DefaultNumWant is the number of peers returned when the client does not
@@ -45,6 +46,27 @@ type Server struct {
 	interval int
 	ttl      time.Duration
 	now      func() time.Time
+
+	// Observability (SetMetrics): the registry, the global announce
+	// counter, and per-infohash series with a windowed announce rate.
+	reg        *obs.Registry
+	mAnnounces *obs.Counter
+	ihm        map[[20]byte]*ihMetrics
+}
+
+// rateWindow bounds the per-infohash announce-rate estimate: the rate is
+// announces-per-second over the current window, re-based every window so
+// a stopped swarm decays instead of averaging over the tracker's entire
+// lifetime.
+const rateWindow = 30 * time.Second
+
+// ihMetrics is one torrent's live series in the obs registry.
+type ihMetrics struct {
+	announces *obs.Counter
+	peers     *obs.Gauge
+	rate      *obs.Gauge
+	winStart  time.Time
+	winCount  uint64
 }
 
 // NewServer returns a tracker that advertises the given re-announce
@@ -74,6 +96,51 @@ func (s *Server) SetTTL(d time.Duration) {
 	s.mu.Lock()
 	s.ttl = d
 	s.mu.Unlock()
+}
+
+// SetMetrics attaches an obs registry: every announce then updates a
+// global tracker_announces_total counter plus per-infohash
+// tracker_announces_total / tracker_peers / tracker_announce_rate series
+// (the label is the info-hash's leading 8 hex digits), and /stats
+// reports the live rate per torrent. Call before serving traffic.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	s.mAnnounces = reg.Counter("tracker_announces_total")
+	s.ihm = map[[20]byte]*ihMetrics{}
+}
+
+// noteAnnounceLocked updates the obs series for one announce. Callers
+// must hold mu (the per-infohash window state is mu-guarded).
+func (s *Server) noteAnnounceLocked(ih [20]byte) {
+	if s.reg == nil {
+		return
+	}
+	m := s.ihm[ih]
+	if m == nil {
+		label := fmt.Sprintf("%x", ih[:4])
+		m = &ihMetrics{
+			announces: s.reg.Counter(obs.SeriesName("tracker_announces_total", "info_hash", label)),
+			peers:     s.reg.Gauge(obs.SeriesName("tracker_peers", "info_hash", label)),
+			rate:      s.reg.Gauge(obs.SeriesName("tracker_announce_rate", "info_hash", label)),
+			winStart:  s.now(),
+		}
+		s.ihm[ih] = m
+	}
+	s.mAnnounces.Inc()
+	m.announces.Inc()
+	m.winCount++
+	el := s.now().Sub(m.winStart)
+	if el < time.Second {
+		el = time.Second // young window: assume at least a second so the rate is bounded
+	}
+	m.rate.Set(float64(m.winCount) / el.Seconds())
+	if el >= rateWindow {
+		m.winStart = s.now()
+		m.winCount = 0
+	}
+	m.peers.Set(float64(len(s.torrents[ih])))
 }
 
 // Handler returns the tracker's HTTP handler (routes: /announce, /stats).
@@ -154,6 +221,7 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 		peers[entry.key()] = entry
 	}
 	s.prune(ih)
+	s.noteAnnounceLocked(ih)
 	sample := s.samplePeers(ih, numWant, entry.key())
 	complete, incomplete := s.countLocked(ih)
 	s.mu.Unlock()
@@ -250,6 +318,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "torrents: %d\n", len(s.torrents))
 	for ih, peers := range s.torrents {
 		c, i := s.countLocked(ih)
-		fmt.Fprintf(w, "%x: %d peers (%d seeds, %d leechers)\n", ih[:4], len(peers), c, i)
+		fmt.Fprintf(w, "%x: %d peers (%d seeds, %d leechers)", ih[:4], len(peers), c, i)
+		if m := s.ihm[ih]; m != nil {
+			fmt.Fprintf(w, ", %.2f announces/s, %d announces total",
+				m.rate.Value(), m.announces.Value())
+		}
+		fmt.Fprintln(w)
 	}
 }

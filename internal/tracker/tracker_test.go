@@ -1,9 +1,15 @@
 package tracker
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"rarestfirst/internal/obs"
 )
 
 func announceVia(t *testing.T, url string, ih, pid [20]byte, port int, left int64, extra func(*AnnounceRequest)) *AnnounceResponse {
@@ -195,5 +201,82 @@ func TestParseAnnounceResponseErrors(t *testing.T) {
 	// Missing peers key is fine.
 	if r, err := ParseAnnounceResponse([]byte("d8:intervali60ee")); err != nil || r.Interval != 60 {
 		t.Fatalf("minimal response: %v %+v", err, r)
+	}
+}
+
+func TestMetricsPerInfohash(t *testing.T) {
+	srv := NewServer(900)
+	reg := obs.NewRegistry()
+	srv.SetMetrics(reg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "demo-infohash-12345_")
+
+	announceVia(t, url, ih, pid(1), 7001, 1000, nil)
+	announceVia(t, url, ih, pid(2), 7002, 0, nil)
+
+	if v, ok := reg.Value("tracker_announces_total"); !ok || v != 2 {
+		t.Errorf("tracker_announces_total = %v, %v; want 2", v, ok)
+	}
+	label := fmt.Sprintf("%x", ih[:4])
+	if v, ok := reg.Value(obs.SeriesName("tracker_announces_total", "info_hash", label)); !ok || v != 2 {
+		t.Errorf("per-infohash announces = %v, %v; want 2", v, ok)
+	}
+	if v, ok := reg.Value(obs.SeriesName("tracker_peers", "info_hash", label)); !ok || v != 2 {
+		t.Errorf("per-infohash peers gauge = %v, %v; want 2", v, ok)
+	}
+	// Two announces inside the first (clamped 1 s) window: rate = 2/s.
+	if v, ok := reg.Value(obs.SeriesName("tracker_announce_rate", "info_hash", label)); !ok || v != 2 {
+		t.Errorf("per-infohash announce rate = %v, %v; want 2", v, ok)
+	}
+
+	// /stats surfaces the live rate alongside the swarm counts.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "announces/s") || !strings.Contains(string(body), "2 announces total") {
+		t.Errorf("/stats missing announce metrics:\n%s", body)
+	}
+
+	// /metrics (the registry handler) exports the same series.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `tracker_announces_total{info_hash="`+label+`"} 2`) {
+		t.Errorf("prometheus export missing labeled series:\n%s", buf.String())
+	}
+}
+
+func TestMetricsRateWindowRebases(t *testing.T) {
+	srv := NewServer(900)
+	reg := obs.NewRegistry()
+	srv.SetMetrics(reg)
+	now := time.Unix(1000, 0)
+	srv.now = func() time.Time { return now }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "window-infohash-123_")
+
+	announceVia(t, url, ih, pid(1), 7001, 1000, nil)
+	now = now.Add(rateWindow) // past the window: next announce re-bases it
+	announceVia(t, url, ih, pid(2), 7002, 0, nil)
+	now = now.Add(2 * time.Second)
+	announceVia(t, url, ih, pid(1), 7001, 1000, nil)
+
+	label := fmt.Sprintf("%x", ih[:4])
+	// Fresh window holds one announce over 2 s clamped elapsed: 0.5/s.
+	if v, ok := reg.Value(obs.SeriesName("tracker_announce_rate", "info_hash", label)); !ok || v != 0.5 {
+		t.Errorf("post-rebase rate = %v, %v; want 0.5", v, ok)
+	}
+	if v, _ := reg.Value(obs.SeriesName("tracker_announces_total", "info_hash", label)); v != 3 {
+		t.Errorf("cumulative announces = %v; want 3 (window re-base must not reset the counter)", v)
 	}
 }

@@ -167,6 +167,15 @@ type EventHeapStats struct {
 	Shards        int    `json:",omitempty"`
 	PeakShardHeap int    `json:",omitempty"`
 	MergePops     uint64 `json:",omitempty"`
+	// Engine phase timing (PR 8, internal/obs): wall-clock nanoseconds
+	// spent in each scheduler phase, populated only when a run executes
+	// with an active obs registry. Wall-clock telemetry, not simulation
+	// output — reportDigest zeroes Events, so these never affect goldens.
+	LaneComputeNs uint64 `json:",omitempty"`
+	LaneApplyNs   uint64 `json:",omitempty"`
+	MergeNs       uint64 `json:",omitempty"`
+	RetimeFlushNs uint64 `json:",omitempty"`
+	HaveFlushNs   uint64 `json:",omitempty"`
 }
 
 // buildReport derives every figure's statistics from the run result.
@@ -207,6 +216,11 @@ func buildReport(sc Scenario, spec torrents.Spec, cfg swarm.Config, res *swarm.R
 			Shards:         res.Events.Shards,
 			PeakShardHeap:  res.Events.PeakShardHeap,
 			MergePops:      res.Events.MergePops,
+			LaneComputeNs:  res.Events.LaneComputeNs,
+			LaneApplyNs:    res.Events.LaneApplyNs,
+			MergeNs:        res.Events.MergeNs,
+			RetimeFlushNs:  res.Events.RetimeFlushNs,
+			HaveFlushNs:    res.Events.HaveFlushNs,
 		},
 	}
 	for _, e := range col.Events {

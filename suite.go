@@ -3,9 +3,14 @@ package rarestfirst
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"rarestfirst/internal/obs"
 	"rarestfirst/internal/scenario"
 )
 
@@ -77,6 +82,15 @@ func NewSuite(name string, o SuiteOptions) (Suite, error) {
 type Runner struct {
 	// Workers bounds the pool; <= 0 means runtime.NumCPU().
 	Workers int
+	// Heartbeat, when positive, emits one progress line to HeartbeatW
+	// every interval while Run executes (plus a final line at
+	// completion): elapsed wall time, finished/total scenarios, and —
+	// when a process-wide obs registry is active — live counters
+	// (events fired, arrivals, peak lane width). Long batches like
+	// MegaSwarm then narrate themselves instead of running silent.
+	Heartbeat time.Duration
+	// HeartbeatW receives heartbeat lines; nil means os.Stderr.
+	HeartbeatW io.Writer
 }
 
 func (r Runner) workers(n int) int {
@@ -99,6 +113,9 @@ func (r Runner) workers(n int) int {
 func (r Runner) Run(scs []Scenario) ([]*Report, error) {
 	reports := make([]*Report, len(scs))
 	errs := make([]error, len(scs))
+	var done atomic.Int64
+	stopBeat := r.startHeartbeat(&done, len(scs))
+	defer stopBeat()
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < r.workers(len(scs)); w++ {
@@ -107,6 +124,7 @@ func (r Runner) Run(scs []Scenario) ([]*Report, error) {
 			defer wg.Done()
 			for i := range idx {
 				rep, err := Run(scs[i])
+				done.Add(1)
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario %d (torrent %d %s): %w", i, scs[i].TorrentID, scs[i].Label, err)
 					continue
@@ -121,6 +139,56 @@ func (r Runner) Run(scs []Scenario) ([]*Report, error) {
 	close(idx)
 	wg.Wait()
 	return reports, errors.Join(errs...)
+}
+
+// startHeartbeat launches the progress ticker when Heartbeat is set; the
+// returned stop function prints the final line and joins the goroutine.
+// With Heartbeat <= 0 both are no-ops.
+func (r Runner) startHeartbeat(done *atomic.Int64, total int) func() {
+	if r.Heartbeat <= 0 {
+		return func() {}
+	}
+	w := r.HeartbeatW
+	if w == nil {
+		w = os.Stderr
+	}
+	start := time.Now()
+	stop := make(chan struct{})
+	finished := make(chan struct{})
+	beat := func() {
+		line := fmt.Sprintf("heartbeat: elapsed=%s runs=%d/%d",
+			time.Since(start).Round(100*time.Millisecond), done.Load(), total)
+		if reg := obs.Active(); reg != nil {
+			if v, ok := reg.Value("sim_events_total"); ok {
+				line += fmt.Sprintf(" events=%.0f", v)
+			}
+			if v, ok := reg.Value("swarm_arrivals_total"); ok {
+				line += fmt.Sprintf(" arrivals=%.0f", v)
+			}
+			if v, ok := reg.Value("sim_peak_lane_width"); ok && v > 0 {
+				line += fmt.Sprintf(" peak_lane=%.0f", v)
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(r.Heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				beat()
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-finished
+		beat() // final line: runs=total, closing counter values
+	}
 }
 
 // RunSuite executes the suite, aggregates its reports, and — when the
