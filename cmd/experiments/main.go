@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"rarestfirst"
+	"rarestfirst/internal/adversary"
 	"rarestfirst/internal/cliutil"
 	"rarestfirst/internal/netem"
 	"rarestfirst/internal/obs"
@@ -60,6 +61,7 @@ func main() {
 	list := flag.Bool("list", false, "list the registered scenario suites and exit")
 	jsonPath := flag.String("json", "", "also write one JSON line per run to this file")
 	faults := flag.String("faults", "", "apply this named netem fault plan ("+netem.PlanNamesString()+") to every scenario that has none")
+	adversaryName := flag.String("adversary", "", "mix this named Byzantine peer model ("+adversary.ModelNamesString()+") into every scenario that has none")
 	progress := flag.Duration("progress", 0, "emit a heartbeat line (elapsed, runs, events fired, arrivals, peak lane width) every interval")
 	metricsPath := flag.String("metrics", "", "sample the obs registry into this JSONL time-series file (cadence: -progress interval, default 5s)")
 	flag.Parse()
@@ -107,6 +109,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *adversaryName != "" {
+		if _, aerr := adversary.ModelByName(*adversaryName); aerr != nil {
+			fmt.Fprintln(os.Stderr, aerr)
+			os.Exit(2)
+		}
+		if *suiteName == "" && !*liveOnly {
+			fmt.Fprintln(os.Stderr, "-adversary applies to registry scenarios; combine it with -suite or -live")
+			os.Exit(2)
+		}
+	}
 
 	// -progress and -metrics both need the runtime observability layer:
 	// install the process-wide registry before any swarm is built so
@@ -133,19 +145,20 @@ func main() {
 	sink := &jsonSink{path: *jsonPath}
 	if *liveOnly {
 		for _, name := range rarestfirst.SuiteNames() {
-			if !strings.HasPrefix(name, "live-") && !strings.HasPrefix(name, "chaos-") {
+			if !strings.HasPrefix(name, "live-") && !strings.HasPrefix(name, "chaos-") &&
+				!strings.HasPrefix(name, "adv-") {
 				continue
 			}
 			// Live suites carry their own wall-clock scales; only the
 			// seed fan-out applies.
-			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, *faults, sink); err != nil {
+			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, *faults, *adversaryName, sink); err != nil {
 				break
 			}
 		}
 	} else if *suiteName != "" {
 		err = runSuite(*outDir, runner, *suiteName, rarestfirst.SuiteOptions{
 			Scale: scale, Seeds: seeds, Torrents: ids,
-		}, *faults, sink)
+		}, *faults, *adversaryName, sink)
 	} else {
 		err = run(*outDir, runner, scale, ids, seeds, !*skipAblations, sink)
 	}
@@ -230,8 +243,9 @@ func (s *jsonSink) flush() error {
 // leaves the suite's own torrent selection in place. A non-empty faults
 // plan is applied to every scenario that does not already carry one, so
 // -faults chaos turns any registry family into its chaos variant without
-// clobbering the chaos-* suites' built-in plans.
-func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, faults string, sink *jsonSink) error {
+// clobbering the chaos-* suites' built-in plans; -adversary mixes a
+// Byzantine model in the same way.
+func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, faults, adversaryName string, sink *jsonSink) error {
 	suite, err := rarestfirst.NewSuite(name, o)
 	if err != nil {
 		return err
@@ -240,6 +254,13 @@ func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfir
 		for i := range suite.Scenarios {
 			if suite.Scenarios[i].Faults == "" {
 				suite.Scenarios[i].Faults = faults
+			}
+		}
+	}
+	if adversaryName != "" {
+		for i := range suite.Scenarios {
+			if suite.Scenarios[i].Adversary == "" {
+				suite.Scenarios[i].Adversary = adversaryName
 			}
 		}
 	}

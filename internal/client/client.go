@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"rarestfirst/internal/adversary"
 	"rarestfirst/internal/bitfield"
 	"rarestfirst/internal/core"
 	"rarestfirst/internal/metainfo"
@@ -111,6 +112,20 @@ type Options struct {
 	// clients; its Observe hook is wired into this client's fault
 	// counters.
 	Faults *netem.Injector
+
+	// Adversary, when non-nil, makes this client Byzantine: it corrupts
+	// outbound blocks, advertises a full bitfield, or floods requests
+	// according to the behavior's model. The behavior must not be shared
+	// across clients. Honest clients leave it nil.
+	Adversary *adversary.Behavior
+	// PoisonStrikes is the hash-failure strike count at which a peer
+	// that contributed blocks to corrupt pieces is banned (0 = 2).
+	// Sole contributors of a failed piece are banned on the first
+	// strike regardless.
+	PoisonStrikes int
+	// NoPoisonBan disables banning on hash failures (measurement mode:
+	// faults are still counted, poisoners stay in the peer set).
+	NoPoisonBan bool
 }
 
 // Client is a single-torrent BitTorrent peer.
@@ -153,6 +168,12 @@ type Client struct {
 	annRetryBase time.Duration
 	annRetryMax  time.Duration
 	inj          *netem.Injector
+
+	// Byzantine behavior (nil for honest clients) and the defense
+	// thresholds honest clients apply (immutable after New).
+	adv           *adversary.Behavior
+	poisonStrikes int
+	noPoisonBan   bool
 
 	ln         net.Listener
 	wg         sync.WaitGroup
@@ -219,6 +240,10 @@ func New(opts Options) (*Client, error) {
 	if annRetryMax <= 0 {
 		annRetryMax = 30 * time.Second
 	}
+	poisonStrikes := opts.PoisonStrikes
+	if poisonStrikes <= 0 {
+		poisonStrikes = 2
+	}
 	c := &Client{
 		meta:         opts.Meta,
 		geo:          geo,
@@ -242,6 +267,10 @@ func New(opts Options) (*Client, error) {
 		annRetryBase: annRetryBase,
 		annRetryMax:  annRetryMax,
 		inj:          opts.Faults,
+
+		adv:           opts.Adversary,
+		poisonStrikes: poisonStrikes,
+		noPoisonBan:   opts.NoPoisonBan,
 	}
 	c.tr = newTracer(opts.Trace, c.start)
 	c.om = newClientMetrics(obs.Active())
@@ -354,7 +383,38 @@ func (c *Client) Start(listenAddr, announceURL string) error {
 		c.wg.Add(1)
 		go c.requestTimeoutLoop()
 	}
+	if c.adv != nil && c.adv.FloodInterval() > 0 {
+		c.wg.Add(1)
+		go c.floodLoop(c.adv.FloodInterval())
+	}
 	return nil
+}
+
+// floodLoop is the request-flood adversary: every interval it fires one
+// piece request at every connected peer, ignoring choke and interest
+// state. Honest peers defend by closing connections that accumulate
+// unservable requests (see handleRequest).
+func (c *Client) floodLoop(interval time.Duration) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			c.mu.Lock()
+			conns := append([]*peerConn(nil), c.connOrder...)
+			c.mu.Unlock()
+			for _, pc := range conns {
+				piece := c.adv.FloodPiece(c.geo.NumPieces)
+				size := c.geo.BlockSize(piece, 0)
+				pc.send(func(e *wire.Encoder) error {
+					return e.Request(uint32(piece), 0, uint32(size))
+				})
+			}
+		}
+	}
 }
 
 // Stop closes the listener and every connection and waits for goroutines.

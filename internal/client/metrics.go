@@ -37,3 +37,11 @@ func (c *Client) fault(kind string) {
 		c.om.reg.Counter(obs.SeriesName("client_faults_total", "kind", kind)).Inc()
 	}
 }
+
+// faultN is fault with a count, for byte-valued kinds (wasted_bytes).
+func (c *Client) faultN(kind string, n int) {
+	c.tr.faultN(kind, n)
+	if c.om.reg != nil {
+		c.om.reg.Counter(obs.SeriesName("client_faults_total", "kind", kind)).Add(uint64(n))
+	}
+}

@@ -59,7 +59,22 @@ type peerConn struct {
 	pending map[core.BlockRef]time.Time
 	faults  int
 	snubbed bool
+
+	// Byzantine-defense accounting, guarded by c.mu. poisonStrikes counts
+	// hash-failed pieces this peer contributed blocks to; chokedReqs
+	// counts requests we could not serve (choked or for pieces we lack)
+	// since the peer's last served request — flooders accrue these
+	// without bound, honest peers reset on every served block.
+	poisonStrikes int
+	chokedReqs    int
 }
+
+// floodAbuseLimit is the unservable-request count at which a connection
+// is treated as a request flood and closed. Honest clients stop
+// requesting when choked, so they accrue at most a pipeline's worth of
+// racing requests per choke transition and reset on the next served
+// block; a flooder ignores choke state and crosses the limit quickly.
+const floodAbuseLimit = 64
 
 // send serialises one message to the peer; errors (including a 30-second
 // write stall, which breaks mutual-write deadlocks on full TCP buffers)
@@ -116,6 +131,13 @@ func (c *Client) handleConn(conn net.Conn, outgoing bool) {
 	c.connOrder = append(c.connOrder, pc)
 	myBits := c.req.Have().ToWire()
 	empty := c.req.Have().Empty()
+	if c.adv != nil && c.adv.FakeHaves() {
+		// Bitfield liar: advertise every piece regardless of content.
+		full := bitfield.New(c.geo.NumPieces)
+		full.SetAll()
+		myBits = full.ToWire()
+		empty = false
+	}
 	c.mu.Unlock()
 	c.om.conns.Add(1)
 	c.tr.peerJoined(pc.id)
@@ -289,10 +311,23 @@ func (c *Client) handleRequest(pc *peerConn, m *wire.Message) bool {
 	c.mu.Lock()
 	if !c.req.Have().Has(idx) || !pc.amUnchoking {
 		// Requests for pieces we lack, or sent while choked (a race right
-		// after a choke transition), are silently dropped as in mainline.
+		// after a choke transition), are silently dropped as in mainline —
+		// but tallied: a flooder ignores choke state, so its unservable
+		// requests accrue without bound and cross floodAbuseLimit.
+		pc.chokedReqs++
+		flood := pc.chokedReqs >= floodAbuseLimit
+		if flood {
+			c.banLocked(pc.remoteAddr)
+		}
 		c.mu.Unlock()
+		if flood {
+			c.fault("request_flood")
+			pc.conn.Close()
+			return false
+		}
 		return true
 	}
+	pc.chokedReqs = 0
 	if begin+length > c.geo.PieceSize(idx) {
 		c.mu.Unlock()
 		return false
@@ -300,6 +335,11 @@ func (c *Client) handleRequest(pc *peerConn, m *wire.Message) bool {
 	start := int64(idx)*int64(c.geo.PieceLength) + int64(begin)
 	block := append([]byte(nil), c.content[start:start+int64(length)]...)
 	c.mu.Unlock()
+	if c.adv != nil {
+		// Piece poisoner: corrupt the outbound copy (never our own
+		// storage) at the model's seeded rate.
+		c.adv.MaybePoison(block)
+	}
 
 	// Global upload cap: one token per byte.
 	c.bucketMu.Lock()
@@ -355,7 +395,9 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 		endgameEntered = true
 	}
 	var verifiedPiece = -1
-	var completed bool
+	var completed, hashFailed bool
+	var wastedBytes int
+	var poisonBanned []*peerConn
 	if done {
 		if c.meta.VerifyPiece(idx, c.pieceData(idx)) {
 			verifiedPiece = idx
@@ -364,8 +406,14 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 				c.seeding = true
 			}
 		} else {
-			// Hash failure: revert acceptance and re-download the piece.
+			// Hash failure: blame the peers that supplied blocks of this
+			// piece before the requester forgets them, then revert
+			// acceptance and re-download.
+			hashFailed = true
+			wastedBytes = c.geo.PieceSize(idx)
+			suppliers := c.req.PieceSuppliers(idx)
 			c.req.OnPieceHashFail(idx)
+			poisonBanned = c.poisonSuspectsLocked(suppliers)
 		}
 	}
 	// Map cancels to conns while locked.
@@ -402,6 +450,19 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 	}
 	for _, cm := range cmsgs {
 		cm.pc.send(func(e *wire.Encoder) error { return e.Cancel(cm.piece, cm.begin, cm.length) })
+	}
+	if hashFailed {
+		c.fault("piece_hash_fail")
+		c.faultN("wasted_bytes", wastedBytes)
+		// Close banned contributors outside the lock; their dropConn
+		// requeues whatever they still had pending.
+		for _, bp := range poisonBanned {
+			c.fault("peer_banned_poison")
+			bp.conn.Close()
+		}
+		// The failed piece is requestable again: top up every surviving
+		// pipeline so the re-download starts elsewhere right away.
+		c.refreshAllInterest()
 	}
 	if verifiedPiece >= 0 {
 		c.broadcastHave(verifiedPiece)

@@ -142,6 +142,45 @@ func TestProtocolIgnoresRequestWhileChoked(t *testing.T) {
 	}
 }
 
+func TestProtocolSurvivesAdversarialFrames(t *testing.T) {
+	// A Byzantine peer sends hostile framing; the client must close each
+	// connection without panicking and keep serving honest peers after.
+	seed, ih := startSeed(t)
+	frames := []struct {
+		name string
+		raw  []byte
+	}{
+		{"oversized declared length", []byte{0xff, 0xff, 0xff, 0xff}},
+		{"request out-of-range index", []byte{0, 0, 0, 13, 6, 0, 0, 0x27, 0x0f, 0, 0, 0, 0, 0, 0, 0x40, 0}},
+		{"request absurd length", []byte{0, 0, 0, 13, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}},
+		{"piece out-of-range index", []byte{0, 0, 0, 13, 7, 0, 0, 0x27, 0x0f, 0, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}},
+		{"piece misaligned begin", []byte{0, 0, 0, 13, 7, 0, 0, 0, 0, 0, 0, 0, 7, 0xde, 0xad, 0xbe, 0xef}},
+		{"truncated body", []byte{0, 0, 0, 100, 7, 0, 0}},
+		{"unknown id", []byte{0, 0, 0, 1, 0x2a}},
+		{"choke with payload", []byte{0, 0, 0, 2, 0, 9}},
+	}
+	for _, f := range frames {
+		conn := dialHandshake(t, seed, ih)
+		if _, err := conn.Write(f.raw); err != nil {
+			t.Fatalf("%s: write: %v", f.name, err)
+		}
+		expectClosed(t, conn)
+		conn.Close()
+	}
+	// The seed survived every attack: an honest leecher still completes.
+	m := seed.meta
+	leech, err := New(Options{Meta: m, UploadBps: 8 << 20, ChokeInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leech.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer leech.Stop()
+	leech.AddPeer(seed.Addr())
+	waitComplete(t, 30*time.Second, leech)
+}
+
 func TestProtocolKeepAliveIsHarmless(t *testing.T) {
 	seed, ih := startSeed(t)
 	conn := dialHandshake(t, seed, ih)

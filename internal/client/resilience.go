@@ -10,6 +10,8 @@ package client
 import (
 	"net"
 	"time"
+
+	"rarestfirst/internal/core"
 )
 
 // backoffDelay is the jittered exponential backoff for the n-th
@@ -66,6 +68,32 @@ func (c *Client) banLocked(addr string) {
 	c.banned[addr] = time.Now().Add(c.banFor)
 }
 
+// poisonSuspectsLocked accrues suspicion on the peers that supplied
+// blocks of a hash-failed piece and returns the connections that crossed
+// into a ban (for the caller to close outside the lock). A sole
+// contributor is banned immediately — only it could have corrupted the
+// piece; with mixed contributors each gets a strike and is banned at the
+// configured threshold. Caller holds c.mu.
+func (c *Client) poisonSuspectsLocked(suppliers []core.PeerID) []*peerConn {
+	var banned []*peerConn
+	sole := len(suppliers) == 1
+	for _, id := range suppliers {
+		pc := c.conns[id]
+		if pc == nil {
+			continue // already gone; its blocks were requeued by dropConn
+		}
+		pc.poisonStrikes++
+		if c.noPoisonBan {
+			continue
+		}
+		if sole || pc.poisonStrikes >= c.poisonStrikes {
+			c.banLocked(pc.remoteAddr)
+			banned = append(banned, pc)
+		}
+	}
+	return banned
+}
+
 // requestTimeoutLoop scans pending requests a few times per timeout
 // window. Only started when Options.RequestTimeout is positive.
 func (c *Client) requestTimeoutLoop() {
@@ -107,6 +135,12 @@ func (c *Client) expireRequests() {
 			delete(pc.pending, ref)
 			c.req.OnRequestTimeout(pc.id, ref)
 			c.fault("request_timeout")
+			if pc.peerUnchoking {
+				// The peer advertised the piece, unchoked us, then never
+				// delivered — the fake-HAVE signature (an honest choke
+				// would have cleared the pending set first).
+				c.fault("fake_have_timeout")
+			}
 			n++
 		}
 		if n == 0 {

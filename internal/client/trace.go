@@ -168,6 +168,15 @@ func (t *tracer) fault(kind string) {
 	t.mu.Unlock()
 }
 
+func (t *tracer) faultN(kind string, n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.col.AddFault(kind, n)
+	t.mu.Unlock()
+}
+
 func (t *tracer) sample(s trace.AvailSample) {
 	if t == nil {
 		return

@@ -57,7 +57,11 @@ type Requester struct {
 	order   []int
 	pending map[PeerID]map[BlockRef]struct{}
 	holders map[BlockRef]map[PeerID]struct{} // end-game duplicate tracking
-	endgame bool
+	// suppliers records, per piece, which peers delivered counted blocks.
+	// Unlike progress it survives piece completion, so the client can
+	// attribute blame when the assembled bytes fail verification.
+	suppliers map[int][]PeerID
+	endgame   bool
 	// downloaded counts pieces completed; drives random-first.
 	downloaded int
 	// pick is the PickState scratch reused across Next calls so the
@@ -68,13 +72,14 @@ type Requester struct {
 // NewRequester returns a Requester over the given geometry using picker.
 func NewRequester(geo metainfo.Geometry, picker Picker) *Requester {
 	return &Requester{
-		geo:      geo,
-		picker:   picker,
-		have:     bitfield.New(geo.NumPieces),
-		inflight: bitfield.New(geo.NumPieces),
-		progress: map[int]*pieceProgress{},
-		pending:  map[PeerID]map[BlockRef]struct{}{},
-		holders:  map[BlockRef]map[PeerID]struct{}{},
+		geo:       geo,
+		picker:    picker,
+		have:      bitfield.New(geo.NumPieces),
+		inflight:  bitfield.New(geo.NumPieces),
+		progress:  map[int]*pieceProgress{},
+		pending:   map[PeerID]map[BlockRef]struct{}{},
+		holders:   map[BlockRef]map[PeerID]struct{}{},
+		suppliers: map[int][]PeerID{},
 	}
 }
 
@@ -194,6 +199,7 @@ func (r *Requester) startPiece(i int) {
 	r.progress[i] = &pieceProgress{requested: make([]bool, nb), received: make([]bool, nb)}
 	r.inflight.Set(i)
 	r.order = append(r.order, i)
+	delete(r.suppliers, i)
 }
 
 // dropPiece removes piece i from the in-flight bookkeeping.
@@ -259,6 +265,7 @@ func (r *Requester) OnBlock(peer PeerID, ref BlockRef) (pieceDone bool, cancels 
 	}
 	p.received[ref.Block] = true
 	p.nReceived++
+	r.noteSupplier(peer, ref.Piece)
 	r.forget(peer, ref)
 	// Cancel every other pending copy of this block, in peer order so the
 	// caller's reaction sequence is deterministic.
@@ -290,6 +297,32 @@ func (r *Requester) OnPieceHashFail(i int) {
 	r.OnPieceFailed(i)
 }
 
+// noteSupplier records that peer delivered a counted block of piece i.
+// The list is small (a piece usually has one supplier; end game adds a
+// few), so a linear dedup scan beats a map.
+func (r *Requester) noteSupplier(peer PeerID, i int) {
+	for _, p := range r.suppliers[i] {
+		if p == peer {
+			return
+		}
+	}
+	r.suppliers[i] = append(r.suppliers[i], peer)
+}
+
+// PieceSuppliers returns the peers that delivered counted blocks of piece
+// i, sorted by id. Call it before OnPieceHashFail — the failure path
+// clears the record so the re-download starts with a clean slate.
+func (r *Requester) PieceSuppliers(i int) []PeerID {
+	src := r.suppliers[i]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]PeerID, len(src))
+	copy(out, src)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // OnPieceFailed resets all block state for piece i after a hash failure so
 // it will be downloaded again (real client path).
 func (r *Requester) OnPieceFailed(i int) {
@@ -297,6 +330,7 @@ func (r *Requester) OnPieceFailed(i int) {
 		panic(fmt.Sprintf("core: piece %d failed after acceptance", i))
 	}
 	r.dropPiece(i)
+	delete(r.suppliers, i)
 	for peer, refs := range r.pending {
 		for ref := range refs {
 			if ref.Piece == i {
@@ -375,4 +409,70 @@ func (r *Requester) dropHolder(peer PeerID, ref BlockRef) {
 			delete(r.holders, ref)
 		}
 	}
+}
+
+// CheckConsistency cross-checks the Requester's redundant bookkeeping
+// (bitfields, progress maps, order list, pending sets, holder sets) and
+// returns the first violation found, or nil. It is a pure read intended
+// for the swarm invariant checker and tests; it never mutates state.
+func (r *Requester) CheckConsistency() error {
+	if got := r.have.Count(); got != r.downloaded {
+		return fmt.Errorf("core: downloaded=%d but have.Count()=%d", r.downloaded, got)
+	}
+	for i := 0; i < r.geo.NumPieces; i++ {
+		inProg := r.progress[i] != nil
+		if r.have.Has(i) && r.inflight.Has(i) {
+			return fmt.Errorf("core: piece %d both have and inflight", i)
+		}
+		if inProg != r.inflight.Has(i) {
+			return fmt.Errorf("core: piece %d progress=%v inflight=%v", i, inProg, r.inflight.Has(i))
+		}
+	}
+	if len(r.order) != len(r.progress) {
+		return fmt.Errorf("core: order len %d != progress len %d", len(r.order), len(r.progress))
+	}
+	for _, i := range r.order {
+		p := r.progress[i]
+		if p == nil {
+			return fmt.Errorf("core: order lists piece %d with no progress", i)
+		}
+		nReq, nRecv := 0, 0
+		for b := range p.requested {
+			if p.requested[b] {
+				nReq++
+			}
+			if p.received[b] {
+				nRecv++
+			}
+		}
+		if nReq != p.nRequest || nRecv != p.nReceived {
+			return fmt.Errorf("core: piece %d counters req=%d/%d recv=%d/%d", i, p.nRequest, nReq, p.nReceived, nRecv)
+		}
+	}
+	for peer, refs := range r.pending {
+		for ref := range refs {
+			if _, ok := r.holders[ref][peer]; !ok {
+				return fmt.Errorf("core: pending %v on peer %d missing from holders", ref, peer)
+			}
+			p := r.progress[ref.Piece]
+			if p == nil {
+				return fmt.Errorf("core: pending %v on peer %d for piece with no progress", ref, peer)
+			}
+			if !p.requested[ref.Block] || p.received[ref.Block] {
+				return fmt.Errorf("core: pending %v on peer %d but requested=%v received=%v",
+					ref, peer, p.requested[ref.Block], p.received[ref.Block])
+			}
+		}
+	}
+	for ref, hs := range r.holders {
+		if len(hs) == 0 {
+			return fmt.Errorf("core: empty holder set for %v", ref)
+		}
+		for peer := range hs {
+			if _, ok := r.pending[peer][ref]; !ok {
+				return fmt.Errorf("core: holder %d of %v missing from pending", peer, ref)
+			}
+		}
+	}
+	return nil
 }

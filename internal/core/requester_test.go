@@ -401,3 +401,117 @@ func TestRequesterPartialRemote(t *testing.T) {
 		t.Fatal("request offered with nothing wanted from this remote")
 	}
 }
+
+func TestRequesterPieceSuppliers(t *testing.T) {
+	// Suppliers survive piece completion (blame attribution after a hash
+	// failure) and dedup repeat deliveries from the same peer.
+	r := newTestRequester(2)
+	rng := rand.New(rand.NewSource(20))
+	remote := fullRemote(2)
+	first, _ := r.Next(rng, PeerID(1), remote)
+	r.OnBlock(1, first)
+	for b := 1; b < 4; b++ {
+		ref, ok := r.Next(rng, PeerID(2), remote)
+		if !ok || ref.Piece != first.Piece {
+			t.Fatalf("strict priority: %+v ok=%v", ref, ok)
+		}
+		r.OnBlock(2, ref)
+	}
+	got := r.PieceSuppliers(first.Piece)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("suppliers = %v, want [1 2]", got)
+	}
+	if s := r.PieceSuppliers(1 - first.Piece); s != nil {
+		t.Fatalf("untouched piece has suppliers %v", s)
+	}
+	// The record clears on hash failure so the re-download starts fresh.
+	r.OnPieceHashFail(first.Piece)
+	if s := r.PieceSuppliers(first.Piece); s != nil {
+		t.Fatalf("suppliers survived hash failure: %v", s)
+	}
+}
+
+func TestRequesterHashFailDuringEndGame(t *testing.T) {
+	// A hash failure on the final piece — detected while end game
+	// duplicates are still pending on other peers — must revert acceptance
+	// exactly once, leave the bookkeeping consistent, and let the
+	// re-download complete without double-counting.
+	r := newTestRequester(2)
+	rng := rand.New(rand.NewSource(21))
+	remote := fullRemote(2)
+
+	// Peer 1 downloads piece A entirely, then all but the last block of
+	// piece B.
+	var refs []BlockRef
+	for i := 0; i < 8; i++ {
+		ref, ok := r.Next(rng, PeerID(1), remote)
+		if !ok {
+			t.Fatalf("step %d: nothing offered", i)
+		}
+		refs = append(refs, ref)
+		if i < 7 {
+			r.OnBlock(1, ref)
+		}
+	}
+	last := refs[7] // requested on peer 1, not yet delivered
+
+	// Every block is now received or requested: peer 2 asking must flip
+	// end game mode and duplicate the missing block.
+	dup, ok := r.Next(rng, PeerID(2), remote)
+	if !ok || !r.InEndGame() {
+		t.Fatalf("no end game entry: ok=%v endgame=%v", ok, r.InEndGame())
+	}
+	if dup != last {
+		t.Fatalf("end game duplicated %+v, want %+v", dup, last)
+	}
+
+	// Peer 2 wins the race; its copy completes the piece (cancel goes to
+	// peer 1) but the assembled piece fails verification.
+	done, cancels := r.OnBlock(2, dup)
+	if !done || len(cancels) != 1 || cancels[0].Peer != 1 {
+		t.Fatalf("done=%v cancels=%v", done, cancels)
+	}
+	if !r.Complete() || r.Downloaded() != 2 {
+		t.Fatalf("pre-fail state: complete=%v downloaded=%d", r.Complete(), r.Downloaded())
+	}
+	suppliers := r.PieceSuppliers(last.Piece)
+	r.OnPieceHashFail(last.Piece)
+	if len(suppliers) == 0 {
+		t.Fatal("no suppliers recorded for the failed piece")
+	}
+	if r.Complete() || r.Downloaded() != 1 {
+		t.Fatalf("post-fail state: complete=%v downloaded=%d", r.Complete(), r.Downloaded())
+	}
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent after end game hash fail: %v", err)
+	}
+	// A second revert of the same piece is a no-op, not a double decrement.
+	r.OnPieceHashFail(last.Piece)
+	if r.Downloaded() != 1 {
+		t.Fatalf("double revert changed downloaded to %d", r.Downloaded())
+	}
+
+	// Peer 1's stale end game copy arrives after the revert: the piece was
+	// re-armed, so this delivery counts toward the fresh attempt at most
+	// once and never re-completes the torrent on its own.
+	r.OnBlock(1, last)
+	if r.Complete() {
+		t.Fatal("stale duplicate completed the torrent")
+	}
+
+	// Re-download the failed piece; the torrent completes exactly once,
+	// with downloaded equal to the piece count.
+	for !r.Complete() {
+		ref, ok := r.Next(rng, PeerID(2), remote)
+		if !ok {
+			t.Fatalf("re-download stuck at downloaded=%d", r.Downloaded())
+		}
+		r.OnBlock(2, ref)
+	}
+	if r.Downloaded() != 2 {
+		t.Fatalf("final downloaded = %d, want 2 (no double count)", r.Downloaded())
+	}
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent after re-download: %v", err)
+	}
+}

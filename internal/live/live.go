@@ -15,6 +15,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -22,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"rarestfirst/internal/adversary"
 	"rarestfirst/internal/client"
 	"rarestfirst/internal/metainfo"
 	"rarestfirst/internal/netem"
@@ -73,6 +75,17 @@ type Config struct {
 	// window, seed failure) is anchored to Deadline, and each client's
 	// injector seed derives from the run seed.
 	Faults netem.Plan
+
+	// Adversary is the Byzantine peer model mixed into the swarm; the
+	// zero model (no Spec.Adversary) provisions none. Adversarial clients
+	// join on top of the honest population — poisoners as content-bearing
+	// seeds, liars and flooders as leechers — and are excluded from the
+	// completion accounting and the global-availability view (their
+	// copies are not trustworthy availability).
+	Adversary adversary.Model
+	// AdversaryNoBan turns off the honest clients' poisoner-ban response
+	// (measurement mode: hash failures and wasted bytes still count).
+	AdversaryNoBan bool
 
 	// Client resilience policy, zero = the client's own defaults. FromSpec
 	// tightens these for chaos runs so retries fit wall-clock deadlines.
@@ -182,9 +195,26 @@ func FromSpec(sp scenario.Spec) (Config, error) {
 			return Config{}, fmt.Errorf("live: unknown fault plan %q (have: %s)", sp.Faults, netem.PlanNamesString())
 		}
 		cfg.Faults = plan
-		// Chaos runs live on seconds-scale deadlines, so the resilience
-		// schedule tightens accordingly: several dial retries and announce
-		// backoffs must fit inside the run.
+		if plan.SeedSlowFactor > 0 {
+			cfg.SeedUploadBps *= plan.SeedSlowFactor
+		}
+		if plan.SeedFailFrac > 0 && cfg.SeedStopAfter == 0 {
+			cfg.SeedStopAfter = time.Duration(plan.SeedFailFrac * float64(cfg.Deadline))
+		}
+	}
+	if sp.Adversary != "" {
+		model, err := adversary.ModelByName(sp.Adversary)
+		if err != nil {
+			return Config{}, fmt.Errorf("live: %v", err)
+		}
+		cfg.Adversary = model
+		cfg.AdversaryNoBan = sp.AdversaryNoBan
+	}
+	if sp.Faults != "" || sp.Adversary != "" {
+		// Chaos and Byzantine runs live on seconds-scale deadlines, so the
+		// resilience schedule tightens accordingly: several dial retries,
+		// request timeouts and announce backoffs must fit inside the run
+		// for the snub/ban machinery to act before the deadline.
 		cfg.DialTimeout = 2 * time.Second
 		cfg.DialRetries = 4
 		cfg.DialBackoff = 100 * time.Millisecond
@@ -193,12 +223,11 @@ func FromSpec(sp scenario.Spec) (Config, error) {
 		cfg.BanFor = 2 * time.Second
 		cfg.AnnounceRetryBase = 200 * time.Millisecond
 		cfg.AnnounceRetryMax = 2 * time.Second
-		if plan.SeedSlowFactor > 0 {
-			cfg.SeedUploadBps *= plan.SeedSlowFactor
-		}
-		if plan.SeedFailFrac > 0 && cfg.SeedStopAfter == 0 {
-			cfg.SeedStopAfter = time.Duration(plan.SeedFailFrac * float64(cfg.Deadline))
-		}
+	}
+	if sp.Adversary != "" {
+		// Bans are permanent in the sim twin; make live bans outlast the
+		// run so a banned poisoner cannot rejoin after the window lapses.
+		cfg.BanFor = 10 * time.Minute
 	}
 	return cfg, nil
 }
@@ -393,6 +422,53 @@ func Run(cfg Config) (*Result, error) {
 		defer timer.Stop()
 	}
 
+	// Adversarial clients join on top of the honest population:
+	// round(Fraction·population) of them, at least one. Poisoners carry
+	// the content (they must be asked for blocks to corrupt them) and pose
+	// as seeds; liars and flooders join as leechers. None of them enter
+	// the completion accounting or the global-availability view — a
+	// poisoner's copies are not trustworthy availability. Identity seeds
+	// (201+i), behavior seeds (301+i) and injector seeds (applyResilience
+	// at 400+i) come from disjoint offset streams of the run seed.
+	var advClients []*client.Client
+	stopAdv := func() {
+		for _, a := range advClients {
+			a.Stop()
+		}
+	}
+	defer stopAdv()
+	if !cfg.Adversary.IsZero() {
+		n := int(math.Round(cfg.Adversary.Fraction * float64(cfg.Leechers+1)))
+		if n < 1 {
+			n = 1
+		}
+		poisoner := cfg.Adversary.Kind() == "poison"
+		for i := 0; i < n; i++ {
+			opts := client.Options{
+				Meta:          meta,
+				UploadBps:     cfg.PeerUploadBps,
+				ChokeInterval: cfg.ChokeInterval,
+				Seed:          scenario.MixSeed(cfg.Seed, 201+i),
+				Adversary:     adversary.New(cfg.Adversary, scenario.MixSeed(cfg.Seed, 301+i)),
+			}
+			if poisoner {
+				opts.Content = content
+				opts.UploadBps = cfg.SeedUploadBps
+			}
+			cfg.applyResilience(&opts, 400+i)
+			a, err := client.New(opts)
+			if err != nil {
+				stopAdv()
+				return nil, fmt.Errorf("live: adversary %d: %w", i, err)
+			}
+			if err := a.Start("127.0.0.1:0", announce); err != nil {
+				stopAdv()
+				return nil, fmt.Errorf("live: adversary %d start: %w", i, err)
+			}
+			advClients = append(advClients, a)
+		}
+	}
+
 	col := trace.NewCollector(0)
 	col.MinResidency = cfg.MinResidency
 
@@ -424,6 +500,7 @@ func Run(cfg Config) (*Result, error) {
 			UploadBps:     cfg.PeerUploadBps,
 			ChokeInterval: cfg.ChokeInterval,
 			Seed:          clientSeed(i + 1),
+			NoPoisonBan:   cfg.AdversaryNoBan,
 		}
 		cfg.applyResilience(&opts, i+1)
 		if i == localIdx {

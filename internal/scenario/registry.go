@@ -509,6 +509,48 @@ func init() {
 				torrents.Scale{MaxPeers: 5, MaxContentMB: 1, MaxPieces: 32, Duration: 60})
 		},
 	})
+	// The adv-* family: Byzantine swarm hardening scenarios. Each pairs a
+	// sim twin with a real-TCP loopback swarm under one label (like the
+	// chaos-* twins) with the invariant checker on, so the suite report
+	// cross-validates the fault/ban counters across backends.
+	Register(Def{
+		Name: "adv-poison",
+		Description: "sim-vs-live Byzantine twin: torrent 10 with a 25% piece-poisoner " +
+			"population (poison25) — provenance tracking bans the poisoners and " +
+			"every honest leecher still completes verified content; a third " +
+			"sim spec disables banning to measure the wasted bandwidth",
+		Build: func(o Options) []Spec {
+			specs := liveTwin(o, Spec{TorrentID: 10, Label: "adv=poison25",
+				Adversary: "poison25", DebugChecks: true},
+				torrents.Scale{MaxPeers: 6, MaxContentMB: 1, MaxPieces: 32, Duration: 60})
+			noban := specs[0]
+			noban.Label = "adv=poison25 noban"
+			noban.AdversaryNoBan = true
+			return append(specs, noban)
+		},
+	})
+	Register(Def{
+		Name: "adv-liar",
+		Description: "sim-vs-live Byzantine twin: torrent 10 with a 25% bitfield-liar " +
+			"population (liar25) — fake HAVEs stall requests into timeouts until " +
+			"the liars are struck and banned",
+		Build: func(o Options) []Spec {
+			return liveTwin(o, Spec{TorrentID: 10, Label: "adv=liar25",
+				Adversary: "liar25", DebugChecks: true},
+				torrents.Scale{MaxPeers: 6, MaxContentMB: 1, MaxPieces: 32, Duration: 60})
+		},
+	})
+	Register(Def{
+		Name: "adv-flood",
+		Description: "sim-vs-live Byzantine twin: torrent 10 with a 25% request-flooder " +
+			"population (flood25) — choked-request abuse trips the flood limiter " +
+			"live, tracker hammering is absorbed in the sim",
+		Build: func(o Options) []Spec {
+			return liveTwin(o, Spec{TorrentID: 10, Label: "adv=flood25",
+				Adversary: "flood25", DebugChecks: true},
+				torrents.Scale{MaxPeers: 6, MaxContentMB: 1, MaxPieces: 32, Duration: 60})
+		},
+	})
 	Register(Def{
 		Name: "chaos-flaky",
 		Description: "sim-vs-live chaos twin: torrent 10 on the \"flaky\" plan — " +

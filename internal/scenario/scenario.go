@@ -11,6 +11,7 @@ package scenario
 import (
 	"fmt"
 
+	"rarestfirst/internal/adversary"
 	"rarestfirst/internal/netem"
 	"rarestfirst/internal/swarm"
 	"rarestfirst/internal/torrents"
@@ -103,6 +104,20 @@ type Spec struct {
 	// with the plan's fractional timing anchored to the run window.
 	// "" (the default, and every golden scenario) injects nothing.
 	Faults string
+	// Adversary names a Byzantine peer model (adversary.ModelByName)
+	// mixed into the run: on the live backend adversarial clients are
+	// provisioned alongside the honest swarm, on the simulator the model
+	// maps to the swarm.Adversary twin knobs. "" (the default, and every
+	// golden scenario) adds no adversaries.
+	Adversary string
+	// AdversaryNoBan disables the poisoner ban response (measurement
+	// mode): hash failures and wasted bytes are counted but suspects are
+	// never banned.
+	AdversaryNoBan bool
+	// DebugChecks enables the swarm invariant checker on the simulated
+	// run (swarm.Config.Invariants): pure-read audits that panic on
+	// violation and never perturb the trajectory.
+	DebugChecks bool
 
 	// Workload variants beyond the paper's ablation switches. All three
 	// are multipliers applied after the Table I scaling rules; 0 means
@@ -234,5 +249,19 @@ func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
 			cfg.InitialSeedLeaveAt = plan.SeedFailFrac * window
 		}
 	}
+	if s.Adversary != "" {
+		model, err := adversary.ModelByName(s.Adversary)
+		if err != nil {
+			return swarm.Config{}, spec, fmt.Errorf("scenario: %v", err)
+		}
+		cfg.Adversary = &swarm.Adversary{
+			Fraction:   model.Fraction,
+			PoisonRate: model.PoisonRate,
+			FakeHaves:  model.FakeHaves,
+			Flood:      model.FloodRPS > 0,
+			NoBan:      s.AdversaryNoBan,
+		}
+	}
+	cfg.Invariants = s.DebugChecks
 	return cfg, spec, nil
 }

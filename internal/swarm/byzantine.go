@@ -1,0 +1,122 @@
+package swarm
+
+// Byzantine-peer detection and response: the sim twin of the real
+// client's block-provenance / poisoner-banning machinery (see
+// internal/client). Victims attribute hash failures to the peers that
+// supplied the piece, strike or ban them, and refuse future connections;
+// fake-HAVE stalls time out, strike the liar, and free the piece. All of
+// it is gated on Config.Adversary — with a nil plan none of these paths
+// run and no engine RNG draw happens, so golden trajectories are
+// untouched.
+
+import "rarestfirst/internal/core"
+
+// advFaultN is chaosFault with a count, for byte-valued fault kinds
+// (wasted_bytes). Same dual-counter contract: the swarm_-prefixed series
+// aggregates swarm-wide, the bare name only counts local-peer incidents
+// and is the live-comparable number.
+func (s *Swarm) advFaultN(name string, a, b *Peer, n int) {
+	s.metrics.faultN(name, n)
+	s.col.AddFault("swarm_"+name, n)
+	if (a != nil && a.isLocal) || (b != nil && b.isLocal) {
+		s.col.AddFault(name, n)
+	}
+}
+
+// banPeer permanently bans suspect from victim's peer set and tears down
+// any live connection between them (so a banned peer can never hold an
+// unchoke slot). Idempotent; faultKind names the counted ban fault.
+func (s *Swarm) banPeer(victim, suspect *Peer, faultKind string) {
+	if victim.bannedPeer(suspect) {
+		return
+	}
+	if victim.banned == nil {
+		victim.banned = make(map[core.PeerID]struct{})
+	}
+	victim.banned[suspect.id] = struct{}{}
+	s.chaosFault(faultKind, victim, suspect)
+	if victim.connectedTo(suspect) {
+		s.disconnect(victim, suspect)
+	}
+}
+
+// strikePeer accrues one detection against suspect on victim's ledger and
+// bans at the configured threshold. No-op in NoBan measurement mode.
+func (s *Swarm) strikePeer(victim, suspect *Peer, faultKind string) {
+	adv := s.cfg.Adversary
+	if adv == nil || adv.NoBan {
+		return
+	}
+	if victim.strikes == nil {
+		victim.strikes = make(map[core.PeerID]int)
+	}
+	victim.strikes[suspect.id]++
+	if victim.strikes[suspect.id] >= adv.poisonStrikes() {
+		s.banPeer(victim, suspect, faultKind)
+	}
+}
+
+// poisonDetected handles a failed hash check on victim's piece download
+// from supplier (remote piece-granularity path, where the supplier is
+// unambiguous): the wasted bytes are counted and the poisoner is banned
+// outright unless NoBan measurement mode only tallies the damage.
+func (s *Swarm) poisonDetected(victim, supplier *Peer, piece int) {
+	s.chaosFault("piece_hash_fail", victim, supplier)
+	s.advFaultN("wasted_bytes", victim, supplier, s.geo.PieceSize(piece))
+	if adv := s.cfg.Adversary; adv != nil && !adv.NoBan {
+		s.banPeer(victim, supplier, "peer_banned_poison")
+	}
+}
+
+// localPoisonDetected is the local peer's block-granularity counterpart:
+// the assembled piece failed its hash check and suspicion lands on the
+// recorded suppliers — a sole contributor is banned immediately, mixed
+// contributors each take a strike (end game spreads blocks over peers).
+func (s *Swarm) localPoisonDetected(victim *Peer, suppliers []core.PeerID, piece int) {
+	s.chaosFault("piece_hash_fail", victim, nil)
+	s.advFaultN("wasted_bytes", victim, nil, s.geo.PieceSize(piece))
+	adv := s.cfg.Adversary
+	if adv == nil || adv.NoBan {
+		return
+	}
+	sole := len(suppliers) == 1
+	for _, id := range suppliers {
+		suspect := s.peers[id]
+		if suspect == nil {
+			continue
+		}
+		if sole {
+			s.banPeer(victim, suspect, "peer_banned_poison")
+		} else {
+			s.strikePeer(victim, suspect, "peer_banned_poison")
+		}
+	}
+}
+
+// scheduleFakeHaveTimeout arms the stall timer for a request issued on
+// the strength of a fake HAVE. At fire time — unless the stall already
+// resolved (disconnect or ban tore the conn down, or a choke requeued the
+// local peer's ref) — the victim frees the piece, strikes the liar (snub
+// semantics, mirroring the live client's timeout path) and retries on the
+// surviving connections.
+func (s *Swarm) scheduleFakeHaveTimeout(p *Peer, c *conn, piece int) {
+	timeout := 20.0
+	if adv := s.cfg.Adversary; adv != nil {
+		timeout = adv.fakeHaveTimeout()
+	}
+	liar := c.remote
+	s.eng.After(timeout, func() {
+		if p.departed || c.stallPiece != piece || p.conns[liar.id] != c {
+			return
+		}
+		c.stallPiece = -1
+		if p.isLocal {
+			p.req.OnRequestTimeout(liar.id, c.flowRef)
+		} else {
+			p.inflight.Clear(piece)
+		}
+		s.chaosFault("fake_have_timeout", p, liar)
+		s.strikePeer(p, liar, "peer_snubbed")
+		p.retryRequests()
+	})
+}

@@ -201,6 +201,25 @@ type Config struct {
 	// sim twins of the live lab's netem fault plans.
 	Chaos *Chaos
 
+	// Adversary, when non-nil, mixes Byzantine peers into the arriving
+	// leecher population: piece poisoners (delivered pieces fail
+	// verification with PoisonRate, wasting the bandwidth and forcing a
+	// re-download), bitfield liars (advertise every piece, baiting
+	// requests that stall until FakeHaveTimeout), and announce flooders.
+	// Honest peers defend with provenance-based strikes and bans unless
+	// NoBan is set. Like Chaos, every draw comes from the engine RNG, so
+	// adversarial runs stay bit-reproducible; nil (the default and every
+	// golden scenario) adds no draws and no behavior change.
+	Adversary *Adversary
+
+	// Invariants enables the swarm invariant checker: at every sample
+	// tick and at run end, availability counts are cross-checked against
+	// advertised bitfields, ban lists against unchoke slots, and the
+	// local requester's redundant bookkeeping against itself, panicking
+	// on the first violation. Pure reads — a run's trajectory and digest
+	// are identical with the checker on or off.
+	Invariants bool
+
 	// BatchHaves batches completePiece's per-neighbor HAVE reactions into
 	// a per-instant pending set flushed once per event (riding the
 	// post-event hook), and switches the availability indices to lazy
@@ -233,6 +252,60 @@ type Chaos struct {
 	TrackerBlackoutStart float64
 	TrackerBlackoutEnd   float64
 	AnnounceRetry        float64 // seconds; 0 = 30
+}
+
+// Adversary is the simulator's Byzantine peer plan — the sim twin of
+// internal/adversary models, in simulated seconds and probabilities.
+type Adversary struct {
+	// Fraction of arriving/initial leechers (never the initial seeds or
+	// the instrumented local peer) that are adversarial.
+	Fraction float64
+	// PoisonRate makes adversarial peers poisoners: each piece they
+	// deliver is corrupt with this probability. The victim detects it at
+	// completion, counts the wasted bytes, re-downloads, and (unless
+	// NoBan) strikes or bans the supplier.
+	PoisonRate float64
+	// FakeHaves makes adversarial peers bitfield liars: they advertise a
+	// full bitfield while holding nothing and never download, so victims
+	// pick pieces the liar cannot serve and stall for FakeHaveTimeout.
+	FakeHaves bool
+	// Flood makes adversarial peers announce flooders: they hit the
+	// tracker every FloodAnnounceEvery seconds and never upload.
+	Flood bool
+	// FloodAnnounceEvery is the flooder re-announce period (0 = 5s).
+	FloodAnnounceEvery float64
+	// FakeHaveTimeout is how long a victim waits on a baited request
+	// before giving up and striking the liar (0 = 20s).
+	FakeHaveTimeout float64
+	// PoisonStrikes is the per-peer strike threshold at which honest
+	// victims ban a contributor of corrupt pieces (0 = 2). Sole
+	// suppliers are banned on first detection.
+	PoisonStrikes int
+	// NoBan disables the ban response (measurement mode): faults are
+	// still counted, adversaries stay in peer sets.
+	NoBan bool
+}
+
+// Defaulting helpers, mirroring Chaos.
+func (a *Adversary) floodAnnounceEvery() float64 {
+	if a.FloodAnnounceEvery > 0 {
+		return a.FloodAnnounceEvery
+	}
+	return 5
+}
+
+func (a *Adversary) fakeHaveTimeout() float64 {
+	if a.FakeHaveTimeout > 0 {
+		return a.FakeHaveTimeout
+	}
+	return 20
+}
+
+func (a *Adversary) poisonStrikes() int {
+	if a.PoisonStrikes > 0 {
+		return a.PoisonStrikes
+	}
+	return 2
 }
 
 // blackedOut reports whether the tracker is inside its blackout window.

@@ -1,0 +1,104 @@
+package swarm
+
+// The swarm invariant checker: a debug hook (Config.Invariants) that
+// cross-checks the simulator's redundant state and panics on the first
+// violation, pointing at the exact peer and piece. Checks are pure reads
+// and draw nothing from the engine RNG, so enabling them cannot perturb a
+// trajectory — golden digests are identical with the checker on or off
+// (pinned by a contract test).
+//
+// The per-sample check (full=false) keeps the steady-state cost bounded:
+// the expensive availability cross-count runs for the instrumented local
+// peer only, while the structural checks (no connection to a banned peer,
+// mirror symmetry, stall/flow sanity, local Requester consistency) cover
+// every live peer. Run's end-of-experiment sweep (full=true) extends the
+// availability audit to the whole population.
+
+import (
+	"fmt"
+	"sort"
+
+	"rarestfirst/internal/core"
+)
+
+// checkInvariants audits the swarm; see the file comment for the
+// full/sampled split. It panics on the first violation found.
+func (s *Swarm) checkInvariants(full bool) {
+	ids := make([]core.PeerID, 0, len(s.peers))
+	for id := range s.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := s.peers[id]
+		if p.departed {
+			continue
+		}
+		s.checkPeerStructure(p)
+		if full || p.isLocal {
+			s.checkPeerAvail(p)
+		}
+		if p.isLocal && p.req != nil {
+			if err := p.req.CheckConsistency(); err != nil {
+				panic(fmt.Sprintf("swarm invariant: local peer %d: %v", p.id, err))
+			}
+		}
+	}
+}
+
+// checkPeerStructure audits p's connection list: membership agreement
+// with the conns map, mirror symmetry, the banned-peer exclusion (a ban
+// tears the connection down, so a surviving conn — and with it any
+// unchoke slot — is a violation), and stall/flow bookkeeping.
+func (s *Swarm) checkPeerStructure(p *Peer) {
+	if len(p.connList) != len(p.conns) {
+		panic(fmt.Sprintf("swarm invariant: peer %d connList len %d != conns len %d",
+			p.id, len(p.connList), len(p.conns)))
+	}
+	for _, c := range p.connList {
+		if p.conns[c.remote.id] != c {
+			panic(fmt.Sprintf("swarm invariant: peer %d connList entry for %d not in conns map",
+				p.id, c.remote.id))
+		}
+		if p.bannedPeer(c.remote) {
+			panic(fmt.Sprintf("swarm invariant: peer %d still connected to banned peer %d (unchoking=%v)",
+				p.id, c.remote.id, c.amUnchoking))
+		}
+		if c.mirror != nil && (c.mirror.mirror != c || c.mirror.owner != c.remote || c.mirror.remote != p) {
+			panic(fmt.Sprintf("swarm invariant: peer %d conn to %d has inconsistent mirror",
+				p.id, c.remote.id))
+		}
+		if c.stallPiece >= 0 {
+			if c.inFlow != nil {
+				panic(fmt.Sprintf("swarm invariant: peer %d conn to %d stalled on %d with active flow",
+					p.id, c.remote.id, c.stallPiece))
+			}
+			if !p.isLocal && !p.inflight.Has(c.stallPiece) {
+				panic(fmt.Sprintf("swarm invariant: peer %d stall piece %d not marked in flight",
+					p.id, c.stallPiece))
+			}
+		}
+		if c.inFlow != nil && !p.isLocal && !p.inflight.Has(c.flowPiece) {
+			panic(fmt.Sprintf("swarm invariant: peer %d downloading piece %d without inflight mark",
+				p.id, c.flowPiece))
+		}
+	}
+}
+
+// checkPeerAvail recounts p's availability index from its neighbours'
+// ADVERTISED bitfields (what the bitfield/HAVE exchange shows, i.e. the
+// full liarBits for liars) and compares every piece's count.
+func (s *Swarm) checkPeerAvail(p *Peer) {
+	for i := 0; i < s.cfg.NumPieces; i++ {
+		want := 0
+		for _, c := range p.connList {
+			if c.remote.shownHas(i) {
+				want++
+			}
+		}
+		if got := p.avail.Count(i); got != want {
+			panic(fmt.Sprintf("swarm invariant: peer %d piece %d avail count %d, neighbours show %d",
+				p.id, i, got, want))
+		}
+	}
+}

@@ -63,8 +63,13 @@ func (s *Swarm) sampleLaneCompute() func() {
 }
 
 // applySample commits the compute-phase snapshot and re-arms the sampler.
+// The invariant check runs here, in the serial apply phase, never from
+// the parallel compute half.
 func (s *Swarm) applySample() {
 	s.col.Sample(s.sampleScratch)
+	if s.cfg.Invariants {
+		s.checkInvariants(false)
+	}
 	s.eng.AtLane(s.eng.Now()+s.cfg.SampleEvery, laneKeySample, s.sampleLaneFn)
 }
 
@@ -167,12 +172,13 @@ func (p *Peer) chokeLaneCompute() func() {
 			LastUnchoked:   c.lastUnchokedAt,
 			UploadedTo:     c.bytesOut + dout,
 			DownloadedFrom: c.bytesIn + din,
-			RemotePieces:   c.remote.have.Count(),
+			RemotePieces:   c.remote.shownBits().Count(),
 		})
 	}
 	p.chokePeers = peers
 	choker := p.chokerL
-	if p.seed {
+	if p.seed || p.advLiar {
+		// Liars pose as seeds, so they run the seed unchoke policy too.
 		choker = p.chokerS
 	}
 	// The returned slice is the choker's scratch; it stays valid through

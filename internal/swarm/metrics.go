@@ -41,3 +41,11 @@ func (m *swarmMetrics) fault(kind string) {
 	}
 	m.reg.Counter(obs.SeriesName("swarm_faults_total", "kind", kind)).Inc()
 }
+
+// faultN is fault with a count, for byte-valued kinds (wasted_bytes).
+func (m *swarmMetrics) faultN(kind string, n int) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter(obs.SeriesName("swarm_faults_total", "kind", kind)).Add(uint64(n))
+}

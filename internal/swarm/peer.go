@@ -53,6 +53,13 @@ type conn struct {
 	// conn (its inFlow fields); this pointer only marks the slot busy.
 	outFlow *sim.Flow
 
+	// stallPiece is the piece the owner requested on the strength of a
+	// fake HAVE (the remote advertised it but cannot serve it): the
+	// request hangs until the adversary plan's FakeHaveTimeout fires,
+	// then the owner strikes the liar and retries elsewhere. -1 when no
+	// stall is active; only ever set with Config.Adversary.
+	stallPiece int
+
 	// onFlowDone is the owner's flow-completion callback bound once at
 	// connect time (block path for the local peer, piece path otherwise),
 	// so each request reuses it instead of allocating a closure.
@@ -82,6 +89,23 @@ type Peer struct {
 	freeRider bool
 	departed  bool
 	isLocal   bool
+
+	// Byzantine role (drawn against Config.Adversary.Fraction at join;
+	// all false for honest peers and whenever Adversary is nil).
+	advPoison bool // delivered pieces are corrupt with PoisonRate
+	advLiar   bool // advertises liarBits (full) instead of have
+	advFlood  bool // hammers the tracker, never uploads
+	// liarBits is the full bitfield a liar shows the swarm.
+	liarBits *bitfield.Bitfield
+	// banned holds the peers this (honest) peer has banned after poison
+	// or fake-HAVE detection; connections to them are refused. strikes
+	// counts detections per suspect toward the ban threshold. corrupt
+	// marks in-flight pieces known poisoned (local-peer block path draws
+	// per block and settles at completion). All lazily allocated —
+	// honest runs with Adversary nil never touch them.
+	banned  map[core.PeerID]struct{}
+	strikes map[core.PeerID]int
+	corrupt map[int]bool
 
 	joinedAt   float64
 	finishedAt float64 // time of leecher->seed transition; -1 if never
@@ -125,9 +149,33 @@ type Peer struct {
 // local peer; the bitfield is shared so this is a plain lookup).
 func (p *Peer) hasPiece(i int) bool { return p.have.Has(i) }
 
-// interestedIn reports whether p should be interested in remote.
+// shownBits is the bitfield the peer ADVERTISES: the truth for honest
+// peers, the full liarBits for bitfield liars. Every remote-view read
+// (availability accounting, interest, piece picking) goes through it;
+// truth-view reads (globalAvail, actual serve capability) stay on have.
+func (p *Peer) shownBits() *bitfield.Bitfield {
+	if p.advLiar {
+		return p.liarBits
+	}
+	return p.have
+}
+
+// shownHas reports whether the peer claims piece i.
+func (p *Peer) shownHas(i int) bool { return p.advLiar || p.have.Has(i) }
+
+// looksSeed reports whether the peer presents as a seed to the swarm.
+func (p *Peer) looksSeed() bool { return p.seed || p.advLiar }
+
+// bannedPeer reports whether p has banned q.
+func (p *Peer) bannedPeer(q *Peer) bool {
+	_, ok := p.banned[q.id]
+	return ok
+}
+
+// interestedIn reports whether p should be interested in remote. Liars
+// are never interested: they pose as seeds and never download.
 func (p *Peer) interestedIn(remote *Peer) bool {
-	return !p.seed && p.have.AnyMissingIn(remote.have)
+	return !p.seed && !p.advLiar && p.have.AnyMissingIn(remote.shownBits())
 }
 
 // connectedTo reports whether p has a connection to q.
@@ -186,7 +234,8 @@ func (p *Peer) retryRequests() {
 // c.remote) when the remote unchokes us, we are interested, and no transfer
 // is already active on the connection.
 func (p *Peer) maybeRequest(c *conn) {
-	if p.departed || p.seed || c.inFlow != nil || !c.peerUnchoking || !c.amInterested {
+	if p.departed || p.seed || p.advLiar || c.inFlow != nil || c.stallPiece >= 0 ||
+		!c.peerUnchoking || !c.amInterested {
 		return
 	}
 	if p.isLocal {
@@ -207,7 +256,7 @@ func (p *Peer) requestPiece(c *conn) {
 	// are fungible across peers, as in the real protocol): lowest index
 	// for determinism.
 	for q, rem := range p.pieceRemaining {
-		if u.hasPiece(q) && !p.hasPiece(q) && !p.inflight.Has(q) && rem > 0 {
+		if u.shownHas(q) && !p.hasPiece(q) && !p.inflight.Has(q) && rem > 0 {
 			if piece == -1 || q < piece {
 				piece = q
 				bytes = rem
@@ -216,13 +265,22 @@ func (p *Peer) requestPiece(c *conn) {
 		}
 	}
 	if piece == -1 {
-		p.pickState = core.PickState{Have: p.have, InFlight: p.inflight, Remote: u.have, Downloaded: p.downloaded}
+		p.pickState = core.PickState{Have: p.have, InFlight: p.inflight, Remote: u.shownBits(), Downloaded: p.downloaded}
 		piece = p.picker.Pick(s.eng.RNG(), &p.pickState)
 		if piece >= 0 {
 			bytes = float64(s.geo.PieceSize(piece))
 		}
 	}
 	if piece < 0 {
+		return
+	}
+	if !u.hasPiece(piece) {
+		// Fake HAVE: the remote advertised a piece it cannot serve. The
+		// request stalls (the piece is held in flight so other conns skip
+		// it) until the timeout strikes the liar and frees it.
+		p.inflight.Set(piece)
+		c.stallPiece = piece
+		s.scheduleFakeHaveTimeout(p, c, piece)
 		return
 	}
 	// Smart seed-serve (idealized coding / super seeding, A4): the initial
@@ -256,8 +314,16 @@ func (p *Peer) requestPiece(c *conn) {
 func (p *Peer) requestBlock(c *conn) {
 	s := p.s
 	u := c.remote
-	ref, ok := p.req.Next(s.eng.RNG(), u.id, u.have)
+	ref, ok := p.req.Next(s.eng.RNG(), u.id, u.shownBits())
 	if !ok {
+		return
+	}
+	if !u.hasPiece(ref.Piece) {
+		// Fake HAVE on the block path: the ref stays pending with the
+		// Requester until the timeout requeues it and strikes the liar.
+		c.flowRef = ref
+		c.stallPiece = ref.Piece
+		s.scheduleFakeHaveTimeout(p, c, ref.Piece)
 		return
 	}
 	if p.req.InEndGame() && !p.endgameMarked {
@@ -324,6 +390,17 @@ func (p *Peer) onPieceFlowDone(c *conn) {
 	if c.remote == p.s.initialSeed {
 		p.s.recordSeedServeDone(piece)
 	}
+	if adv := p.s.cfg.Adversary; adv != nil && c.remote.advPoison &&
+		p.s.eng.RNG().Float64() < adv.PoisonRate {
+		// The piece fails its hash check: the bytes are wasted and the
+		// piece must be refetched. At piece granularity the supplier is
+		// unambiguous, so the poisoner is banned outright (NoBan mode only
+		// counts the faults). The ban tears down c, so retry over the
+		// surviving connection list rather than touching c again.
+		p.s.poisonDetected(p, c.remote, piece)
+		p.retryRequests()
+		return
+	}
 	p.completePiece(piece)
 	p.maybeRequest(c)
 }
@@ -335,6 +412,15 @@ func (p *Peer) onBlockFlowDone(c *conn) {
 	p.clearFlow(c)
 	now := s.eng.Now()
 	s.col.BlockReceived(now)
+	if adv := s.cfg.Adversary; adv != nil && c.remote.advPoison &&
+		s.eng.RNG().Float64() < adv.PoisonRate {
+		// A corrupt block is undetectable until the assembled piece fails
+		// its hash check, so only mark the piece and keep downloading.
+		if p.corrupt == nil {
+			p.corrupt = make(map[int]bool)
+		}
+		p.corrupt[c.flowRef.Piece] = true
+	}
 	done, cancels := p.req.OnBlock(c.remote.id, c.flowRef)
 	// End-game cancels: abort duplicate in-flight fetches of this block.
 	for _, cb := range cancels {
@@ -347,13 +433,26 @@ func (p *Peer) onBlockFlowDone(c *conn) {
 		}
 	}
 	if done {
-		s.col.PieceCompleted(now, c.flowRef.Piece)
+		piece := c.flowRef.Piece
+		if p.corrupt[piece] {
+			// Hash check fails at assembly: blame the recorded suppliers
+			// (sole contributor banned outright, mixed get strikes) and
+			// requeue the piece. Bans may tear down connections, so retry
+			// over the surviving list instead of c directly.
+			delete(p.corrupt, piece)
+			suppliers := p.req.PieceSuppliers(piece)
+			p.req.OnPieceHashFail(piece)
+			s.localPoisonDetected(p, suppliers, piece)
+			p.retryRequests()
+			return
+		}
+		s.col.PieceCompleted(now, piece)
 		if c.remote == s.initialSeed {
 			// Attribute the piece to the initial seed when it delivered
 			// the completing block (local path approximation).
-			s.recordSeedServeDone(c.flowRef.Piece)
+			s.recordSeedServeDone(piece)
 		}
-		p.completePiece(c.flowRef.Piece)
+		p.completePiece(piece)
 	}
 	p.maybeRequest(c)
 }
@@ -363,6 +462,15 @@ func (p *Peer) onBlockFlowDone(c *conn) {
 // (blocks already fetched are fungible), the local peer requeues its
 // pending blocks through the Requester.
 func (p *Peer) cancelDownload(c *conn, requeue bool) {
+	if c.stallPiece >= 0 {
+		// A stalled fake-HAVE request holds no flow; free the piece. The
+		// local peer's pending ref is requeued by OnPeerGone below; its
+		// inflight bitfield is owned by the Requester.
+		if !p.isLocal {
+			p.inflight.Clear(c.stallPiece)
+		}
+		c.stallPiece = -1
+	}
 	if c.inFlow == nil {
 		if p.isLocal {
 			p.req.OnPeerGone(c.remote.id)
@@ -441,13 +549,13 @@ func (p *Peer) completePiece(idx int) {
 			p.s.col.CountMsg("have_received")
 		}
 		// The neighbour may become interested in us (O(1) fast path: it
-		// lacks the new piece).
-		if !nc.amInterested && !n.seed && !n.hasPiece(idx) {
+		// lacks the new piece; liars pose as seeds and never want).
+		if !nc.amInterested && !n.seed && !n.advLiar && !n.hasPiece(idx) {
 			n.setInterest(nc, true)
 		}
 		// Our interest in the neighbour can only drop, and only if the
-		// neighbour has the piece we just finished.
-		if c.amInterested && n.hasPiece(idx) {
+		// neighbour shows the piece we just finished.
+		if c.amInterested && n.shownHas(idx) {
 			p.refreshInterest(c)
 		}
 		// The neighbour's picker may now find this piece fetchable from us.
@@ -493,10 +601,10 @@ func (s *Swarm) flushHaves() {
 				continue
 			}
 			// Same reaction set as the eager walk in completePiece.
-			if !nc.amInterested && !n.seed && !n.hasPiece(idx) {
+			if !nc.amInterested && !n.seed && !n.advLiar && !n.hasPiece(idx) {
 				n.setInterest(nc, true)
 			}
-			if c.amInterested && n.hasPiece(idx) {
+			if c.amInterested && n.shownHas(idx) {
 				p.refreshInterest(c)
 			}
 			n.maybeRequest(nc)
@@ -528,7 +636,7 @@ func (p *Peer) becomeSeed() {
 	for _, c := range snapshot {
 		// Abort any leftover end-game downloads.
 		p.cancelDownload(c, false)
-		if c.remote.seed {
+		if c.remote.looksSeed() {
 			s.disconnect(p, c.remote)
 			continue
 		}
@@ -607,12 +715,13 @@ func (p *Peer) runChokeRound() {
 			LastUnchoked:   c.lastUnchokedAt,
 			UploadedTo:     c.bytesOut,
 			DownloadedFrom: c.bytesIn,
-			RemotePieces:   c.remote.have.Count(),
+			RemotePieces:   c.remote.shownBits().Count(),
 		})
 	}
 	p.chokePeers = peers
 	choker := p.chokerL
-	if p.seed {
+	if p.seed || p.advLiar {
+		// Liars pose as seeds, so they run the seed unchoke policy too.
 		choker = p.chokerS
 	}
 	unchoke := choker.Round(now, peers, s.eng.RNG())

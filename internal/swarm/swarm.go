@@ -247,6 +247,17 @@ func (s *Swarm) addPeer(isSeed, freeRider, isLocal bool, upBps, downBps float64)
 func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, downBps float64) *Peer {
 	id := s.nextID
 	s.nextID++
+	// Byzantine role draw: one engine-RNG draw per joining remote leecher,
+	// and only when an adversary plan is configured (nil keeps the RNG
+	// sequence — and with it the golden digests — untouched).
+	advPoison, advLiar, advFlood := false, false, false
+	if adv := s.cfg.Adversary; adv != nil && !isSeed && !isLocal {
+		if s.eng.RNG().Float64() < adv.Fraction {
+			advPoison = adv.PoisonRate > 0
+			advLiar = adv.FakeHaves
+			advFlood = adv.Flood
+		}
+	}
 	have := bitfield.New(s.cfg.NumPieces)
 	avail := core.NewAvailability(s.cfg.NumPieces)
 	if s.cfg.BatchHaves {
@@ -267,8 +278,18 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 		joinedAt:       s.eng.Now(),
 		finishedAt:     -1,
 	}
+	p.advPoison, p.advLiar, p.advFlood = advPoison, advLiar, advFlood
+	if advLiar {
+		p.liarBits = bitfield.New(s.cfg.NumPieces)
+		p.liarBits.SetAll()
+	}
 	p.picker = s.newPicker(avail)
 	p.chokerL, p.chokerS = s.newChokers(freeRider)
+	if advFlood {
+		// Flooders never reciprocate: they leech like free riders while
+		// hammering the tracker (armed below, once registration is done).
+		p.chokerL, p.chokerS = core.NeverUnchoke{}, core.NeverUnchoke{}
+	}
 	if isLocal {
 		p.req = core.NewRequester(s.geo, p.picker)
 		p.have = p.req.Have() // single source of truth for the local bitfield
@@ -295,6 +316,19 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 	s.trk.register(p)
 	s.globalAvail.AddPeer(p.have)
 	s.announce(p)
+	if advFlood {
+		adv := s.cfg.Adversary
+		var flood func()
+		flood = func() {
+			if p.departed {
+				return
+			}
+			s.chaosFault("flood_announce", p, nil)
+			s.announce(p)
+			s.eng.After(adv.floodAnnounceEvery(), flood)
+		}
+		s.eng.After(adv.floodAnnounceEvery(), flood)
+	}
 	if s.cfg.ChokeLanes {
 		// Lane mode: rounds sit on the global ChokeInterval grid so every
 		// instant's rounds form one engine batch, and each peer draws its
@@ -399,7 +433,8 @@ func (s *Swarm) connect(a, b *Peer) {
 	}
 	// Screen with connectNow's own rejections first so chaos RNG draws
 	// happen only for attempts that could otherwise succeed.
-	if a == b || a.departed || b.departed || a.connectedTo(b) || (a.seed && b.seed) {
+	if a == b || a.departed || b.departed || a.connectedTo(b) ||
+		(a.looksSeed() && b.looksSeed()) || a.bannedPeer(b) || b.bannedPeer(a) {
 		return
 	}
 	if ch.DialFailRate > 0 && s.eng.RNG().Float64() < ch.DialFailRate {
@@ -434,18 +469,23 @@ func (s *Swarm) connectNow(a, b *Peer) {
 		return
 	}
 	// Seeds have nothing to exchange with seeds; real clients drop such
-	// connections right after the bitfield exchange.
-	if a.seed && b.seed {
+	// connections right after the bitfield exchange. Liars pose as seeds,
+	// so the same screen applies to what the endpoints SHOW each other.
+	if a.looksSeed() && b.looksSeed() {
+		return
+	}
+	// Banned peers are refused outright (poison/fake-HAVE detection).
+	if a.bannedPeer(b) || b.bannedPeer(a) {
 		return
 	}
 	if len(a.connList) >= s.cfg.MaxPeerSet || len(b.connList) >= s.cfg.MaxPeerSet {
 		return
 	}
 	now := s.eng.Now()
-	ca := &conn{owner: a, remote: b, initiatedByOwner: true}
+	ca := &conn{owner: a, remote: b, initiatedByOwner: true, stallPiece: -1}
 	ca.inEst.Init(0)
 	ca.outEst.Init(0)
-	cb := &conn{owner: b, remote: a}
+	cb := &conn{owner: b, remote: a, stallPiece: -1}
 	cb.inEst.Init(0)
 	cb.outEst.Init(0)
 	ca.mirror, cb.mirror = cb, ca
@@ -468,18 +508,19 @@ func (s *Swarm) connectNow(a, b *Peer) {
 	b.connList = append(b.connList, cb)
 	a.initiated++
 	s.metrics.conns.Add(1)
-	// Bitfield exchange (instantaneous).
-	a.avail.AddPeer(b.have)
-	b.avail.AddPeer(a.have)
+	// Bitfield exchange (instantaneous). Each side sees what the other
+	// ADVERTISES — the full liarBits for bitfield liars.
+	a.avail.AddPeer(b.shownBits())
+	b.avail.AddPeer(a.shownBits())
 	if a.isLocal {
 		s.col.PeerJoined(int(b.id), now)
-		if b.seed {
+		if b.looksSeed() {
 			s.col.RemoteSeedStatus(int(b.id), now, true)
 		}
 	}
 	if b.isLocal {
 		s.col.PeerJoined(int(a.id), now)
-		if a.seed {
+		if a.looksSeed() {
 			s.col.RemoteSeedStatus(int(a.id), now, true)
 		}
 	}
@@ -512,8 +553,8 @@ func (s *Swarm) disconnect(a, b *Peer) {
 	now := s.eng.Now()
 	a.cancelDownload(ca, true)
 	b.cancelDownload(cb, true)
-	a.avail.RemovePeer(b.have)
-	b.avail.RemovePeer(a.have)
+	a.avail.RemovePeer(b.shownBits())
+	b.avail.RemovePeer(a.shownBits())
 	if ca.initiatedByOwner {
 		a.initiated--
 	}
@@ -647,6 +688,10 @@ func (s *Swarm) Run() *Result {
 	})
 
 	s.eng.Run(end)
+	if cfg.Invariants {
+		// End-of-run sweep extends the availability audit to every peer.
+		s.checkInvariants(true)
+	}
 	s.col.Finalize(end)
 
 	// Harvest download-time stats. Iterate in peer-ID order: summing the
@@ -755,6 +800,9 @@ func (s *Swarm) scheduleSample() {
 			return
 		}
 		s.col.Sample(s.gatherSample())
+		if s.cfg.Invariants {
+			s.checkInvariants(false)
+		}
 		s.eng.After(s.cfg.SampleEvery, tick)
 	}
 	tick()

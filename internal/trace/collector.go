@@ -146,11 +146,15 @@ func NewCollector(start float64) *Collector {
 func (c *Collector) CountMsg(name string) { c.MsgCounts[name]++ }
 
 // CountFault tallies one resilience event by kind.
-func (c *Collector) CountFault(kind string) {
+func (c *Collector) CountFault(kind string) { c.AddFault(kind, 1) }
+
+// AddFault adds n to the fault tally for kind; byte-valued kinds (e.g.
+// wasted_bytes from poisoned pieces) accumulate through this path.
+func (c *Collector) AddFault(kind string, n int) {
 	if c.FaultCounts == nil {
 		c.FaultCounts = map[string]int{}
 	}
-	c.FaultCounts[kind]++
+	c.FaultCounts[kind] += n
 }
 
 func (c *Collector) rec(id int) *PeerRecord {

@@ -23,6 +23,12 @@ import (
 // ask for a specific amount (the mainline default of 50, §II-B).
 const DefaultNumWant = 50
 
+// MaxNumWant caps the numwant parameter: a client asking for more peers
+// than this is clamped rather than allowed to pull the whole registry in
+// one response. Flooding adversaries use huge numwant values to amplify
+// the tracker's response size per request byte.
+const MaxNumWant = 200
+
 // DefaultInterval is the re-announce interval returned to clients, in
 // seconds. The paper reports 30 minutes; tests override this.
 const DefaultInterval = 1800
@@ -198,12 +204,23 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 		failure(w, "invalid ip")
 		return
 	}
+	// An explicit ip param is attacker-controlled: a peer registering an
+	// unspecified, multicast or broadcast address poisons every peer list
+	// handed out afterwards (undialable at best, a reflection vector at
+	// worst). The connection's own source address never hits these cases.
+	if q.Get("ip") != "" && !routableIP(ip) {
+		failure(w, "unroutable ip")
+		return
+	}
 
 	numWant := DefaultNumWant
 	if nw := q.Get("numwant"); nw != "" {
 		if n, err := strconv.Atoi(nw); err == nil && n >= 0 {
 			numWant = n
 		}
+	}
+	if numWant > MaxNumWant {
+		numWant = MaxNumWant
 	}
 
 	event := q.Get("event")
@@ -257,6 +274,19 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain")
 	w.Write(bencode.MustEncode(resp))
+}
+
+// routableIP reports whether an announced address could plausibly be
+// dialed by other peers: not unspecified (0.0.0.0 / ::), not multicast,
+// and not the IPv4 limited-broadcast address.
+func routableIP(ip net.IP) bool {
+	if ip.IsUnspecified() || ip.IsMulticast() {
+		return false
+	}
+	if ip4 := ip.To4(); ip4 != nil && ip4.Equal(net.IPv4bcast) {
+		return false
+	}
+	return true
 }
 
 // samplePeers returns up to n peers of torrent ih, excluding the requester.

@@ -112,6 +112,50 @@ func TestAnnounceNumWantLimits(t *testing.T) {
 	}
 }
 
+func TestAnnounceCapsNumWant(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "numwant-cap-12345___")
+	for i := 0; i < MaxNumWant+50; i++ {
+		announceVia(t, url, ih, pid(byte(i%250)), 10000+i, 10, nil)
+	}
+	// An absurd numwant is clamped to MaxNumWant, not honored.
+	r := announceVia(t, url, ih, pid(255), 9999, 10, func(a *AnnounceRequest) { a.NumWant = 1 << 20 })
+	if len(r.Peers) != MaxNumWant {
+		t.Fatalf("numwant=1M returned %d peers, want cap %d", len(r.Peers), MaxNumWant)
+	}
+}
+
+func TestAnnounceRejectsUnroutableIP(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var ih [20]byte
+	copy(ih[:], "01234567890123456789")
+	req := func(ip string) AnnounceRequest {
+		return AnnounceRequest{URL: ts.URL + "/announce?ip=" + ip, InfoHash: ih, PeerID: pid(1), Port: 7001, Left: 10}
+	}
+	for _, ip := range []string{"0.0.0.0", "::", "224.0.0.1", "ff02::1", "255.255.255.255"} {
+		_, err := Announce(req(ip))
+		if err == nil || !strings.Contains(err.Error(), "unroutable ip") {
+			t.Errorf("ip=%s accepted (err=%v)", ip, err)
+		}
+	}
+	if _, inc := srv.Count(ih); inc != 0 {
+		t.Fatalf("unroutable announce registered a peer: incomplete=%d", inc)
+	}
+	// A routable explicit ip still works.
+	if _, err := Announce(req("10.1.2.3")); err != nil {
+		t.Fatalf("routable explicit ip rejected: %v", err)
+	}
+	if _, inc := srv.Count(ih); inc != 1 {
+		t.Fatalf("routable announce not registered")
+	}
+}
+
 func TestAnnounceRejectsGarbage(t *testing.T) {
 	srv := NewServer(900)
 	ts := httptest.NewServer(srv.Handler())

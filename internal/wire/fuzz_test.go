@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// adversarialFrames is the seed corpus for the decoder fuzzers: the frame
+// shapes a Byzantine peer would send. These run as ordinary test cases
+// under `go test` and as starting points under `go test -fuzz`.
+func adversarialFrames() [][]byte {
+	frame := func(id byte, payload ...byte) []byte {
+		b := make([]byte, 4, 5+len(payload))
+		binary.BigEndian.PutUint32(b, uint32(1+len(payload)))
+		b = append(b, id)
+		return append(b, payload...)
+	}
+	withLen := func(declared uint32, rest ...byte) []byte {
+		b := make([]byte, 4, 4+len(rest))
+		binary.BigEndian.PutUint32(b, declared)
+		return append(b, rest...)
+	}
+	return [][]byte{
+		withLen(0xffffffff),              // 4 GiB declared frame
+		withLen(MaxFrame+1, 7),           // just past the cap
+		withLen(MaxFrame),                // exactly at the cap, body missing
+		withLen(100, 7, 0, 0),            // declared 100, truncated after 3 bytes
+		{0, 0},                           // truncated header
+		frame(4, 0xff, 0xff, 0xff, 0xff), // have: index 2^32-1
+		frame(6, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff), // request: huge index + length
+		frame(7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),             // piece: out-of-range index/begin, empty block
+		frame(7, 0, 0, 0),                 // piece with 3-byte payload (< 8 header bytes)
+		frame(5),                          // empty bitfield
+		frame(5, 0xff, 0xff, 0xff),        // bitfield with spare bits set
+		frame(42, 1, 2, 3),                // unknown id
+		frame(0, 9),                       // choke with payload
+		append(withLen(0), withLen(0)...), // keep-alive flood
+	}
+}
+
+// FuzzDecode feeds arbitrary byte streams to the framed decoder. The
+// invariant under attack: Decode either yields a structurally valid
+// Message or an error — never a panic, never a Message whose sliced
+// fields escape the frame it was decoded from.
+func FuzzDecode(f *testing.F) {
+	for _, frame := range adversarialFrames() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		var m Message
+		for {
+			err := d.Decode(&m)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrFrameTooLarge) &&
+					!errors.Is(err, ErrBadLength) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+					!bytes.Contains([]byte(err.Error()), []byte("wire:")) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+				return
+			}
+			if m.ID == MsgPiece && len(m.Block) > MaxFrame {
+				t.Fatalf("piece block longer than any legal frame: %d", len(m.Block))
+			}
+			if m.ID == MsgBitfield && len(m.Raw) > MaxFrame {
+				t.Fatalf("bitfield longer than any legal frame: %d", len(m.Raw))
+			}
+		}
+	})
+}
+
+// FuzzReadHandshake feeds arbitrary bytes to the handshake reader.
+func FuzzReadHandshake(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, Handshake{}); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:10])
+	bad := append([]byte(nil), good...)
+	bad[0] = 200 // absurd protocol-string length
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHandshake(bytes.NewReader(data))
+		if err == nil && len(data) < HandshakeLen {
+			t.Fatalf("accepted %d-byte handshake (min %d): %+v", len(data), HandshakeLen, h)
+		}
+	})
+}
+
+// TestDecodeAdversarialFrames pins the decoder's response to each seed
+// frame: a Byzantine frame must produce an error (or decode losslessly),
+// and the decoder must stay usable for the next connection.
+func TestDecodeAdversarialFrames(t *testing.T) {
+	for i, frame := range adversarialFrames() {
+		d := NewDecoder(bytes.NewReader(frame))
+		var m Message
+		for {
+			if err := d.Decode(&m); err != nil {
+				break // any classified error ends the stream; no panic is the assertion
+			}
+			if m.ID != MsgKeepAlive && m.ID > MsgPort {
+				t.Errorf("frame %d: decoded impossible id %d", i, m.ID)
+				break
+			}
+		}
+	}
+}

@@ -183,6 +183,26 @@ type Scenario struct {
 	// fault-free reports serializing exactly as before.
 	Faults string `json:",omitempty"`
 
+	// Adversary names a Byzantine peer model mixed into the run
+	// ("poison25", "liar25", "flood25"; see the README Adversarial peers
+	// section). On the live backend adversarial clients are provisioned
+	// alongside the honest swarm; on the simulator the model maps to the
+	// matching swarm.Adversary knobs, so an adv-* suite cross-validates
+	// the two. "" (the default, and every golden scenario) adds no
+	// adversaries, and the omitempty tag keeps adversary-free reports
+	// serializing exactly as before.
+	Adversary string `json:",omitempty"`
+	// AdversaryNoBan disables the poisoner ban response (measurement
+	// mode): hash failures and wasted bytes are counted but suspects are
+	// never banned.
+	AdversaryNoBan bool `json:",omitempty"`
+	// DebugChecks enables the swarm invariant checker on simulated runs:
+	// pure-read audits (availability counts vs advertised bitfields, no
+	// banned peer still connected, requester bookkeeping consistency)
+	// that panic on violation and never perturb the trajectory — golden
+	// digests are identical with the checker on or off.
+	DebugChecks bool `json:",omitempty"`
+
 	// Workload variants beyond the paper's ablation switches: multipliers
 	// applied after the Table I scaling rules. 0 means "unchanged", so the
 	// zero Scenario still reproduces the catalog exactly.
@@ -218,6 +238,9 @@ func (sc Scenario) toSpec() scenario.Spec {
 		HeapShards:          sc.HeapShards,
 		BatchHaves:          sc.BatchHaves,
 		Faults:              sc.Faults,
+		Adversary:           sc.Adversary,
+		AdversaryNoBan:      sc.AdversaryNoBan,
+		DebugChecks:         sc.DebugChecks,
 		ChurnScale:          sc.ChurnScale,
 		SeedUpScale:         sc.SeedUpScale,
 		AbortScale:          sc.AbortScale,
@@ -246,6 +269,9 @@ func fromSpec(sp scenario.Spec) Scenario {
 		HeapShards:          sp.HeapShards,
 		BatchHaves:          sp.BatchHaves,
 		Faults:              sp.Faults,
+		Adversary:           sp.Adversary,
+		AdversaryNoBan:      sp.AdversaryNoBan,
+		DebugChecks:         sp.DebugChecks,
 		ChurnScale:          sp.ChurnScale,
 		SeedUpScale:         sp.SeedUpScale,
 		AbortScale:          sp.AbortScale,
