@@ -45,6 +45,7 @@ import (
 	"rarestfirst"
 	"rarestfirst/internal/adversary"
 	"rarestfirst/internal/cliutil"
+	"rarestfirst/internal/crash"
 	"rarestfirst/internal/netem"
 	"rarestfirst/internal/obs"
 )
@@ -62,6 +63,7 @@ func main() {
 	jsonPath := flag.String("json", "", "also write one JSON line per run to this file")
 	faults := flag.String("faults", "", "apply this named netem fault plan ("+netem.PlanNamesString()+") to every scenario that has none")
 	adversaryName := flag.String("adversary", "", "mix this named Byzantine peer model ("+adversary.ModelNamesString()+") into every scenario that has none")
+	crashesName := flag.String("crashes", "", "apply this named crash plan ("+crash.PlanNamesString()+") to every scenario that has none")
 	progress := flag.Duration("progress", 0, "emit a heartbeat line (elapsed, runs, events fired, arrivals, peak lane width) every interval")
 	metricsPath := flag.String("metrics", "", "sample the obs registry into this JSONL time-series file (cadence: -progress interval, default 5s)")
 	flag.Parse()
@@ -119,6 +121,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *crashesName != "" {
+		if _, cerr := crash.PlanByName(*crashesName); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(2)
+		}
+		if *suiteName == "" && !*liveOnly {
+			fmt.Fprintln(os.Stderr, "-crashes applies to registry scenarios; combine it with -suite or -live")
+			os.Exit(2)
+		}
+	}
 
 	// -progress and -metrics both need the runtime observability layer:
 	// install the process-wide registry before any swarm is built so
@@ -146,19 +158,19 @@ func main() {
 	if *liveOnly {
 		for _, name := range rarestfirst.SuiteNames() {
 			if !strings.HasPrefix(name, "live-") && !strings.HasPrefix(name, "chaos-") &&
-				!strings.HasPrefix(name, "adv-") {
+				!strings.HasPrefix(name, "adv-") && !strings.HasPrefix(name, "crash-") {
 				continue
 			}
 			// Live suites carry their own wall-clock scales; only the
 			// seed fan-out applies.
-			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, *faults, *adversaryName, sink); err != nil {
+			if err = runSuite(*outDir, runner, name, rarestfirst.SuiteOptions{Seeds: seeds}, *faults, *adversaryName, *crashesName, sink); err != nil {
 				break
 			}
 		}
 	} else if *suiteName != "" {
 		err = runSuite(*outDir, runner, *suiteName, rarestfirst.SuiteOptions{
 			Scale: scale, Seeds: seeds, Torrents: ids,
-		}, *faults, *adversaryName, sink)
+		}, *faults, *adversaryName, *crashesName, sink)
 	} else {
 		err = run(*outDir, runner, scale, ids, seeds, !*skipAblations, sink)
 	}
@@ -244,8 +256,8 @@ func (s *jsonSink) flush() error {
 // plan is applied to every scenario that does not already carry one, so
 // -faults chaos turns any registry family into its chaos variant without
 // clobbering the chaos-* suites' built-in plans; -adversary mixes a
-// Byzantine model in the same way.
-func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, faults, adversaryName string, sink *jsonSink) error {
+// Byzantine model and -crashes a kill/restart schedule in the same way.
+func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfirst.SuiteOptions, faults, adversaryName, crashesName string, sink *jsonSink) error {
 	suite, err := rarestfirst.NewSuite(name, o)
 	if err != nil {
 		return err
@@ -261,6 +273,13 @@ func runSuite(outDir string, runner rarestfirst.Runner, name string, o rarestfir
 		for i := range suite.Scenarios {
 			if suite.Scenarios[i].Adversary == "" {
 				suite.Scenarios[i].Adversary = adversaryName
+			}
+		}
+	}
+	if crashesName != "" {
+		for i := range suite.Scenarios {
+			if suite.Scenarios[i].Crashes == "" {
+				suite.Scenarios[i].Crashes = crashesName
 			}
 		}
 	}

@@ -113,6 +113,16 @@ type Options struct {
 	// counters.
 	Faults *netem.Injector
 
+	// ResumeDir, when non-empty, enables durable resume state for a
+	// downloading client: every verified piece is persisted (data write,
+	// fsync, then an atomic-rename manifest commit), and a later client
+	// constructed over the same directory re-hashes the claimed pieces
+	// and restarts wanting only what it lacks — corrupt or torn pieces
+	// are dropped and counted as resume_hash_fail. Ignored for seeds
+	// (Content non-nil): a seed restarted with its content needs no
+	// resume state.
+	ResumeDir string
+
 	// Adversary, when non-nil, makes this client Byzantine: it corrupts
 	// outbound blocks, advertises a full bitfield, or floods requests
 	// according to the behavior's model. The behavior must not be shared
@@ -192,6 +202,13 @@ type Client struct {
 
 	// onComplete, if set, is invoked once when the download finishes.
 	onComplete func()
+
+	// resume is the durable piece store (nil without Options.ResumeDir);
+	// the stats fields record what the load path restored at New time.
+	resume          *resumeStore
+	resumePieces    int
+	resumeBytes     int64
+	resumeHashFails int
 }
 
 // New builds a client; call Start to begin listening and announcing.
@@ -301,8 +318,53 @@ func New(opts Options) (*Client, error) {
 		c.tr.localSeed()
 	} else {
 		c.content = make([]byte, geo.TotalLength)
+		if opts.ResumeDir != "" {
+			store, err := openResumeStore(opts.ResumeDir, opts.Meta)
+			if err != nil {
+				return nil, err
+			}
+			restored, bytes, hashFails, hadManifest, err := store.load(c.content)
+			if err != nil {
+				store.close()
+				return nil, err
+			}
+			c.resume = store
+			if hadManifest {
+				// This is a restart: bulk-restore the re-verified pieces
+				// into the requester and surface what survived through the
+				// fault-counter pipeline (peer_resume / resume_bytes_saved
+				// / resume_hash_fail ride the same FaultCounts family as
+				// the netem and adversary events).
+				if err := c.req.RestoreFromBitfield(restored); err != nil {
+					store.close()
+					return nil, err
+				}
+				if restored != nil {
+					c.resumePieces = restored.Count()
+				}
+				c.resumeBytes = bytes
+				c.resumeHashFails = hashFails
+				c.fault("peer_resume")
+				c.faultN("resume_bytes_saved", int(bytes))
+				if hashFails > 0 {
+					c.faultN("resume_hash_fail", hashFails)
+				}
+				if c.req.Complete() {
+					c.seeding = true
+					c.tr.localSeed()
+				}
+			}
+		}
 	}
 	return c, nil
+}
+
+// ResumeStats reports what the resume load path restored at New time:
+// pieces that re-verified, their byte total, and claimed pieces dropped
+// for failing their hash. All zero without Options.ResumeDir or on a
+// fresh directory.
+func (c *Client) ResumeStats() (pieces int, bytes int64, hashFails int) {
+	return c.resumePieces, c.resumeBytes, c.resumeHashFails
 }
 
 // now returns seconds since client start (estimator clock).
@@ -418,11 +480,40 @@ func (c *Client) floodLoop(interval time.Duration) {
 }
 
 // Stop closes the listener and every connection and waits for goroutines.
+// Shutdown ordering guarantees clean resume state: handler goroutines are
+// fully drained (wg.Wait) BEFORE the resume store closes, so any piece
+// verified during teardown is either completely persisted — data write,
+// fsync, manifest rename — or not persisted at all; a half-written claim
+// cannot exist.
 func (c *Client) Stop() {
+	if !c.shutdown() {
+		return
+	}
+	if c.resume != nil {
+		c.resume.close()
+	}
+}
+
+// Kill is Stop's crash twin: it closes the resume store FIRST — before
+// connections drain — so an in-flight piece persist fails mid-write
+// instead of completing, exactly as a SIGKILL would leave it. The
+// manifest only ever claims pieces whose data write finished, so the
+// next client over the same ResumeDir re-hashes its way back to a
+// consistent state (the kill-during-write regression test pins this).
+func (c *Client) Kill() {
+	if c.resume != nil {
+		c.resume.kill()
+	}
+	c.shutdown()
+}
+
+// shutdown runs the common teardown; it reports false when the client
+// was already stopped.
+func (c *Client) shutdown() bool {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return
+		return false
 	}
 	c.closed = true
 	conns := append([]*peerConn(nil), c.connOrder...)
@@ -435,6 +526,7 @@ func (c *Client) Stop() {
 		pc.conn.Close()
 	}
 	c.wg.Wait()
+	return true
 }
 
 func (c *Client) acceptLoop() {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"sync"
@@ -181,9 +182,10 @@ func (c *Client) handleMessage(pc *peerConn, m *wire.Message) bool {
 		c.updateInterestLocked(pc)
 		seed := bf.Complete()
 		c.mu.Unlock()
-		if seed {
-			c.tr.remoteSeedStatus(pc.id, true)
-		}
+		// Report seed status in both directions: the collector no-ops on
+		// unchanged state, and a crashed ex-seed that rejoins holding a
+		// partial bitfield must un-latch its seed classification.
+		c.tr.remoteSeedStatus(pc.id, seed)
 		return true
 	case wire.MsgHave:
 		idx := int(m.Index)
@@ -444,6 +446,16 @@ func (c *Client) handlePiece(pc *peerConn, m *wire.Message) bool {
 	if verifiedPiece >= 0 {
 		c.om.pieces.Inc()
 		c.tr.pieceCompleted(verifiedPiece)
+		if c.resume != nil {
+			// Persist outside c.mu: a verified piece's content range is
+			// immutable from here on (later blocks for it are rejected as
+			// stale duplicates), so the read races nothing. A write error
+			// other than the shutdown race is surfaced as a fault; the
+			// download itself continues — resume state is best-effort.
+			if err := c.resume.persistPiece(verifiedPiece, c.pieceData(verifiedPiece)); err != nil && !errors.Is(err, errResumeClosed) {
+				c.fault("resume_write_fail")
+			}
+		}
 	}
 	if completed {
 		c.tr.localSeed()

@@ -1,0 +1,268 @@
+package client
+
+// Durable resume state (Options.ResumeDir): a crashed client restarted
+// over the same directory re-enters the swarm wanting only what it lacks.
+//
+// The store is two files. content.dat holds piece payloads at their
+// natural torrent offsets, written as each piece verifies. resume.json is
+// the manifest — info hash, geometry and the bitfield of pieces the store
+// CLAIMS to hold — committed via temp-file + rename after every piece, so
+// a reader never observes a half-written manifest. The manifest is only
+// advisory: the load path re-hashes every claimed piece and drops (and
+// counts) any that fail, so a torn data write — a crash mid-WriteAt — is
+// caught by the hash even though the manifest rename is atomic. The
+// manifest is written only AFTER its piece's data write returns, which
+// means a claim can at worst undershoot the data file, never overshoot
+// it with bytes that were never written.
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rarestfirst/internal/bitfield"
+	"rarestfirst/internal/metainfo"
+)
+
+// errResumeClosed reports a persist attempt after kill/close — expected
+// during shutdown races, and distinct from real write failures.
+var errResumeClosed = errors.New("client: resume store closed")
+
+const (
+	resumeDataFile     = "content.dat"
+	resumeManifestFile = "resume.json"
+)
+
+// resumeManifest is the on-disk manifest schema.
+type resumeManifest struct {
+	InfoHash  string `json:"info_hash"`
+	NumPieces int    `json:"num_pieces"`
+	// Bitfield is the hex encoding of the wire-format bitfield of pieces
+	// the data file claims to hold.
+	Bitfield string `json:"bitfield"`
+}
+
+// resumeStore persists verified pieces under one directory.
+type resumeStore struct {
+	mu   sync.Mutex
+	dir  string
+	meta *metainfo.MetaInfo
+	geo  metainfo.Geometry
+	data *os.File
+	// persisted tracks the pieces whose data writes have completed; the
+	// manifest is always rendered from it, under mu, so the claim set
+	// can never run ahead of the data file.
+	persisted *bitfield.Bitfield
+	closed    bool
+}
+
+// openResumeStore opens (creating if needed) the resume store in dir.
+func openResumeStore(dir string, meta *metainfo.MetaInfo) (*resumeStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("client: resume dir: %w", err)
+	}
+	geo := meta.Geometry()
+	f, err := os.OpenFile(filepath.Join(dir, resumeDataFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("client: resume data: %w", err)
+	}
+	if err := f.Truncate(geo.TotalLength); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("client: resume data size: %w", err)
+	}
+	return &resumeStore{
+		dir:       dir,
+		meta:      meta,
+		geo:       geo,
+		data:      f,
+		persisted: bitfield.New(geo.NumPieces),
+	}, nil
+}
+
+// load reads the manifest, copies every claimed piece into content at its
+// natural offset and re-hashes it. It returns the bitfield of pieces that
+// passed, the byte total they represent, the number of claimed pieces
+// dropped for failing their hash, and whether a manifest existed at all
+// (a fresh directory is not a resume). Pieces that pass are marked
+// persisted so later manifests keep claiming them.
+func (r *resumeStore) load(content []byte) (restored *bitfield.Bitfield, bytesSaved int64, hashFails int, hadManifest bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(r.dir, resumeManifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("client: resume manifest: %w", err)
+	}
+	var m resumeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		// A mangled manifest (it is rename-committed, so this means
+		// external corruption) degrades to a fresh start: the re-hash
+		// contract makes trusting nothing always safe.
+		return nil, 0, 0, false, nil
+	}
+	if m.InfoHash != fmt.Sprintf("%x", r.meta.InfoHash()) || m.NumPieces != r.geo.NumPieces {
+		return nil, 0, 0, false, nil
+	}
+	wireBits, err := hex.DecodeString(m.Bitfield)
+	if err != nil {
+		return nil, 0, 0, false, nil
+	}
+	claimed, err := bitfield.FromWire(wireBits, r.geo.NumPieces)
+	if err != nil {
+		return nil, 0, 0, false, nil
+	}
+	restored = bitfield.New(r.geo.NumPieces)
+	ok := true
+	claimed.Range(func(i int) bool {
+		start := int64(i) * int64(r.geo.PieceLength)
+		size := r.geo.PieceSize(i)
+		buf := content[start : start+int64(size)]
+		if _, rerr := r.data.ReadAt(buf, start); rerr != nil {
+			err = fmt.Errorf("client: resume read piece %d: %w", i, rerr)
+			ok = false
+			return false
+		}
+		if r.meta.VerifyPiece(i, buf) {
+			restored.Set(i)
+			r.persisted.Set(i)
+			bytesSaved += int64(size)
+		} else {
+			// Torn or corrupted on disk: drop the claim and count it.
+			// The region stays whatever it was — the requester will
+			// re-download and overwrite it.
+			hashFails++
+		}
+		return true
+	})
+	if !ok {
+		return nil, 0, 0, true, err
+	}
+	return restored, bytesSaved, hashFails, true, nil
+}
+
+// persistPiece durably records one verified piece: data write, fsync,
+// then the manifest rename. Data must be the piece's full verified
+// payload. Returns errResumeClosed after kill/close.
+func (r *resumeStore) persistPiece(i int, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errResumeClosed
+	}
+	start := int64(i) * int64(r.geo.PieceLength)
+	if _, err := r.data.WriteAt(data, start); err != nil {
+		return err
+	}
+	if err := r.data.Sync(); err != nil {
+		return err
+	}
+	r.persisted.Set(i)
+	return r.writeManifestLocked()
+}
+
+// writeManifestLocked commits the manifest for the current persisted set
+// via temp-file + rename. Callers hold mu.
+func (r *resumeStore) writeManifestLocked() error {
+	m := resumeManifest{
+		InfoHash:  fmt.Sprintf("%x", r.meta.InfoHash()),
+		NumPieces: r.geo.NumPieces,
+		Bitfield:  hex.EncodeToString(r.persisted.ToWire()),
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(r.dir, resumeManifestFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(r.dir, resumeManifestFile))
+}
+
+// ResumeClaims reports how many pieces the resume manifest in dir claims
+// to hold, or 0 when the directory holds no readable manifest. Claims
+// are advisory (the load path re-hashes them); orchestration harnesses
+// use this only to decide whether a store is worth corrupting in fault
+// drills.
+func ResumeClaims(dir string) int {
+	raw, err := os.ReadFile(filepath.Join(dir, resumeManifestFile))
+	if err != nil {
+		return 0
+	}
+	var m resumeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0
+	}
+	wireBits, err := hex.DecodeString(m.Bitfield)
+	if err != nil {
+		return 0
+	}
+	bf, err := bitfield.FromWire(wireBits, m.NumPieces)
+	if err != nil {
+		return 0
+	}
+	return bf.Count()
+}
+
+// CorruptResumeData overwrites the resume data file in dir with a fixed
+// byte pattern while leaving the manifest's claims intact, so every
+// claimed piece fails its re-hash on the next load — the fault drill
+// for the re-hash-on-load contract. It reports whether any bytes were
+// overwritten.
+func CorruptResumeData(dir string) bool {
+	path := filepath.Join(dir, resumeDataFile)
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		return false
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = 0xA5
+	}
+	for off := int64(0); off < st.Size(); off += int64(len(buf)) {
+		n := int64(len(buf))
+		if rem := st.Size() - off; rem < n {
+			n = rem
+		}
+		if _, err := f.WriteAt(buf[:n], off); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// kill models a SIGKILL: the data file is closed immediately and no
+// further state is written. A persist racing the kill either completed
+// fully before the lock was taken here, or fails its write and leaves
+// the manifest unchanged — the fully-flushed-or-fully-discarded
+// shutdown contract.
+func (r *resumeStore) kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.data.Close()
+}
+
+// close is the graceful shutdown: sync and close the data file.
+func (r *resumeStore) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.data.Sync()
+	r.data.Close()
+}

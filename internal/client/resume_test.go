@@ -1,0 +1,231 @@
+package client
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rarestfirst/internal/metainfo"
+	"rarestfirst/internal/tracker"
+)
+
+// resumeSwarm spins up a tracker and a seed for resume tests; the caller
+// gets the announce URL plus the torrent.
+func resumeSwarm(t *testing.T, size int, seedBps float64) (announce string, m *metainfo.MetaInfo, content []byte) {
+	t.Helper()
+	srv := tracker.NewServer(1)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	announce = ts.URL + "/announce"
+	meta, c := makeTorrent(t, size, announce)
+	seed, err := New(Options{Meta: meta, Content: c, UploadBps: seedBps, ChokeInterval: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start("127.0.0.1:0", announce); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(seed.Stop)
+	return announce, meta, c
+}
+
+func newResumeLeecher(t *testing.T, m *metainfo.MetaInfo, announce, dir string) *Client {
+	t.Helper()
+	l, err := New(Options{
+		Meta:          m,
+		UploadBps:     4 << 20,
+		ChokeInterval: 250 * time.Millisecond,
+		ResumeDir:     dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start("127.0.0.1:0", announce); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// waitProgress polls until the client holds at least n pieces.
+func waitProgress(t *testing.T, c *Client, n int, deadline time.Duration) {
+	t.Helper()
+	timeout := time.After(deadline)
+	for {
+		if done, _ := c.Progress(); done >= n {
+			return
+		}
+		select {
+		case <-timeout:
+			done, total := c.Progress()
+			t.Fatalf("only %d/%d pieces before deadline (want >= %d)", done, total, n)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	announce, m, content := resumeSwarm(t, 512<<10, 2<<20)
+
+	// First life: download a few pieces, then stop gracefully.
+	l1 := newResumeLeecher(t, m, announce, dir)
+	waitProgress(t, l1, 3, 30*time.Second)
+	l1.Stop()
+	if claims := ResumeClaims(dir); claims < 1 {
+		t.Fatalf("manifest claims %d pieces after graceful stop", claims)
+	}
+
+	// Second life over the same directory: the resume stats must report
+	// restored pieces and the download must complete with intact content.
+	l2 := newResumeLeecher(t, m, announce, dir)
+	defer l2.Stop()
+	pieces, bytesSaved, hashFails := l2.ResumeStats()
+	if pieces < 1 || bytesSaved <= 0 {
+		t.Fatalf("resume restored %d pieces / %d bytes", pieces, bytesSaved)
+	}
+	if hashFails != 0 {
+		t.Fatalf("clean resume counted %d hash failures", hashFails)
+	}
+	waitComplete(t, 60*time.Second, l2)
+	if !bytes.Equal(l2.Bytes(), content) {
+		t.Fatal("resumed download produced wrong content")
+	}
+	// The resumed client must not have re-downloaded the restored pieces.
+	_, down := l2.Stats()
+	if want := int64(len(content)) - bytesSaved; down > want+int64(len(content))/10 {
+		t.Fatalf("resumed client downloaded %d bytes, want about %d", down, want)
+	}
+}
+
+func TestResumeCorruptDataIsRehashedAndRedownloaded(t *testing.T) {
+	dir := t.TempDir()
+	announce, m, content := resumeSwarm(t, 256<<10, 8<<20)
+
+	l1 := newResumeLeecher(t, m, announce, dir)
+	waitComplete(t, 30*time.Second, l1)
+	l1.Stop()
+	claims := ResumeClaims(dir)
+	if claims < 1 {
+		t.Fatalf("no claims after a full download")
+	}
+
+	// Corrupt the data file in place; the manifest keeps claiming every
+	// piece, so the load path must drop them all via the re-hash.
+	if !CorruptResumeData(dir) {
+		t.Fatal("CorruptResumeData wrote nothing")
+	}
+	l2 := newResumeLeecher(t, m, announce, dir)
+	defer l2.Stop()
+	pieces, bytesSaved, hashFails := l2.ResumeStats()
+	if pieces != 0 || bytesSaved != 0 {
+		t.Fatalf("corrupted resume restored %d pieces / %d bytes", pieces, bytesSaved)
+	}
+	if hashFails != claims {
+		t.Fatalf("hash failures = %d, want every claim (%d)", hashFails, claims)
+	}
+	// The client still completes — by re-downloading everything.
+	waitComplete(t, 60*time.Second, l2)
+	if !bytes.Equal(l2.Bytes(), content) {
+		t.Fatal("re-downloaded content mismatch")
+	}
+}
+
+func TestResumeKillDuringTransfer(t *testing.T) {
+	dir := t.TempDir()
+	announce, m, content := resumeSwarm(t, 512<<10, 1<<20)
+
+	// Kill (not Stop) mid-transfer: the resume store closes before
+	// connections drain, like a process death. Whatever the manifest
+	// claims afterwards must re-hash clean.
+	l1 := newResumeLeecher(t, m, announce, dir)
+	waitProgress(t, l1, 2, 30*time.Second)
+	l1.Kill()
+
+	l2 := newResumeLeecher(t, m, announce, dir)
+	defer l2.Stop()
+	_, _, hashFails := l2.ResumeStats()
+	if hashFails != 0 {
+		t.Fatalf("kill left %d torn claims (manifest overshot the data file)", hashFails)
+	}
+	waitComplete(t, 60*time.Second, l2)
+	if !bytes.Equal(l2.Bytes(), content) {
+		t.Fatal("content mismatch after kill + resume")
+	}
+}
+
+// TestResumeStoreKillDuringWrite is the store-level shutdown-ordering
+// regression: persists racing a kill must be fully flushed (claimed and
+// verifiable) or fully discarded (unclaimed) — never a claim without its
+// bytes.
+func TestResumeStoreKillDuringWrite(t *testing.T) {
+	meta, content := makeTorrent(t, 256<<10, "")
+	geo := meta.Geometry()
+	pieceData := func(i int) []byte {
+		start := int64(i) * int64(geo.PieceLength)
+		return content[start : start+int64(geo.PieceSize(i))]
+	}
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		store, err := openResumeStore(dir, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < geo.NumPieces; i++ {
+				if err := store.persistPiece(i, pieceData(i)); err != nil {
+					return // killed underneath us: expected
+				}
+			}
+		}()
+		time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+		store.kill()
+		wg.Wait()
+
+		reopened, err := openResumeStore(dir, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, geo.TotalLength)
+		restored, _, hashFails, hadManifest, err := reopened.load(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hashFails != 0 {
+			t.Fatalf("round %d: %d claims failed re-hash after kill", round, hashFails)
+		}
+		if hadManifest && restored.Count() != ResumeClaims(dir) {
+			t.Fatalf("round %d: restored %d != claimed %d", round, restored.Count(), ResumeClaims(dir))
+		}
+		reopened.close()
+	}
+}
+
+func TestResumeClaimsHelpers(t *testing.T) {
+	// Empty or missing directories claim nothing and corrupt nothing.
+	if n := ResumeClaims(t.TempDir()); n != 0 {
+		t.Fatalf("empty dir claims %d", n)
+	}
+	if CorruptResumeData(t.TempDir()) {
+		t.Fatal("corrupted a nonexistent data file")
+	}
+
+	meta, content := makeTorrent(t, 128<<10, "")
+	geo := meta.Geometry()
+	dir := t.TempDir()
+	store, err := openResumeStore(dir, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.persistPiece(0, content[:geo.PieceSize(0)]); err != nil {
+		t.Fatal(err)
+	}
+	store.close()
+	if n := ResumeClaims(dir); n != 1 {
+		t.Fatalf("claims = %d, want 1", n)
+	}
+}

@@ -106,6 +106,30 @@ func (r *Requester) AddHave(i int) {
 	}
 }
 
+// RestoreFromBitfield bulk-marks every piece set in bf as already owned:
+// the resume path for a restarted peer, which re-enters the swarm wanting
+// only what it lacks. The bitfield must match the torrent geometry and the
+// Requester must be fresh — no requests started, no end game entered — so
+// restored pieces can never collide with in-flight block state. The caller
+// is responsible for having re-verified the pieces it claims (the client
+// re-hashes on load; see internal/client resume).
+func (r *Requester) RestoreFromBitfield(bf *bitfield.Bitfield) error {
+	if bf == nil {
+		return nil
+	}
+	if bf.Len() != r.geo.NumPieces {
+		return fmt.Errorf("core: restore bitfield covers %d pieces, torrent has %d", bf.Len(), r.geo.NumPieces)
+	}
+	if len(r.progress) != 0 || len(r.pending) != 0 || r.endgame {
+		return fmt.Errorf("core: RestoreFromBitfield called after requests started")
+	}
+	bf.Range(func(i int) bool {
+		r.AddHave(i)
+		return true
+	})
+	return nil
+}
+
 // Interested reports whether the local peer should be interested in a
 // remote advertising the given bitfield: the remote has a piece we lack.
 func (r *Requester) Interested(remote *bitfield.Bitfield) bool {

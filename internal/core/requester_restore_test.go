@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rarestfirst/internal/bitfield"
+)
+
+// restoreSubset builds a bitfield over n pieces holding each piece with
+// probability frac (deterministic per rng).
+func restoreSubset(rng *rand.Rand, n int, frac float64) *bitfield.Bitfield {
+	bf := bitfield.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < frac {
+			bf.Set(i)
+		}
+	}
+	return bf
+}
+
+func TestRestoreFromBitfieldBasics(t *testing.T) {
+	r := newTestRequester(8)
+	bf := bitfield.New(8)
+	bf.Set(1)
+	bf.Set(5)
+	if err := r.RestoreFromBitfield(bf); err != nil {
+		t.Fatal(err)
+	}
+	if r.Downloaded() != 2 || !r.Have().Has(1) || !r.Have().Has(5) {
+		t.Fatalf("downloaded=%d have=%v", r.Downloaded(), r.Have())
+	}
+	// Restored pieces have no suppliers: they were not downloaded from
+	// anyone this session, so there is nobody to blame on a hash failure.
+	if s := r.PieceSuppliers(1); s != nil {
+		t.Fatalf("restored piece has suppliers %v", s)
+	}
+	// Nil restore is a no-op.
+	if err := r.RestoreFromBitfield(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Downloaded() != 2 {
+		t.Fatalf("nil restore changed downloaded to %d", r.Downloaded())
+	}
+}
+
+func TestRestoreFromBitfieldErrors(t *testing.T) {
+	// Geometry mismatch.
+	r := newTestRequester(8)
+	if err := r.RestoreFromBitfield(bitfield.New(9)); err == nil {
+		t.Fatal("mismatched bitfield length accepted")
+	}
+	// Restore after requests started: the requester's pending/progress
+	// bookkeeping would be inconsistent with the injected haves.
+	r2 := newTestRequester(8)
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := r2.Next(rng, PeerID(1), fullRemote(8)); !ok {
+		t.Fatal("no block")
+	}
+	bf := bitfield.New(8)
+	bf.Set(0)
+	if err := r2.RestoreFromBitfield(bf); err == nil {
+		t.Fatal("restore after requests started accepted")
+	}
+}
+
+// TestRestoreFromBitfieldVsFreshOracle is the resume correctness property:
+// for many random retained sets, a restored requester must finish the
+// download requesting exactly the missing pieces' blocks — no block of a
+// restored piece is ever requested, no block of a missing piece is
+// requested twice outside end game, and the end state matches a fresh
+// download's (complete, consistent bookkeeping).
+func TestRestoreFromBitfieldVsFreshOracle(t *testing.T) {
+	const pieces = 16
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		retained := restoreSubset(rng, pieces, rng.Float64())
+
+		r := newTestRequester(pieces)
+		if err := r.RestoreFromBitfield(retained); err != nil {
+			t.Fatal(err)
+		}
+		// Fresh-download oracle over the same missing set: the restored
+		// requester must request exactly the blocks the oracle would.
+		wantBlocks := 0
+		for i := 0; i < pieces; i++ {
+			if !retained.Has(i) {
+				wantBlocks += 4
+			}
+		}
+
+		remote := fullRemote(pieces)
+		const peer = PeerID(7)
+		seen := map[BlockRef]bool{}
+		steps := 0
+		for !r.Complete() {
+			ref, ok := r.Next(rng, peer, remote)
+			if !ok {
+				t.Fatalf("seed %d: stuck at %d/%d pieces", seed, r.Downloaded(), pieces)
+			}
+			if retained.Has(ref.Piece) {
+				t.Fatalf("seed %d: requested block of restored piece %d", seed, ref.Piece)
+			}
+			if seen[ref] {
+				t.Fatalf("seed %d: duplicate request %+v to one peer", seed, ref)
+			}
+			seen[ref] = true
+			r.OnBlock(peer, ref)
+			if steps++; steps > wantBlocks {
+				t.Fatalf("seed %d: %d requests for %d missing blocks", seed, steps, wantBlocks)
+			}
+		}
+		if steps != wantBlocks {
+			t.Fatalf("seed %d: %d requests, oracle wants %d", seed, steps, wantBlocks)
+		}
+		if r.Downloaded() != pieces || !r.Have().Complete() {
+			t.Fatalf("seed %d: downloaded=%d", seed, r.Downloaded())
+		}
+		if err := r.CheckConsistency(); err != nil {
+			t.Fatalf("seed %d: inconsistent after resume download: %v", seed, err)
+		}
+	}
+}
+
+// TestRestoreFromBitfieldEndGame: a resume that leaves one piece missing
+// must still enter end game cleanly — duplicates to a second peer, cancel
+// on delivery — exactly as a fresh download at the same occupancy would.
+func TestRestoreFromBitfieldEndGame(t *testing.T) {
+	const pieces = 6
+	r := newTestRequester(pieces)
+	retained := bitfield.New(pieces)
+	for i := 0; i < pieces-1; i++ {
+		retained.Set(i)
+	}
+	if err := r.RestoreFromBitfield(retained); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	remote := fullRemote(pieces)
+	// Peer 1 requests all 4 blocks of the one missing piece, delivers none.
+	for i := 0; i < 4; i++ {
+		if _, ok := r.Next(rng, PeerID(1), remote); !ok {
+			t.Fatalf("block %d not offered", i)
+		}
+	}
+	// Peer 2 asking flips end game and duplicates peer 1's pending blocks.
+	got := map[BlockRef]bool{}
+	for i := 0; i < 4; i++ {
+		ref, ok := r.Next(rng, PeerID(2), remote)
+		if !ok {
+			t.Fatalf("end game refused block %d", i)
+		}
+		got[ref] = true
+	}
+	if !r.InEndGame() || len(got) != 4 {
+		t.Fatalf("endgame=%v dups=%d", r.InEndGame(), len(got))
+	}
+	// Peer 2 delivers everything; each delivery cancels peer 1's copy.
+	for ref := range got {
+		_, cancels := r.OnBlock(2, ref)
+		if len(cancels) != 1 || cancels[0].Peer != 1 {
+			t.Fatalf("cancels = %+v", cancels)
+		}
+	}
+	if !r.Complete() || r.Downloaded() != pieces {
+		t.Fatalf("complete=%v downloaded=%d", r.Complete(), r.Downloaded())
+	}
+	// Provenance: the re-downloaded piece blames peer 2; restored pieces
+	// blame nobody.
+	missing := pieces - 1
+	if s := r.PieceSuppliers(missing); len(s) != 1 || s[0] != 2 {
+		t.Fatalf("suppliers of re-downloaded piece = %v", s)
+	}
+	if s := r.PieceSuppliers(0); s != nil {
+		t.Fatalf("restored piece has suppliers %v", s)
+	}
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreFromBitfieldFullResume: restoring a complete bitfield yields
+// a complete requester that offers nothing.
+func TestRestoreFromBitfieldFullResume(t *testing.T) {
+	const pieces = 4
+	r := newTestRequester(pieces)
+	full := bitfield.New(pieces)
+	full.SetAll()
+	if err := r.RestoreFromBitfield(full); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Complete() {
+		t.Fatal("full restore not complete")
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, ok := r.Next(rng, PeerID(1), fullRemote(pieces)); ok {
+		t.Fatal("complete requester offered a block")
+	}
+}

@@ -1,0 +1,124 @@
+// Package crash defines named crash-schedule plans: the process-failure
+// counterpart of internal/netem's network fault plans. A plan describes
+// which fraction of a swarm's leechers are killed mid-transfer, when in
+// the run the kills land, how long the victims stay down, and how much of
+// their verified content survives the restart. The live backend realizes
+// a plan as real SIGKILL-style teardowns plus restarts from a ResumeDir;
+// the simulator maps the same plan onto swarm.Crashes so a crash-* suite
+// cross-validates the two backends under the same failure regime.
+//
+// Like netem plans, every schedule derived from a plan is deterministic
+// per run seed: victim choice, kill instants and downtimes come from a
+// dedicated splitmix64-derived stream, so reruns of the same (plan, seed)
+// kill the same peers at the same points in the transfer.
+package crash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plan is one named crash schedule.
+type Plan struct {
+	// Name identifies the plan in scenario specs and reports.
+	Name string
+
+	// Frac is the fraction of eligible leechers that crash once during
+	// the run. 0 disables the plan (Enabled reports false).
+	Frac float64
+
+	// StartFrac and EndFrac bound the kill window. Each victim draws one
+	// uniform value in [StartFrac, EndFrac). The simulator reads the
+	// draw as a fraction of the configured duration (a kill instant);
+	// the live backend reads the same draw as a progress threshold —
+	// the victim is SIGKILLed when its verified piece count crosses
+	// that fraction of the torrent — because on real TCP wall-clock is
+	// not a reliable proxy for "mid-transfer".
+	StartFrac float64
+	EndFrac   float64
+
+	// DowntimeFrac is the mean downtime between kill and restart, as a
+	// fraction of the run's deadline.
+	DowntimeFrac float64
+
+	// RetainFrac is the probability each verified piece survives the
+	// crash. 1 models a clean resume file; lower values model partial
+	// loss (amnesia), drawn per-piece from the engine RNG on the
+	// simulator. The live store keeps every piece it verified — durable
+	// retention is the point — so sub-1 retention is a sim-side model;
+	// the live loss drill is CorruptResume.
+	RetainFrac float64
+
+	// CorruptResume, when set, corrupts one victim's on-disk resume
+	// data before restart, exercising the re-hash-on-load path: the
+	// corrupt pieces are dropped, counted as resume_hash_fail, and
+	// re-downloaded.
+	CorruptResume bool
+}
+
+// Enabled reports whether the plan actually crashes anyone.
+func (p Plan) Enabled() bool { return p.Frac > 0 }
+
+// plans is the built-in catalog.
+var plans = map[string]Plan{
+	"kill-restart": {
+		Name:         "kill-restart",
+		Frac:         0.34,
+		StartFrac:    0.15,
+		EndFrac:      0.45,
+		DowntimeFrac: 0.08,
+		RetainFrac:   1.0,
+	},
+	"kill-restart-amnesia": {
+		Name:         "kill-restart-amnesia",
+		Frac:         0.34,
+		StartFrac:    0.15,
+		EndFrac:      0.45,
+		DowntimeFrac: 0.08,
+		RetainFrac:   0.5,
+	},
+	"kill-corrupt": {
+		Name:          "kill-corrupt",
+		Frac:          0.34,
+		StartFrac:     0.15,
+		EndFrac:       0.45,
+		DowntimeFrac:  0.08,
+		RetainFrac:    1.0,
+		CorruptResume: true,
+	},
+	"flashcrowd-kill": {
+		Name:          "flashcrowd-kill",
+		Frac:          0.5,
+		StartFrac:     0.1,
+		EndFrac:       0.4,
+		DowntimeFrac:  0.06,
+		RetainFrac:    1.0,
+		CorruptResume: true,
+	},
+}
+
+// PlanByName resolves a named plan. The empty name is the disabled plan.
+func PlanByName(name string) (Plan, error) {
+	if name == "" {
+		return Plan{}, nil
+	}
+	p, ok := plans[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("crash: unknown plan %q (have %s)", name, PlanNamesString())
+	}
+	return p, nil
+}
+
+// PlanNames returns the catalog's names, sorted.
+func PlanNames() []string {
+	out := make([]string, 0, len(plans))
+	for name := range plans {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PlanNamesString renders the catalog for error messages and usage text.
+func PlanNamesString() string { return strings.Join(PlanNames(), ", ") }

@@ -19,12 +19,14 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"rarestfirst/internal/adversary"
 	"rarestfirst/internal/client"
+	"rarestfirst/internal/crash"
 	"rarestfirst/internal/metainfo"
 	"rarestfirst/internal/netem"
 	"rarestfirst/internal/obs"
@@ -86,6 +88,17 @@ type Config struct {
 	// AdversaryNoBan turns off the honest clients' poisoner-ban response
 	// (measurement mode: hash failures and wasted bytes still count).
 	AdversaryNoBan bool
+
+	// Crashes is the crash-schedule plan: a deterministic fraction of the
+	// non-instrumented leechers is SIGKILLed (client.Kill: the resume
+	// store closes before connections drain, as a real process death
+	// would leave it) at schedule-drawn instants inside the kill window
+	// and restarted from its ResumeDir after the plan's downtime. The
+	// zero plan (no Spec.Crashes) kills nobody. Victim choice and kill
+	// instants come from a dedicated offset stream (501) of the run
+	// seed, so the schedule replays under a fixed seed even though
+	// real-TCP timing does not.
+	Crashes crash.Plan
 
 	// Client resilience policy, zero = the client's own defaults. FromSpec
 	// tightens these for chaos runs so retries fit wall-clock deadlines.
@@ -210,11 +223,18 @@ func FromSpec(sp scenario.Spec) (Config, error) {
 		cfg.Adversary = model
 		cfg.AdversaryNoBan = sp.AdversaryNoBan
 	}
-	if sp.Faults != "" || sp.Adversary != "" {
-		// Chaos and Byzantine runs live on seconds-scale deadlines, so the
-		// resilience schedule tightens accordingly: several dial retries,
-		// request timeouts and announce backoffs must fit inside the run
-		// for the snub/ban machinery to act before the deadline.
+	if sp.Crashes != "" {
+		plan, err := crash.PlanByName(sp.Crashes)
+		if err != nil {
+			return Config{}, fmt.Errorf("live: %v", err)
+		}
+		cfg.Crashes = plan
+	}
+	if sp.Faults != "" || sp.Adversary != "" || sp.Crashes != "" {
+		// Chaos, Byzantine and crash runs live on seconds-scale deadlines,
+		// so the resilience schedule tightens accordingly: several dial
+		// retries, request timeouts and announce backoffs must fit inside
+		// the run for the snub/ban machinery to act before the deadline.
 		cfg.DialTimeout = 2 * time.Second
 		cfg.DialRetries = 4
 		cfg.DialBackoff = 100 * time.Millisecond
@@ -291,6 +311,19 @@ type swarmView struct {
 func (v *swarmView) add(c *client.Client) {
 	v.mu.Lock()
 	v.members = append(v.members, c)
+	v.mu.Unlock()
+}
+
+// remove drops a crashed member so the global availability view stops
+// counting its copies until its restarted twin is added back.
+func (v *swarmView) remove(c *client.Client) {
+	v.mu.Lock()
+	for i, m := range v.members {
+		if m == c {
+			v.members = append(v.members[:i], v.members[i+1:]...)
+			break
+		}
+	}
 	v.mu.Unlock()
 }
 
@@ -483,11 +516,77 @@ func Run(cfg Config) (*Result, error) {
 		doneMu   sync.Mutex
 		doneAt   = make(map[int]time.Time)
 	)
+
+	// Crash schedule: victims, kill thresholds and the shared downtime
+	// are drawn up front from a dedicated offset stream (501) of the run
+	// seed, so a fixed seed replays the same schedule even though
+	// real-TCP timing varies. A kill fires when the victim's verified
+	// piece count crosses its drawn fraction of the torrent — progress-
+	// triggered rather than wall-clock, so every kill lands mid-transfer
+	// regardless of link speed. Only non-instrumented leechers are
+	// candidates — the local peer carries the collector and must live
+	// the whole run.
+	var (
+		crashMu          sync.Mutex
+		crashWG          sync.WaitGroup
+		crashStop        = make(chan struct{})
+		crashStopped     bool
+		nKilled          int
+		nRestarted       int
+		totalResumeBytes int64
+		totalHashFails   int
+		corruptDone      bool
+		resumeDirs       = make(map[int]string)
+		killAtPieces     = make(map[int]int)
+		crashDowntime    time.Duration
+	)
+	if cfg.Crashes.Enabled() && cfg.Leechers > 1 {
+		crand := rand.New(rand.NewSource(scenario.MixSeed(cfg.Seed, 501)))
+		candidates := cfg.Leechers - 1
+		n := int(math.Round(cfg.Crashes.Frac * float64(candidates)))
+		if n < 1 {
+			n = 1
+		}
+		if n > candidates {
+			n = candidates
+		}
+		for _, idx := range crand.Perm(candidates)[:n] {
+			frac := cfg.Crashes.StartFrac + crand.Float64()*(cfg.Crashes.EndFrac-cfg.Crashes.StartFrac)
+			want := int(math.Ceil(frac * float64(cfg.NumPieces)))
+			if want < 1 {
+				want = 1
+			}
+			if want > cfg.NumPieces-1 {
+				want = cfg.NumPieces - 1
+			}
+			killAtPieces[idx] = want
+			dir, err := os.MkdirTemp("", "rf-resume-")
+			if err != nil {
+				return nil, fmt.Errorf("live: resume dir: %w", err)
+			}
+			defer os.RemoveAll(dir)
+			resumeDirs[idx] = dir
+		}
+		crashDowntime = time.Duration(cfg.Crashes.DowntimeFrac * float64(cfg.Deadline))
+	}
+
 	stopAll := func() {
-		// Non-local leechers first so the local peer observes their
-		// departures, then the local peer, then (deferred) the seed.
+		// Halt the crash orchestration first so no victim is killed or
+		// restarted under a tearing-down swarm; then non-local leechers,
+		// so the local peer observes their departures, then the local
+		// peer, then (deferred) the seed.
+		crashMu.Lock()
+		if !crashStopped {
+			crashStopped = true
+			close(crashStop)
+		}
+		cs := make([]*client.Client, 0, len(leechers))
 		for _, l := range leechers {
-			l.c.Stop()
+			cs = append(cs, l.c)
+		}
+		crashMu.Unlock()
+		for _, c := range cs {
+			c.Stop()
 		}
 	}
 	localIdx := cfg.Leechers - 1
@@ -503,6 +602,9 @@ func Run(cfg Config) (*Result, error) {
 			NoPoisonBan:   cfg.AdversaryNoBan,
 		}
 		cfg.applyResilience(&opts, i+1)
+		if dir, ok := resumeDirs[i]; ok {
+			opts.ResumeDir = dir
+		}
 		if i == localIdx {
 			opts.Trace = col
 			opts.SampleEvery = cfg.SampleEvery
@@ -533,6 +635,110 @@ func Run(cfg Config) (*Result, error) {
 	}
 	localStart := leechers[localIdx].startAt
 
+	// Kill/restart orchestration: each victim goroutine watches its
+	// client's verified piece count, SIGKILLs it at the drawn threshold
+	// (client.Kill closes the resume store before connections drain, as
+	// a real process death would leave it), sleeps the plan downtime,
+	// and restarts a twin over the same ResumeDir with identical
+	// options. The first corrupt-resume victim has its data file
+	// overwritten before the restart so the re-hash-on-load contract is
+	// exercised end to end.
+	for idx, want := range killAtPieces {
+		idx, want := idx, want
+		crashWG.Add(1)
+		go func() {
+			defer crashWG.Done()
+			crashMu.Lock()
+			watch := leechers[idx].c
+			crashMu.Unlock()
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for watch.Bitfield().Count() < want {
+				select {
+				case <-crashStop:
+					return
+				case <-tick.C:
+				}
+			}
+			crashMu.Lock()
+			if crashStopped {
+				crashMu.Unlock()
+				return
+			}
+			victim := leechers[idx].c
+			crashMu.Unlock()
+			victim.Kill()
+			view.remove(victim)
+			crashMu.Lock()
+			nKilled++
+			dir := resumeDirs[idx]
+			if cfg.Crashes.CorruptResume && !corruptDone && client.ResumeClaims(dir) > 0 {
+				client.CorruptResumeData(dir)
+				corruptDone = true
+			}
+			crashMu.Unlock()
+			select {
+			case <-crashStop:
+				return
+			case <-time.After(crashDowntime):
+			}
+			opts := client.Options{
+				Meta:          meta,
+				UploadBps:     cfg.PeerUploadBps,
+				ChokeInterval: cfg.ChokeInterval,
+				Seed:          clientSeed(idx + 1),
+				NoPoisonBan:   cfg.AdversaryNoBan,
+				ResumeDir:     dir,
+			}
+			cfg.applyResilience(&opts, idx+1)
+			nc, err := client.New(opts)
+			if err != nil {
+				return
+			}
+			_, resBytes, resFails := nc.ResumeStats()
+			// The restart voids any pre-kill completion: the run now waits
+			// for the restarted client to (re)complete — a corrupted-resume
+			// victim must finish again via re-download.
+			doneMu.Lock()
+			delete(doneAt, idx)
+			doneMu.Unlock()
+			nc.OnComplete(func() {
+				cCompletions.Inc()
+				doneMu.Lock()
+				doneAt[idx] = time.Now()
+				doneMu.Unlock()
+			})
+			crashMu.Lock()
+			if crashStopped {
+				crashMu.Unlock()
+				nc.Stop()
+				return
+			}
+			if err := nc.Start("127.0.0.1:0", announce); err != nil {
+				crashMu.Unlock()
+				nc.Stop()
+				return
+			}
+			leechers[idx].c = nc
+			nRestarted++
+			totalResumeBytes += resBytes
+			totalHashFails += resFails
+			crashMu.Unlock()
+			view.add(nc)
+			// A victim killed in the instant between its last piece
+			// verifying and its completion callback resumes already
+			// complete; the restarted client then never fires
+			// OnComplete, so record the completion here.
+			if nc.Bitfield().Count() == cfg.NumPieces {
+				doneMu.Lock()
+				if _, ok := doneAt[idx]; !ok {
+					doneAt[idx] = time.Now()
+				}
+				doneMu.Unlock()
+			}
+		}()
+	}
+
 	// Wait until every leecher finished or the deadline passes, then
 	// linger briefly so post-completion intervals (residency past the
 	// filter, seed-state choke rounds) accumulate.
@@ -553,7 +759,25 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	stopAll()
+	crashWG.Wait()
 	end := time.Since(localStart).Seconds()
+	// Lab-level crash counters use the live convention (bare names; the
+	// sim twins carry the swarm_ prefix) and are added only after the
+	// crash goroutines drained — the collector is single-writer.
+	crashMu.Lock()
+	if nKilled > 0 {
+		col.AddFault("peer_crash", nKilled)
+	}
+	if nRestarted > 0 {
+		col.AddFault("peer_resume", nRestarted)
+	}
+	if totalResumeBytes > 0 {
+		col.AddFault("resume_bytes_saved", int(totalResumeBytes))
+	}
+	if totalHashFails > 0 {
+		col.AddFault("resume_hash_fail", totalHashFails)
+	}
+	crashMu.Unlock()
 	col.Finalize(end)
 
 	res := &Result{

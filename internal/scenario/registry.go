@@ -561,4 +561,42 @@ func init() {
 				torrents.Scale{MaxPeers: 5, MaxContentMB: 1, MaxPieces: 32, Duration: 45})
 		},
 	})
+	// The crash-* family: crash-recovery scenarios. Sim peers crash and
+	// rejoin with retained pieces (availability dec/re-inc audited by the
+	// invariant checker); live peers are SIGKILLed mid-transfer and
+	// restarted over their durable resume directories. The flash-crowd
+	// entry is a sim-vs-live twin under one label, like chaos-*/adv-*.
+	Register(Def{
+		Name: "crash-flashcrowd",
+		Description: "sim-vs-live crash twin: the torrent 8 flash crowd on the " +
+			"\"flashcrowd-kill\" plan — half the non-instrumented leechers are " +
+			"SIGKILLed mid-transfer and restarted from durable resume state; " +
+			"one victim's resume data is corrupted so the re-hash-on-load " +
+			"contract is exercised end to end",
+		Build: func(o Options) []Spec {
+			specs := liveTwin(o, Spec{TorrentID: 8, Label: "crash-flash-crowd",
+				Crashes: "flashcrowd-kill", DebugChecks: true},
+				torrents.Scale{MaxPeers: 6, MaxContentMB: 1, MaxPieces: 32, Duration: 60})
+			return specs
+		},
+	})
+	Register(Def{
+		Name: "crash-restart",
+		Description: "sim crash-recovery grid on torrent 10: kill-restart (full " +
+			"resume), kill-restart-amnesia (half the verified pieces survive) " +
+			"and kill-corrupt (the first victim loses every piece to failed " +
+			"re-hashes), invariant checker on",
+		Build: func(o Options) []Spec {
+			var out []Spec
+			for _, plan := range []string{"kill-restart", "kill-restart-amnesia", "kill-corrupt"} {
+				out = append(out, Spec{
+					Label:       "crash=" + plan,
+					TorrentID:   10,
+					Crashes:     plan,
+					DebugChecks: true,
+				})
+			}
+			return out
+		},
+	})
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"rarestfirst/internal/adversary"
+	"rarestfirst/internal/crash"
 	"rarestfirst/internal/netem"
 	"rarestfirst/internal/swarm"
 	"rarestfirst/internal/torrents"
@@ -114,6 +115,13 @@ type Spec struct {
 	// mode): hash failures and wasted bytes are counted but suspects are
 	// never banned.
 	AdversaryNoBan bool
+	// Crashes names a crash-schedule plan (crash.PlanByName) applied to
+	// the run: on the live backend a deterministic schedule SIGKILLs a
+	// fraction of the leechers mid-transfer and restarts them from their
+	// ResumeDir, on the simulator it maps to the swarm.Crashes twin
+	// knobs (kill, downtime, rejoin with retained pieces). "" (the
+	// default, and every golden scenario) crashes nobody.
+	Crashes string
 	// DebugChecks enables the swarm invariant checker on the simulated
 	// run (swarm.Config.Invariants): pure-read audits that panic on
 	// violation and never perturb the trajectory.
@@ -247,6 +255,23 @@ func (s Spec) Config() (swarm.Config, torrents.Spec, error) {
 		}
 		if plan.SeedFailFrac > 0 && cfg.InitialSeedLeaveAt == 0 {
 			cfg.InitialSeedLeaveAt = plan.SeedFailFrac * window
+		}
+	}
+	if s.Crashes != "" {
+		plan, err := crash.PlanByName(s.Crashes)
+		if err != nil {
+			return swarm.Config{}, spec, fmt.Errorf("scenario: %v", err)
+		}
+		// Anchor the plan's fractional timing to the simulated run window,
+		// exactly as the netem mapping above does.
+		window := cfg.LocalJoinTime + cfg.Duration
+		cfg.Crashes = &swarm.Crashes{
+			Frac:         plan.Frac,
+			WindowStart:  plan.StartFrac * window,
+			WindowEnd:    plan.EndFrac * window,
+			MeanDowntime: plan.DowntimeFrac * window,
+			RetainFrac:   plan.RetainFrac,
+			DropAllFirst: plan.CorruptResume,
 		}
 	}
 	if s.Adversary != "" {

@@ -201,6 +201,17 @@ type Config struct {
 	// sim twins of the live lab's netem fault plans.
 	Chaos *Chaos
 
+	// Crashes, when non-nil, enables process-failure injection: a
+	// fraction of leechers is killed mid-transfer (availability counts
+	// decremented, connections torn down, the tracker entry dropped) and
+	// rejoins after an exponential downtime retaining a configurable
+	// fraction of its verified pieces — the sim twin of the live lab's
+	// kill/restart crash schedules. All draws come from the engine RNG,
+	// so a crash run is as bit-reproducible as a clean one; nil (the
+	// default, and every golden scenario) adds no draws and no behavior
+	// change.
+	Crashes *Crashes
+
 	// Adversary, when non-nil, mixes Byzantine peers into the arriving
 	// leecher population: piece poisoners (delivered pieces fail
 	// verification with PoisonRate, wasting the bandwidth and forcing a
@@ -252,6 +263,46 @@ type Chaos struct {
 	TrackerBlackoutStart float64
 	TrackerBlackoutEnd   float64
 	AnnounceRetry        float64 // seconds; 0 = 30
+}
+
+// Crashes is the simulator's crash-and-rejoin plan — the sim twin of the
+// live lab's process kill/restart schedules (internal/crash plans), in
+// simulated seconds and probabilities.
+type Crashes struct {
+	// Frac is the probability each arriving/initial leecher (never a
+	// seed or the instrumented local peer) crashes once during the run.
+	Frac float64
+	// WindowStart / WindowEnd bound the crash window in simulated time;
+	// each victim's kill instant is uniform inside the window.
+	WindowStart float64
+	WindowEnd   float64
+	// MeanDowntime is the mean of the exponential downtime between
+	// crash and rejoin (0 = 30 simulated seconds).
+	MeanDowntime float64
+	// RetainFrac is the per-piece probability a verified piece survives
+	// the crash (0 = 1.0: a clean resume file keeps everything; lower
+	// values model partial loss).
+	RetainFrac float64
+	// DropAllFirst makes the first crashing peer lose its entire resume
+	// state regardless of RetainFrac — the sim twin of the live plan's
+	// corrupted-resume-file victim, with the dropped pieces counted as
+	// resume hash failures.
+	DropAllFirst bool
+}
+
+// Defaulting helpers, mirroring Chaos.
+func (cr *Crashes) meanDowntime() float64 {
+	if cr.MeanDowntime > 0 {
+		return cr.MeanDowntime
+	}
+	return 30
+}
+
+func (cr *Crashes) retainFrac() float64 {
+	if cr.RetainFrac > 0 {
+		return cr.RetainFrac
+	}
+	return 1.0
 }
 
 // Adversary is the simulator's Byzantine peer plan — the sim twin of

@@ -44,6 +44,29 @@ func (s *Swarm) checkInvariants(full bool) {
 			}
 		}
 	}
+	if full {
+		s.checkGlobalAvail(ids)
+	}
+}
+
+// checkGlobalAvail recounts the torrent-wide copy index from every live
+// peer's TRUE bitfield and compares each piece. This is the counter the
+// crash path decrements on kill and re-increments on rejoin, so the
+// full sweep audits both edges of every crash/rejoin pair.
+func (s *Swarm) checkGlobalAvail(ids []core.PeerID) {
+	for i := 0; i < s.cfg.NumPieces; i++ {
+		want := 0
+		for _, id := range ids {
+			p := s.peers[id]
+			if !p.departed && p.have.Has(i) {
+				want++
+			}
+		}
+		if got := s.globalAvail.Count(i); got != want {
+			panic(fmt.Sprintf("swarm invariant: global avail piece %d count %d, live peers hold %d",
+				i, got, want))
+		}
+	}
 }
 
 // checkPeerStructure audits p's connection list: membership agreement

@@ -60,6 +60,10 @@ type Swarm struct {
 	// Peer.completePiece and Swarm.flushHaves).
 	pendingHaves []pendingHave
 
+	// crashCorruptDone marks that the Crashes plan's DropAllFirst victim
+	// has been consumed (at most one corrupted-resume peer per run).
+	crashCorruptDone bool
+
 	// Observability (metrics.go): cached obs handles plus the phase-timing
 	// bundle shared with the engine; both nil/no-op without a registry.
 	metrics swarmMetrics
@@ -349,6 +353,9 @@ func (s *Swarm) addPeerOpts(isSeed, freeRider, isLocal, bootstrap bool, upBps, d
 	if !isSeed && s.cfg.AbortRate > 0 && !isLocal {
 		s.scheduleAbortCheck(p)
 	}
+	// Crash plan (Config.Crashes): the kill/restart draw, nil-gated like
+	// the Byzantine draw above so golden RNG sequences are untouched.
+	s.maybeScheduleCrash(p)
 	return p
 }
 
@@ -512,17 +519,18 @@ func (s *Swarm) connectNow(a, b *Peer) {
 	// ADVERTISES — the full liarBits for bitfield liars.
 	a.avail.AddPeer(b.shownBits())
 	b.avail.AddPeer(a.shownBits())
+	// Seed status is reported unconditionally from the bitfield exchange:
+	// RemoteSeedStatus no-ops when unchanged, so this is free for fresh
+	// peers, and it un-latches remoteIsSeed for an ex-seed that crashed
+	// and rejoined as a leecher with retained pieces (otherwise its
+	// post-rejoin leecher residency would be misclassified as seed time).
 	if a.isLocal {
 		s.col.PeerJoined(int(b.id), now)
-		if b.looksSeed() {
-			s.col.RemoteSeedStatus(int(b.id), now, true)
-		}
+		s.col.RemoteSeedStatus(int(b.id), now, b.looksSeed())
 	}
 	if b.isLocal {
 		s.col.PeerJoined(int(a.id), now)
-		if a.looksSeed() {
-			s.col.RemoteSeedStatus(int(a.id), now, true)
-		}
+		s.col.RemoteSeedStatus(int(a.id), now, a.looksSeed())
 	}
 	a.refreshInterest(ca)
 	b.refreshInterest(cb)

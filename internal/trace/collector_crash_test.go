@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCrashResumeCompleteChurn walks the crash-recovery path: a remote
+// completes (becomes a seed), crashes, rejoins with retained pieces but
+// NOT as a seed (the crash dropped some), then completes again. The
+// seed-status un-latch on rejoin is the load-bearing step: without it the
+// pre-crash latch would leak into the new life and every leecher-state
+// interval after the rejoin would be silently dropped.
+func TestCrashResumeCompleteChurn(t *testing.T) {
+	c := NewCollector(0)
+	c.PeerJoined(5, 0)
+	c.RemoteInterest(5, 0, true)
+	c.RemoteSeedStatus(5, 20, true) // first completion
+	c.PeerLeft(5, 50)               // crash
+	c.CountFault("peer_crash")
+
+	c.PeerJoined(5, 80)              // rejoin after downtime
+	c.RemoteSeedStatus(5, 80, false) // retained pieces, but no longer a seed
+	c.CountFault("peer_resume")
+	c.RemoteInterest(5, 85, true)
+	c.RemoteSeedStatus(5, 110, true) // completes again via re-download
+	c.PeerLeft(5, 130)
+	c.Finalize(150)
+
+	r := c.AllRecords()[0]
+	// Residency spans both lives, never the 30 s downtime.
+	approx(t, "Residency", r.Residency, 100)
+	// Leecher-state residency: [0,20) of life one plus [80,110) of life
+	// two — the rejoined span counts again because the latch was cleared.
+	approx(t, "ResidencyLSLocal", r.ResidencyLSLocal, 50)
+	// Remote interest while it was a leecher: [0,20) + [85,110).
+	approx(t, "RemoteInterestedTime", r.RemoteInterestedTime, 45)
+	// Interest in the local leecher across both lives: [0,50) + [85,130).
+	approx(t, "InterestedInLocalLS", r.InterestedInLocalLS, 95)
+	if !r.RemoteWasSeed {
+		t.Error("RemoteWasSeed lost across the crash")
+	}
+	if r.JoinedAt != 0 {
+		t.Errorf("JoinedAt = %v, want the first join", r.JoinedAt)
+	}
+	if c.FaultCounts["peer_crash"] != 1 || c.FaultCounts["peer_resume"] != 1 {
+		t.Errorf("fault counts = %v", c.FaultCounts)
+	}
+}
+
+// TestRemoteSeedStatusRedundantCallsAreNoOps: the connect path now always
+// reports seed status (so a crashed ex-seed's rejoin can un-latch), which
+// means fault-free runs issue many redundant false reports. Those must be
+// byte-for-byte invisible, or every golden digest would shift.
+func TestRemoteSeedStatusRedundantCallsAreNoOps(t *testing.T) {
+	build := func(redundant bool) []*PeerRecord {
+		c := NewCollector(0)
+		c.PeerJoined(1, 0)
+		if redundant {
+			c.RemoteSeedStatus(1, 0, false)
+		}
+		c.LocalInterest(1, 5, true)
+		if redundant {
+			c.RemoteSeedStatus(1, 7, false)
+		}
+		c.RemoteSeedStatus(1, 10, true)
+		if redundant {
+			c.RemoteSeedStatus(1, 12, true)
+		}
+		c.PeerLeft(1, 30)
+		c.Finalize(40)
+		return c.AllRecords()
+	}
+	plain, noisy := build(false), build(true)
+	if !reflect.DeepEqual(plain, noisy) {
+		t.Fatalf("redundant seed-status reports changed records:\n%+v\nvs\n%+v", plain, noisy)
+	}
+}

@@ -58,6 +58,13 @@ type Server struct {
 	reg        *obs.Registry
 	mAnnounces *obs.Counter
 	ihm        map[[20]byte]*ihMetrics
+
+	// Graceful-restart state: draining refuses new announces while
+	// inflight counts the ones already being served (Close waits for
+	// them), so a snapshot taken after Close can never miss a
+	// registration that was mid-flight.
+	draining bool
+	inflight sync.WaitGroup
 }
 
 // rateWindow bounds the per-infohash announce-rate estimate: the rate is
@@ -164,6 +171,19 @@ func failure(w http.ResponseWriter, msg string) {
 }
 
 func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	// Drain gate: the draining check and the in-flight registration are
+	// one atomic step under mu, so Close's Wait covers every announce
+	// that got past the gate.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		failure(w, "tracker shutting down")
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
 	q := r.URL.Query()
 
 	rawHash := q.Get("info_hash")
@@ -333,6 +353,90 @@ func (s *Server) countLocked(ih [20]byte) (complete, incomplete int) {
 		}
 	}
 	return complete, incomplete
+}
+
+// Close drains the tracker for a graceful restart: new announces are
+// refused with a bencoded failure, and Close blocks until every announce
+// already in flight has finished registering. After Close returns,
+// Snapshot sees a settled peer table. Close does not stop an http.Server
+// wrapped around Handler — callers own that lifecycle.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+}
+
+// PeerSnapshot is one registered peer in a tracker snapshot, exported in
+// a form that survives serialization (IPs as strings, times explicit).
+type PeerSnapshot struct {
+	InfoHash [20]byte
+	PeerID   [20]byte
+	IP       string
+	Port     int
+	Left     int64
+	LastSeen time.Time
+}
+
+// Snapshot returns every registered peer, sorted by info hash then peer
+// address, for persisting across a tracker restart.
+func (s *Server) Snapshot() []PeerSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []PeerSnapshot
+	for ih, peers := range s.torrents {
+		for _, p := range peers {
+			out = append(out, PeerSnapshot{
+				InfoHash: ih,
+				PeerID:   p.peerID,
+				IP:       p.ip.String(),
+				Port:     p.port,
+				Left:     p.left,
+				LastSeen: p.lastSeen,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InfoHash != out[j].InfoHash {
+			return string(out[i].InfoHash[:]) < string(out[j].InfoHash[:])
+		}
+		if out[i].IP != out[j].IP {
+			return out[i].IP < out[j].IP
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Restore rehydrates the peer table from a snapshot, so a bounced
+// tracker serves useful peer lists immediately instead of wedging the
+// swarm behind re-announce intervals. Entries whose LastSeen already
+// fell outside the TTL are skipped — a stale snapshot degrades to a
+// partial (or empty) restore, never to handing out dead peers. Invalid
+// addresses are skipped too. Returns the number of entries restored.
+func (s *Server) Restore(snap []PeerSnapshot) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.now().Add(-s.ttl)
+	restored := 0
+	for _, e := range snap {
+		if e.LastSeen.Before(cutoff) {
+			continue
+		}
+		ip := net.ParseIP(e.IP)
+		if ip == nil || e.Port <= 0 || e.Port > 65535 {
+			continue
+		}
+		peers := s.torrents[e.InfoHash]
+		if peers == nil {
+			peers = map[string]*peerEntry{}
+			s.torrents[e.InfoHash] = peers
+		}
+		entry := &peerEntry{peerID: e.PeerID, ip: ip, port: e.Port, left: e.Left, lastSeen: e.LastSeen}
+		peers[entry.key()] = entry
+		restored++
+	}
+	return restored
 }
 
 // Count returns (seeds, leechers) currently registered for the torrent.

@@ -1,0 +1,142 @@
+package tracker
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCloseDrainsAndRefusesAnnounces(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "drain-hash-123456___")
+
+	announceVia(t, url, ih, pid(1), 7001, 10, nil)
+	srv.Close()
+
+	// Post-drain announces are refused with a bencoded failure, and the
+	// refused peer is never registered.
+	_, err := Announce(AnnounceRequest{URL: url, InfoHash: ih, PeerID: pid(2), Port: 7002, Left: 10})
+	if err == nil || !strings.Contains(err.Error(), "shutting down") {
+		t.Fatalf("drained tracker accepted announce: %v", err)
+	}
+	if _, inc := srv.Count(ih); inc != 1 {
+		t.Fatalf("incomplete = %d after drained announce, want 1", inc)
+	}
+	// Close is idempotent.
+	srv.Close()
+}
+
+func TestCloseWaitsForInflightAnnounces(t *testing.T) {
+	// Hold an announce open past Close by stalling the server's clock
+	// callback (the one hook inside the handler), and check Close blocks
+	// until the announce finishes registering.
+	srv := NewServer(900)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.now = func() time.Time {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return time.Now()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "inflight-hash-1234__")
+
+	annDone := make(chan struct{})
+	go func() {
+		defer close(annDone)
+		Announce(AnnounceRequest{URL: url, InfoHash: ih, PeerID: pid(1), Port: 7001, Left: 10})
+	}()
+	<-entered
+
+	closeDone := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned with an announce still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closeDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close never returned after the in-flight announce finished")
+	}
+	<-annDone
+	// The mid-flight registration made it into the settled table.
+	if _, inc := srv.Count(ih); inc != 1 {
+		t.Fatalf("in-flight announce lost: incomplete = %d", inc)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	srv := NewServer(900)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/announce"
+	var ih [20]byte
+	copy(ih[:], "snap-hash-1234567___")
+
+	announceVia(t, url, ih, pid(1), 7001, 0, nil)  // seed
+	announceVia(t, url, ih, pid(2), 7002, 10, nil) // leecher
+	srv.Close()
+	snap := srv.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+
+	// A bounced tracker restored from the snapshot serves the same peer
+	// list immediately.
+	srv2 := NewServer(900)
+	if n := srv2.Restore(snap); n != 2 {
+		t.Fatalf("restored %d entries, want 2", n)
+	}
+	c, inc := srv2.Count(ih)
+	if c != 1 || inc != 1 {
+		t.Fatalf("restored counts: %d seeds %d leechers", c, inc)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	r := announceVia(t, ts2.URL+"/announce", ih, pid(3), 7003, 10, nil)
+	if len(r.Peers) != 2 {
+		t.Fatalf("restored tracker returned %d peers, want 2", len(r.Peers))
+	}
+}
+
+func TestRestoreSkipsStaleAndInvalidEntries(t *testing.T) {
+	srv := NewServer(900)
+	srv.SetTTL(10 * time.Second)
+	clock := time.Now()
+	srv.now = func() time.Time { return clock }
+
+	var ih [20]byte
+	copy(ih[:], "stale-hash-123456___")
+	snap := []PeerSnapshot{
+		{InfoHash: ih, PeerID: pid(1), IP: "10.0.0.1", Port: 7001, Left: 10, LastSeen: clock.Add(-time.Second)},
+		// TTL-stale: dropped, never handed out as a dead peer.
+		{InfoHash: ih, PeerID: pid(2), IP: "10.0.0.2", Port: 7002, Left: 10, LastSeen: clock.Add(-time.Minute)},
+		// Unparseable address and invalid port: dropped.
+		{InfoHash: ih, PeerID: pid(3), IP: "not-an-ip", Port: 7003, Left: 10, LastSeen: clock},
+		{InfoHash: ih, PeerID: pid(4), IP: "10.0.0.4", Port: 0, Left: 10, LastSeen: clock},
+	}
+	if n := srv.Restore(snap); n != 1 {
+		t.Fatalf("restored %d entries, want 1", n)
+	}
+	if _, inc := srv.Count(ih); inc != 1 {
+		t.Fatalf("incomplete = %d, want 1", inc)
+	}
+}

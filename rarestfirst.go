@@ -196,6 +196,17 @@ type Scenario struct {
 	// mode): hash failures and wasted bytes are counted but suspects are
 	// never banned.
 	AdversaryNoBan bool `json:",omitempty"`
+
+	// Crashes names a crash-schedule plan ("kill-restart",
+	// "kill-restart-amnesia", "kill-corrupt", "flashcrowd-kill"; see the
+	// README Crash recovery section). On the live backend a
+	// seed-deterministic schedule SIGKILLs a fraction of the leechers
+	// mid-transfer and restarts them from durable resume state; on the
+	// simulator the plan maps to the matching swarm.Crashes knobs, so a
+	// crash-* suite cross-validates the two. "" (the default, and every
+	// golden scenario) crashes nobody, and the omitempty tag keeps
+	// crash-free reports serializing exactly as before.
+	Crashes string `json:",omitempty"`
 	// DebugChecks enables the swarm invariant checker on simulated runs:
 	// pure-read audits (availability counts vs advertised bitfields, no
 	// banned peer still connected, requester bookkeeping consistency)
@@ -240,6 +251,7 @@ func (sc Scenario) toSpec() scenario.Spec {
 		Faults:              sc.Faults,
 		Adversary:           sc.Adversary,
 		AdversaryNoBan:      sc.AdversaryNoBan,
+		Crashes:             sc.Crashes,
 		DebugChecks:         sc.DebugChecks,
 		ChurnScale:          sc.ChurnScale,
 		SeedUpScale:         sc.SeedUpScale,
@@ -271,6 +283,7 @@ func fromSpec(sp scenario.Spec) Scenario {
 		Faults:              sp.Faults,
 		Adversary:           sp.Adversary,
 		AdversaryNoBan:      sp.AdversaryNoBan,
+		Crashes:             sp.Crashes,
 		DebugChecks:         sp.DebugChecks,
 		ChurnScale:          sp.ChurnScale,
 		SeedUpScale:         sp.SeedUpScale,
